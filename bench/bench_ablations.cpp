@@ -1,0 +1,151 @@
+// Ablation studies of P2Auth's design choices (DESIGN.md section 5) plus
+// the paper's Discussion-section wearing-position claim.  Not a paper
+// figure: this bench justifies each pipeline stage by removing it.
+//
+//   1. fine-grained keystroke calibration  vs trusting coarse timestamps
+//   2. detrending before short-time energy vs raw energy
+//   3. PPV pooling                          vs max pooling
+//   4. energy-detector threshold            (median-multiplier sweep)
+//   5. results-integration policy           (paper vs all vs any)
+//   6. watch on the inner wrist             vs back of the wrist
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace p2auth;
+
+namespace {
+
+core::ExperimentConfig small_config(std::uint64_t seed_offset = 0) {
+  core::ExperimentConfig cfg;
+  cfg.seed = 20230050 + seed_offset;
+  cfg.population.num_users = 6;
+  cfg.test_entries = 8;
+  cfg.random_attacks_per_user = 6;
+  cfg.emulating_attacks_per_user = 6;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  // --- 1 & 2: preprocessing stages (two-handed case, where segmentation
+  // quality and case identification matter most). ---
+  {
+    util::Table table(
+        {"preprocessing", "accuracy", "TRR (random)", "TRR (emulating)"});
+    for (int variant = 0; variant < 3; ++variant) {
+      core::ExperimentConfig cfg = small_config(1);
+      cfg.test_case = keystroke::InputCase::kTwoHandedThree;
+      const char* label = "full pipeline (paper)";
+      if (variant == 1) {
+        cfg.enrollment.preprocess.calibrate = false;
+        label = "no fine-grained calibration";
+      } else if (variant == 2) {
+        cfg.enrollment.preprocess.detrend_before_energy = false;
+        label = "no detrending before energy";
+      }
+      bench::add_result_row(table, label, run_experiment(cfg));
+    }
+    table.print(std::cout,
+                "Ablation 1/2 - preprocessing stages (two-handed, 3 keys)");
+    std::printf("\n");
+  }
+
+  // --- 3: PPV vs max pooling (one-handed). ---
+  {
+    util::Table table(
+        {"pooling", "accuracy", "TRR (random)", "TRR (emulating)"});
+    for (const auto pooling : {ml::Pooling::kPpv, ml::Pooling::kMax}) {
+      core::ExperimentConfig cfg = small_config(2);
+      cfg.enrollment.rocket.pooling = pooling;
+      bench::add_result_row(
+          table, pooling == ml::Pooling::kPpv ? "PPV (Eq. 6)" : "max",
+          run_experiment(cfg));
+    }
+    table.print(std::cout, "Ablation 3 - MiniRocket pooling statistic");
+    std::printf("\n");
+  }
+
+  // --- 4: energy-detector threshold sweep (two-handed-2: the case most
+  // sensitive to false keystroke detection). ---
+  {
+    util::Table table({"median multiplier", "accuracy", "TRR (random)",
+                       "TRR (emulating)"});
+    for (const double mult : {0.0, 1.5, 2.6, 4.0}) {
+      core::ExperimentConfig cfg = small_config(3);
+      cfg.test_case = keystroke::InputCase::kTwoHandedTwo;
+      cfg.enrollment.preprocess.energy.median_multiplier = mult;
+      bench::add_result_row(table, util::format_double(mult, 1),
+                            run_experiment(cfg));
+    }
+    table.print(std::cout,
+                "Ablation 4 - energy detector threshold (two-handed, "
+                "2 keys; 0 = paper's pure mean rule)");
+    std::printf("\n");
+  }
+
+  // --- 5: results-integration policy. ---
+  {
+    util::Table table(
+        {"policy", "accuracy", "TRR (random)", "TRR (emulating)"});
+    const std::pair<core::IntegrationPolicy, const char*> policies[] = {
+        {core::IntegrationPolicy::kPaper, "paper (2-of-3 / all-of-2)"},
+        {core::IntegrationPolicy::kAll, "all must pass"},
+        {core::IntegrationPolicy::kAny, "any passes (insecure)"},
+    };
+    for (const auto& [policy, label] : policies) {
+      core::ExperimentConfig cfg = small_config(4);
+      cfg.test_case = keystroke::InputCase::kTwoHandedThree;
+      cfg.auth.integration = policy;
+      bench::add_result_row(table, label, run_experiment(cfg));
+    }
+    table.print(std::cout,
+                "Ablation 5 - results integration (two-handed, 3 keys)");
+    std::printf("\n");
+  }
+
+  // --- 6: wearing position (paper section VI). ---
+  {
+    util::Table table(
+        {"wearing position", "accuracy", "TRR (random)", "TRR (emulating)"});
+    for (const auto wearing : {ppg::WearingPosition::kInnerWrist,
+                               ppg::WearingPosition::kBackOfWrist}) {
+      core::ExperimentConfig cfg = small_config(5);
+      cfg.wearing = wearing;
+      bench::add_result_row(
+          table,
+          wearing == ppg::WearingPosition::kInnerWrist ? "inner wrist"
+                                                       : "back of wrist",
+          run_experiment(cfg));
+    }
+    table.print(std::cout,
+                "Ablation 6 - watch wearing position (paper section VI: "
+                "inner wrist is required)");
+    std::printf("\n");
+  }
+
+  // --- 7: body activity during entry (paper section VI: authenticate
+  // while static; walking swamps the keystroke signal with gait
+  // artifacts).  Enrollment stays seated; only test-time entries change.
+  {
+    util::Table table(
+        {"test-time activity", "accuracy", "TRR (random)",
+         "TRR (emulating)"});
+    for (const auto activity :
+         {ppg::ActivityState::kStatic, ppg::ActivityState::kWalking}) {
+      core::ExperimentConfig cfg = small_config(6);
+      cfg.test_activity = activity;
+      bench::add_result_row(
+          table,
+          activity == ppg::ActivityState::kStatic ? "static (seated)"
+                                                  : "walking",
+          run_experiment(cfg));
+    }
+    table.print(std::cout,
+                "Ablation 7 - body activity at entry time (paper section "
+                "VI: authenticate while static)");
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Shared helpers for the per-figure bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/evaluation.hpp"
+#include "util/table.hpp"
+
+namespace p2auth::bench {
+
+// Formats a probability as a percentage string.
+inline std::string pct(double p, int precision = 1) {
+  return util::format_double(100.0 * p, precision) + "%";
+}
+
+// Adds the standard (accuracy, TRR-RA, TRR-EA) row for one experiment.
+inline void add_result_row(util::Table& table, const std::string& label,
+                           const core::ExperimentResult& result) {
+  table.begin_row()
+      .cell(label)
+      .cell(pct(result.mean_accuracy()))
+      .cell(pct(result.mean_trr_random()))
+      .cell(pct(result.mean_trr_emulating()));
+}
+
+}  // namespace p2auth::bench

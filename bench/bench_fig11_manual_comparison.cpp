@@ -1,0 +1,112 @@
+// Reproduces Fig. 11: ROCKET-based P2Auth vs the manual-feature + DTW
+// baseline (Shang & Wu, CNS 2019 as re-implemented by the paper), on
+// one-handed keystrokes without privacy boost.
+//
+// Paper reference: the manual baseline reaches only ~0.62 authentication
+// accuracy on keystroke-induced (small-motion) PPG, while P2Auth is
+// ~0.98; the baseline's threshold tau (tuned to 1.7) is sensitive per
+// user.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/preprocess.hpp"
+#include "core/segmentation.hpp"
+#include "ml/manual_baseline.hpp"
+#include "sim/attacks.hpp"
+#include "sim/dataset.hpp"
+
+using namespace p2auth;
+
+namespace {
+
+// Extracts the per-channel full waveform the manual baseline consumes.
+std::vector<core::Series> manual_waveform(const core::Observation& obs) {
+  const auto pre = core::preprocess_entry(obs);
+  std::size_t first = pre.calibrated_indices.empty()
+                          ? 0
+                          : pre.calibrated_indices.front();
+  for (std::size_t i = 0; i < pre.keystroke_present.size(); ++i) {
+    if (pre.keystroke_present[i]) {
+      first = pre.calibrated_indices[i];
+      break;
+    }
+  }
+  return core::extract_full_waveform(pre.filtered, first, pre.rate_hz);
+}
+
+}  // namespace
+
+int main() {
+  // ROCKET-based P2Auth numbers come from the standard harness.
+  core::ExperimentConfig cfg;
+  cfg.seed = 20231111;
+  cfg.population.num_users = 10;
+  const core::ExperimentResult rocket = run_experiment(cfg);
+
+  // Manual baseline on the same kind of data: trained per user on the
+  // user's enrollment waveforms only (its selling point: no third-party
+  // data needed), thresholded at tau = 1.7.
+  const sim::Population population = sim::make_population(cfg.population);
+  core::AuthMetrics manual_metrics;
+  // tau tuned on this dataset the same way the paper tuned its 1.7 on
+  // theirs (the absolute value depends on the intra-class normalisation;
+  // see EXPERIMENTS.md).  Legitimate probes sit at ~1.0 +- 0.08 and
+  // attackers at 1.0-1.7, so no threshold separates them well - exactly
+  // the method's weakness the figure demonstrates.
+  ml::ManualBaselineOptions manual_options;
+  manual_options.tau = 1.03;
+  manual_options.dtw.band = 40;
+  const auto& pins = keystroke::paper_pins();
+  for (std::size_t u = 0; u < population.users.size(); ++u) {
+    const auto& user = population.users[u];
+    const keystroke::Pin pin = pins[u % pins.size()];
+    util::Rng rng(cfg.seed ^ (0xbaddecafULL * (u + 1)));
+    sim::TrialOptions options;
+    std::vector<std::vector<core::Series>> enroll;
+    util::Rng er = rng.fork("enroll");
+    for (const auto& t : sim::make_trials(user, pin, 9, options, er)) {
+      enroll.push_back(manual_waveform({t.entry, t.trace}));
+    }
+    ml::ManualBaseline model(manual_options);
+    model.fit(enroll);
+
+    util::Rng tr = rng.fork("test");
+    for (int i = 0; i < 9; ++i) {
+      util::Rng r = tr.fork(10 + i);
+      const sim::Trial t = sim::make_trial(user, pin, options, r);
+      manual_metrics.legitimate.add(
+          model.accept(manual_waveform({t.entry, t.trace})));
+    }
+    for (int i = 0; i < 10; ++i) {
+      util::Rng r = tr.fork(100 + i);
+      const sim::Trial t = sim::make_random_attack(
+          population.attackers[i % population.attackers.size()], options, r);
+      manual_metrics.random_attack.add(
+          model.accept(manual_waveform({t.entry, t.trace})));
+    }
+    for (int i = 0; i < 10; ++i) {
+      util::Rng r = tr.fork(200 + i);
+      const sim::Trial t = sim::make_emulating_attack(
+          population.attackers[i % population.attackers.size()], user, pin,
+          options, sim::EmulationOptions{}, r);
+      manual_metrics.emulating_attack.add(
+          model.accept(manual_waveform({t.entry, t.trace})));
+    }
+  }
+
+  util::Table table(
+      {"method", "accuracy", "TRR (random)", "TRR (emulating)"});
+  bench::add_result_row(table, "ROCKET-based (P2Auth)", rocket);
+  table.begin_row()
+      .cell("manual features + DTW (tau=1.03)")
+      .cell(bench::pct(manual_metrics.accuracy()))
+      .cell(bench::pct(manual_metrics.trr_random()))
+      .cell(bench::pct(manual_metrics.trr_emulating()));
+  table.print(std::cout,
+              "Fig. 11 - ROCKET-based vs manual feature extraction "
+              "(one-handed, no boost)");
+  std::printf("\n(paper: manual accuracy ~62%% vs P2Auth ~98%%; P2Auth "
+              "better on both axes)\n");
+  return 0;
+}

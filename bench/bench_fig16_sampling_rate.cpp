@@ -1,0 +1,34 @@
+// Reproduces Fig. 16: impact of the PPG sampling rate with four channels
+// (privacy-boost configuration).
+//
+// Paper reference: even at the lowest rate (30 Hz) authentication
+// accuracy stays around 68%, and performance stops changing
+// significantly as the rate increases — the system works across the
+// whole range commodity wearables offer.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace p2auth;
+
+int main() {
+  util::Table table({"sampling rate (Hz)", "accuracy", "TRR (random)",
+                     "TRR (emulating)"});
+  for (const double rate : {30.0, 50.0, 75.0, 100.0}) {
+    core::ExperimentConfig cfg;
+    cfg.seed = 20231600;
+    cfg.population.num_users = 8;
+    cfg.privacy_boost = true;
+    cfg.sensors = ppg::SensorConfig::prototype_wristband();
+    cfg.sensors.rate_hz = rate;
+    bench::add_result_row(table, util::format_double(rate, 0),
+                          run_experiment(cfg));
+  }
+  table.print(std::cout,
+              "Fig. 16 - impact of sampling rate (4 channels, privacy "
+              "boost)");
+  std::printf("\n(paper: ~68%% at 30 Hz, little change above; works across "
+              "commodity-wearable rates)\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Reproduces Fig. 3: PPG measurements for different keystrokes of one
+// volunteer, on both PPG sensors.
+//
+// The paper's figure shows, per key 0-9 (arranged by pad layout), the
+// keystroke-induced waveform on sensor 1 and sensor 2.  This bench
+// regenerates those waveforms, prints per-key summary statistics that
+// make the figure's two claims checkable in text form —
+//   (a) different keys give visibly different waveforms for one user,
+//   (b) keystroke artifacts exceed heartbeat peaks —
+// and dumps the full series to fig3_waveforms.csv for plotting.
+#include <cstdio>
+#include <iostream>
+
+#include "core/preprocess.hpp"
+#include "core/segmentation.hpp"
+#include "sim/dataset.hpp"
+#include "signal/filters.hpp"
+#include "signal/stats.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace p2auth;
+
+int main() {
+  sim::PopulationConfig pop_cfg;
+  pop_cfg.num_users = 1;
+  pop_cfg.seed = 33;
+  const sim::Population population = sim::make_population(pop_cfg);
+  const ppg::UserProfile& volunteer = population.users.front();
+
+  util::Rng rng(808);
+  sim::TrialOptions options;  // 4-channel prototype
+
+  util::Table table({"key", "sensor1 peak|x|", "sensor1 stddev",
+                     "sensor2 peak|x|", "sensor2 stddev",
+                     "corr(s1, s2)"});
+  std::vector<std::string> csv_names;
+  std::vector<std::vector<double>> csv_columns;
+
+  // Baseline: heartbeat-only trace (no keystroke) for the amplitude claim.
+  double heartbeat_peak = 0.0;
+  {
+    util::Rng r = rng.fork("idle");
+    // Single keystroke by the *other* hand: the watch sees heartbeat only.
+    sim::TrialOptions idle = options;
+    idle.input_case = keystroke::InputCase::kTwoHandedTwo;
+    const sim::Trial t =
+        sim::make_trial(volunteer, keystroke::Pin("5555"), idle, r);
+    core::Observation obs{t.entry, t.trace};
+    const auto pre = core::preprocess_entry(obs);
+    const auto stats = signal::summarize(pre.detrended_reference);
+    heartbeat_peak = std::max(std::abs(stats.min), std::abs(stats.max));
+  }
+
+  double min_artifact_peak = 1e9;
+  std::vector<std::vector<double>> key_waveforms;
+  for (char key = '0'; key <= '9'; ++key) {
+    util::Rng r = rng.fork(std::string("key-") + key);
+    // A PIN of the same key four times isolates that key's artifact.
+    const keystroke::Pin pin(std::string(4, key));
+    const sim::Trial t = sim::make_trial(volunteer, pin, options, r);
+    core::Observation obs{t.entry, t.trace};
+    const auto pre = core::preprocess_entry(obs);
+    const auto segment = core::extract_segment(
+        pre.filtered, pre.calibrated_indices[1], pre.rate_hz);
+    const auto s1 = signal::remove_mean(segment[0]);  // sensor 1 infrared
+    const auto s2 = signal::remove_mean(segment[2]);  // sensor 2 infrared
+    const auto st1 = signal::summarize(s1);
+    const auto st2 = signal::summarize(s2);
+    const double peak1 = std::max(std::abs(st1.min), std::abs(st1.max));
+    const double peak2 = std::max(std::abs(st2.min), std::abs(st2.max));
+    min_artifact_peak = std::min(min_artifact_peak, peak1);
+    table.begin_row()
+        .cell(std::string(1, key))
+        .cell(peak1)
+        .cell(st1.stddev)
+        .cell(peak2)
+        .cell(st2.stddev)
+        .cell(signal::pearson_correlation(s1, s2));
+    csv_names.push_back(std::string("key") + key + "_sensor1");
+    csv_columns.push_back(s1);
+    csv_names.push_back(std::string("key") + key + "_sensor2");
+    csv_columns.push_back(s2);
+    key_waveforms.push_back(s1);
+  }
+
+  table.print(std::cout,
+              "Fig. 3 - keystroke-induced PPG per key (one volunteer, two "
+              "sensors)");
+
+  // Cross-key dissimilarity: mean pairwise correlation should be low.
+  double corr_sum = 0.0;
+  int pairs = 0;
+  for (std::size_t a = 0; a < key_waveforms.size(); ++a) {
+    for (std::size_t b = a + 1; b < key_waveforms.size(); ++b) {
+      corr_sum += signal::pearson_correlation(key_waveforms[a],
+                                              key_waveforms[b]);
+      ++pairs;
+    }
+  }
+  std::printf("\nheartbeat-only peak |detrended|: %.3f\n", heartbeat_peak);
+  std::printf("smallest keystroke artifact peak: %.3f (should exceed the "
+              "heartbeat peak)\n", min_artifact_peak);
+  std::printf("mean cross-key waveform correlation: %.3f (low => keys are "
+              "distinguishable)\n", corr_sum / pairs);
+  util::write_csv("fig3_waveforms.csv", csv_names, csv_columns);
+  std::printf("full series written to fig3_waveforms.csv\n");
+  return 0;
+}

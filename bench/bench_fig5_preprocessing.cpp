@@ -1,0 +1,109 @@
+// Reproduces Fig. 5: the data-preprocessing stages on one PIN entry.
+//
+//   (a) median-filtered signal with the (coarse) recorded keystroke times
+//   (b) signal and keystroke times after fine-grained calibration
+//   (c) signal after smoothness-priors de-trending
+//   (d) short-time energy of the de-trended signal
+//
+// The bench prints, per keystroke, the recorded index, the calibrated
+// index and the ground-truth index (simulator-only knowledge), showing
+// that calibration removes most of the communication-delay error; it
+// also verifies the energy detector fires at every true keystroke.  The
+// four stage series are dumped to fig5_preprocessing.csv.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/metrics.hpp"
+#include "core/preprocess.hpp"
+#include "sim/dataset.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace p2auth;
+
+int main() {
+  sim::PopulationConfig pop_cfg;
+  pop_cfg.num_users = 1;
+  pop_cfg.seed = 5;
+  const sim::Population population = sim::make_population(pop_cfg);
+  const ppg::UserProfile& user = population.users.front();
+
+  util::Rng rng(55);
+  sim::TrialOptions options;
+  const sim::Trial trial =
+      sim::make_trial(user, keystroke::Pin("1628"), options, rng);
+  core::Observation obs{trial.entry, trial.trace};
+  const auto pre = core::preprocess_entry(obs);
+
+  util::Table table({"keystroke", "recorded idx", "calibrated idx",
+                     "true press idx", "detected"});
+  for (std::size_t i = 0; i < pre.recorded_indices.size(); ++i) {
+    const auto true_idx = static_cast<long long>(
+        std::llround(trial.entry.events[i].true_time_s * pre.rate_hz));
+    table.begin_row()
+        .cell(std::string(1, trial.entry.pin.at(i)))
+        .cell(static_cast<long long>(pre.recorded_indices[i]))
+        .cell(static_cast<long long>(pre.calibrated_indices[i]))
+        .cell(true_idx)
+        .cell(pre.keystroke_present[i] ? "yes" : "no");
+  }
+  table.print(std::cout,
+              "Fig. 5 - preprocessing: keystroke time calibration and "
+              "energy detection (one entry)");
+  std::printf("detected case: %s (entry was one-handed)\n\n",
+              core::to_string(pre.detected_case).c_str());
+
+  // Calibration quality over many keystrokes.  Both timelines carry a
+  // systematic offset from the true press instant (communication delay
+  // for the recorded one; neuromuscular latency + artifact rise for the
+  // calibrated one); segmentation only cares about the *jitter* around
+  // that offset, so that is what we compare.
+  std::vector<double> rec_offsets, cal_offsets;
+  std::size_t detected_keystrokes = 0, total_keystrokes = 0;
+  util::Rng erng(77);
+  for (int e = 0; e < 12; ++e) {
+    util::Rng r = erng.fork(e);
+    const sim::Trial t =
+        sim::make_trial(user, keystroke::Pin("1628"), options, r);
+    const auto p = core::preprocess_entry({t.entry, t.trace});
+    for (std::size_t i = 0; i < p.recorded_indices.size(); ++i) {
+      const double true_idx = t.entry.events[i].true_time_s * p.rate_hz;
+      rec_offsets.push_back(
+          static_cast<double>(p.recorded_indices[i]) - true_idx);
+      cal_offsets.push_back(
+          static_cast<double>(p.calibrated_indices[i]) - true_idx);
+      detected_keystrokes += p.keystroke_present[i] ? 1 : 0;
+      ++total_keystrokes;
+    }
+  }
+  std::printf("over %zu keystrokes: recorded offset %.1f +- %.1f samples "
+              "(communication delay),\n", total_keystrokes,
+              core::mean(rec_offsets), core::stddev(rec_offsets));
+  std::printf("calibrated offset %.1f +- %.1f samples (stable artifact "
+              "landmark).\n", core::mean(cal_offsets),
+              core::stddev(cal_offsets));
+  std::printf("calibration removes the random delay when its jitter is "
+              "smaller: %.1f < %.1f => %s\n", core::stddev(cal_offsets),
+              core::stddev(rec_offsets),
+              core::stddev(cal_offsets) < core::stddev(rec_offsets)
+                  ? "yes"
+                  : "no");
+  std::printf("energy detector fired on %zu/%zu one-handed keystrokes\n",
+              detected_keystrokes, total_keystrokes);
+
+  // Dump the four stages for plotting.  Columns are padded to the raw
+  // trace length.
+  const std::size_t len = trial.trace.length();
+  auto pad = [&](std::vector<double> v) {
+    v.resize(len, 0.0);
+    return v;
+  };
+  util::write_csv(
+      "fig5_preprocessing.csv",
+      {"raw", "filtered", "detrended", "short_time_energy"},
+      {trial.trace.channels[0], pad(pre.filtered[0]),
+       pad(pre.detrended_reference), pad(pre.short_time_energy)});
+  std::printf("stage series written to fig5_preprocessing.csv\n");
+  return 0;
+}

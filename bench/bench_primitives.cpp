@@ -1,0 +1,112 @@
+// google-benchmark microbenchmarks of the pipeline's primitives: the
+// per-stage costs behind the real-time claim (Table I's "lightweight"
+// argument broken down by component).
+#include <benchmark/benchmark.h>
+
+#include "linalg/ridge.hpp"
+#include "ml/minirocket.hpp"
+#include "signal/detrend.hpp"
+#include "signal/dtw.hpp"
+#include "signal/energy.hpp"
+#include "signal/filters.hpp"
+#include "signal/peaks.hpp"
+#include "util/rng.hpp"
+
+using namespace p2auth;
+
+namespace {
+
+std::vector<double> noise_series(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.normal();
+  return x;
+}
+
+void BM_MedianFilter(benchmark::State& state) {
+  const auto x = noise_series(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::median_filter(x, 5));
+  }
+}
+BENCHMARK(BM_MedianFilter)->Arg(600)->Arg(2400);
+
+void BM_SavitzkyGolay(benchmark::State& state) {
+  const auto x = noise_series(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::savitzky_golay(x, 11, 3));
+  }
+}
+BENCHMARK(BM_SavitzkyGolay)->Arg(600)->Arg(2400);
+
+void BM_Detrend(benchmark::State& state) {
+  const auto x = noise_series(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::detrend_smoothness_priors(x));
+  }
+}
+BENCHMARK(BM_Detrend)->Arg(600)->Arg(2400);
+
+void BM_ShortTimeEnergy(benchmark::State& state) {
+  const auto x = noise_series(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::short_time_energy(x, 20));
+  }
+}
+BENCHMARK(BM_ShortTimeEnergy)->Arg(600)->Arg(2400);
+
+void BM_KeystrokeCalibration(benchmark::State& state) {
+  const auto x = noise_series(600, 5);
+  const std::vector<std::size_t> coarse = {100, 210, 320, 430};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::calibrate_keystrokes(x, coarse));
+  }
+}
+BENCHMARK(BM_KeystrokeCalibration);
+
+void BM_MiniRocketTransform(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<ml::Series> train(4, ml::Series(n));
+  util::Rng rng(6);
+  for (auto& s : train) {
+    for (double& v : s) v = rng.normal();
+  }
+  ml::MiniRocket rocket;
+  rocket.fit(train, rng);
+  const auto probe = noise_series(n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rocket.transform(probe));
+  }
+}
+BENCHMARK(BM_MiniRocketTransform)->Arg(90)->Arg(600);
+
+void BM_DtwDistance(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = noise_series(n, 8);
+  const auto b = noise_series(n, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::dtw_distance(a, b));
+  }
+}
+BENCHMARK(BM_DtwDistance)->Arg(90)->Arg(600);
+
+void BM_RidgeFit(benchmark::State& state) {
+  const std::size_t n = 60, p = 2000;
+  util::Rng rng(10);
+  linalg::Matrix x(n, p);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = i < n / 4 ? 1.0 : -1.0;
+    for (std::size_t j = 0; j < p; ++j) x(i, j) = rng.normal();
+  }
+  for (auto _ : state) {
+    linalg::RidgeClassifier clf;
+    clf.fit(x, y);
+    benchmark::DoNotOptimize(clf.bias());
+  }
+}
+BENCHMARK(BM_RidgeFit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+// Reproduces Table I: computational and memory overheads of the
+// ROCKET-based model vs the manual-feature (DTW) model, for the
+// enrollment and authentication phases.
+//
+// Paper reference (Intel i7-10750H):
+//            enrollment          authentication
+//   ROCKET   1.06 s / 378 MiB    0.302 s / 379 MiB
+//   manual   104.89 s / 368 MiB  10.57 s / 368 MiB
+// i.e. ROCKET needs ~1% of the training time and ~3% of the
+// authentication time at comparable memory.  Absolute numbers differ on
+// other hardware; the ratios are the result.
+#include <cstdio>
+#include <iostream>
+
+#include "core/enrollment.hpp"
+#include "core/preprocess.hpp"
+#include "core/segmentation.hpp"
+#include "ml/manual_baseline.hpp"
+#include "ml/minirocket.hpp"
+#include "signal/dtw.hpp"
+#include "sim/dataset.hpp"
+#include "util/resource.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace p2auth;
+
+namespace {
+
+std::vector<core::Series> full_waveform(const core::Observation& obs) {
+  const auto pre = core::preprocess_entry(obs);
+  std::size_t first = pre.calibrated_indices.empty()
+                          ? 0
+                          : pre.calibrated_indices.front();
+  for (std::size_t i = 0; i < pre.keystroke_present.size(); ++i) {
+    if (pre.keystroke_present[i]) {
+      first = pre.calibrated_indices[i];
+      break;
+    }
+  }
+  return core::extract_full_waveform(pre.filtered, first, pre.rate_hz);
+}
+
+}  // namespace
+
+int main() {
+  sim::PopulationConfig pop_cfg;
+  pop_cfg.num_users = 1;
+  pop_cfg.seed = 1;
+  const sim::Population population = sim::make_population(pop_cfg);
+  const ppg::UserProfile& user = population.users.front();
+  const keystroke::Pin pin("1628");
+
+  util::Rng rng(111);
+  sim::TrialOptions options;
+
+  std::vector<std::vector<core::Series>> pos, neg;
+  util::Rng er = rng.fork("enroll");
+  for (const auto& t : sim::make_trials(user, pin, 9, options, er)) {
+    pos.push_back(full_waveform({t.entry, t.trace}));
+  }
+  util::Rng pr = rng.fork("pool");
+  for (const auto& t :
+       sim::make_third_party_pool(population, 100, options, pr)) {
+    neg.push_back(full_waveform({t.entry, t.trace}));
+  }
+  util::Rng tr = rng.fork("probe");
+  std::vector<std::vector<core::Series>> probes;
+  for (int i = 0; i < 10; ++i) {
+    util::Rng r = tr.fork(100 + i);
+    const sim::Trial t = sim::make_trial(user, pin, options, r);
+    probes.push_back(full_waveform({t.entry, t.trace}));
+  }
+
+  // --- ROCKET-based model. ---
+  util::Stopwatch clock;
+  core::WaveformModel rocket_model;
+  util::Rng mr = rng.fork("model");
+  rocket_model.train(pos, neg, ml::MiniRocketOptions{},
+                     linalg::RidgeOptions{}, mr);
+  const double rocket_enroll_s = clock.seconds();
+  clock.restart();
+  int rocket_accepts = 0;
+  for (const auto& p : probes) rocket_accepts += rocket_model.accept(p);
+  const double rocket_auth_s = clock.seconds() / probes.size();
+  const double rocket_mem = util::current_rss_mib();
+
+  // --- Manual-feature (DTW) model.  Unbanded DTW, as in the reference
+  // method: this is precisely where its cost explodes. ---
+  ml::ManualBaselineOptions manual_options;  // band = 0: full DP
+  clock.restart();
+  ml::ManualBaseline manual_model(manual_options);
+  manual_model.fit(pos);
+  const double manual_enroll_s = clock.seconds();
+  clock.restart();
+  int manual_accepts = 0;
+  for (const auto& p : probes) manual_accepts += manual_model.accept(p);
+  const double manual_auth_s = clock.seconds() / probes.size();
+  const double manual_mem = util::current_rss_mib();
+
+  util::Table table({"model", "enroll time (s)", "auth time (s)",
+                     "RSS (MiB)"});
+  table.begin_row()
+      .cell("ROCKET-based")
+      .cell(rocket_enroll_s)
+      .cell(rocket_auth_s)
+      .cell(rocket_mem, 1);
+  table.begin_row()
+      .cell("manual feature-based")
+      .cell(manual_enroll_s)
+      .cell(manual_auth_s)
+      .cell(manual_mem, 1);
+  table.print(std::cout,
+              "Table I - computational and memory overheads "
+              "(9 enroll + 100 third-party samples, 10 probes)");
+  std::printf("\nROCKET/manual time ratios: enrollment %.1f%%, "
+              "authentication %.1f%% (paper: ~1%% and ~3%%)\n",
+              100.0 * rocket_enroll_s / manual_enroll_s,
+              100.0 * rocket_auth_s / manual_auth_s);
+  std::printf("(accept sanity: rocket %d/10, manual %d/10 legitimate "
+              "probes)\n", rocket_accepts, manual_accepts);
+  std::printf("\nNote: the paper's 100:1 enrollment ratio includes its "
+              "Python implementation overhead;\nthe asymptotic gap is the "
+              "reproducible part (DTW ~n^2 vs ROCKET ~n):\n\n");
+
+  // Scaling sweep: per-probe cost vs series length.  The DTW method's
+  // quadratic growth is what makes it unusable on-device.
+  util::Table scaling({"series length", "ROCKET transform (ms)",
+                       "DTW vs 9 templates (ms)", "ratio"});
+  util::Rng srng(9);
+  for (const std::size_t n : {300u, 600u, 1200u, 2400u}) {
+    std::vector<core::Series> probe(1, core::Series(n));
+    std::vector<std::vector<core::Series>> templates(
+        9, std::vector<core::Series>(1, core::Series(n)));
+    for (double& v : probe[0]) v = srng.normal();
+    for (auto& t : templates) {
+      for (double& v : t[0]) v = srng.normal();
+    }
+    ml::MiniRocketOptions ropt;
+    ml::MultiChannelMiniRocket rocket(ropt);
+    util::Rng fr = srng.fork(n);
+    rocket.fit(templates, fr);
+    util::Stopwatch sw;
+    for (int rep = 0; rep < 3; ++rep) (void)rocket.transform(probe);
+    const double rocket_ms = sw.milliseconds() / 3.0;
+    sw.restart();
+    double acc = 0.0;
+    for (const auto& t : templates) {
+      acc += signal::dtw_distance(probe[0], t[0]);
+    }
+    const double dtw_ms = sw.milliseconds();
+    scaling.begin_row()
+        .cell(static_cast<long long>(n))
+        .cell(rocket_ms, 2)
+        .cell(dtw_ms, 2)
+        .cell(dtw_ms / rocket_ms, 1);
+    (void)acc;
+  }
+  scaling.print(std::cout, "Per-probe cost scaling (1 channel)");
+  return 0;
+}

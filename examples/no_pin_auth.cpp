@@ -1,0 +1,100 @@
+// No-PIN authentication (paper section IV-B 2.6): the user never sets a
+// fixed PIN; identity is verified purely from the keystroke-induced PPG
+// patterns of whatever digits they type.
+//
+// Enrollment must cover the whole pad, so the user registers by typing
+// the five covering PINs a few times each.  At login the user types ANY
+// digit sequence; each keystroke is verified against that digit's
+// single-waveform model and >= 3 of 4 must pass.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/authenticator.hpp"
+#include "core/enrollment.hpp"
+#include "sim/attacks.hpp"
+#include "sim/dataset.hpp"
+
+using namespace p2auth;
+
+namespace {
+
+core::Observation observe(sim::Trial trial) {
+  return core::Observation{std::move(trial.entry), std::move(trial.trace)};
+}
+
+}  // namespace
+
+int main() {
+  sim::PopulationConfig pop_cfg;
+  pop_cfg.num_users = 1;
+  pop_cfg.seed = 31337;
+  const sim::Population population = sim::make_population(pop_cfg);
+  const ppg::UserProfile& user = population.users.front();
+
+  util::Rng rng(2718);
+  sim::TrialOptions options;
+
+  // --- Enrollment across the covering PIN set (18 entries). ---
+  const auto& pins = keystroke::paper_pins();
+  std::vector<core::Observation> positives, negatives;
+  util::Rng er = rng.fork("enroll");
+  for (int e = 0; e < 18; ++e) {
+    util::Rng r = er.fork(e);
+    positives.push_back(observe(
+        sim::make_trial(user, pins[e % pins.size()], options, r)));
+  }
+  util::Rng pr = rng.fork("pool");
+  for (sim::Trial& t :
+       sim::make_third_party_pool(population, 100, options, pr)) {
+    negatives.push_back(observe(std::move(t)));
+  }
+
+  core::EnrollmentConfig enrollment;
+  enrollment.train_full_model = false;  // no fixed PIN => per-key models only
+  const core::EnrolledUser enrolled = core::enroll_user(
+      keystroke::Pin() /* no PIN registered */, positives, negatives,
+      enrollment);
+  std::printf("No-PIN enrollment complete: %zu of 10 digit keys have "
+              "models\n\n", enrolled.stats.key_models_trained);
+
+  core::AuthOptions auth;
+  util::Rng t = rng.fork("attempts");
+
+  std::printf("--- the user types arbitrary digit sequences ---\n");
+  int accepted = 0, total = 0;
+  for (int i = 0; i < 6; ++i) {
+    util::Rng pin_rng = t.fork(1000 + i);
+    const keystroke::Pin random = sim::random_pin(pin_rng);
+    util::Rng r = t.fork(i);
+    const auto obs = observe(sim::make_trial(user, random, options, r));
+    const core::AuthResult result = authenticate(enrolled, obs, auth);
+    std::printf("typed %s -> %s (%zu/4 keystroke votes passed)\n",
+                random.digits().c_str(),
+                result.accepted ? "ACCEPT" : "REJECT",
+                static_cast<std::size_t>(std::count(result.votes.begin(),
+                                                    result.votes.end(), 1)));
+    accepted += result.accepted ? 1 : 0;
+    ++total;
+  }
+  std::printf("legitimate acceptance: %d/%d\n\n", accepted, total);
+
+  std::printf("--- attackers typing the same digits ---\n");
+  int rejected = 0, attacks = 0;
+  for (int i = 0; i < 6; ++i) {
+    util::Rng pin_rng = t.fork(2000 + i);
+    const keystroke::Pin random = sim::random_pin(pin_rng);
+    util::Rng r = t.fork(100 + i);
+    const auto obs = observe(sim::make_trial(
+        population.attackers[i % population.attackers.size()], random,
+        options, r));
+    const core::AuthResult result = authenticate(enrolled, obs, auth);
+    std::printf("attacker typed %s -> %s\n", random.digits().c_str(),
+                result.accepted ? "ACCEPT" : "REJECT");
+    rejected += result.accepted ? 0 : 1;
+    ++attacks;
+  }
+  std::printf("attacker rejection: %d/%d\n\n", rejected, attacks);
+  std::printf("No PIN to steal: shoulder-surfing the digits gains the "
+              "attacker nothing.\n");
+  return 0;
+}

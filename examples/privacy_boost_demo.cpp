@@ -1,0 +1,129 @@
+// Privacy boost (paper section IV-B 2.2): protecting the stored biometric
+// by fusing the four single-keystroke waveforms additively (Eq. 4) before
+// any template/model is built.
+//
+// If the enrollment database leaks, an attacker obtains only fused
+// waveforms.  This demo quantifies what the fusion hides: it measures how
+// well an "inversion" adversary can match a leaked fused waveform against
+// individual keystroke segments, and compares accuracy with/without the
+// boost.
+#include <cstdio>
+
+#include "core/authenticator.hpp"
+#include "core/enrollment.hpp"
+#include "core/preprocess.hpp"
+#include "core/segmentation.hpp"
+#include "signal/dtw.hpp"
+#include "sim/dataset.hpp"
+
+using namespace p2auth;
+
+namespace {
+
+core::Observation observe(sim::Trial trial) {
+  return core::Observation{std::move(trial.entry), std::move(trial.trace)};
+}
+
+// Preprocess + segment an entry into its single-keystroke waveforms.
+std::vector<std::vector<core::Series>> segments_of(
+    const core::Observation& obs) {
+  const auto pre = core::preprocess_entry(obs);
+  std::vector<std::vector<core::Series>> segments;
+  for (std::size_t i = 0; i < pre.keystroke_present.size(); ++i) {
+    if (!pre.keystroke_present[i]) continue;
+    segments.push_back(core::extract_segment(
+        pre.filtered, pre.calibrated_indices[i], pre.rate_hz));
+  }
+  return segments;
+}
+
+}  // namespace
+
+int main() {
+  sim::PopulationConfig pop_cfg;
+  pop_cfg.num_users = 1;
+  pop_cfg.seed = 4096;
+  const sim::Population population = sim::make_population(pop_cfg);
+  const ppg::UserProfile& user = population.users.front();
+  const keystroke::Pin pin("7412");
+
+  util::Rng rng(65536);
+  sim::TrialOptions options;
+
+  // Enrollment data.
+  std::vector<core::Observation> positives, negatives;
+  util::Rng er = rng.fork("enroll");
+  for (sim::Trial& t : sim::make_trials(user, pin, 9, options, er)) {
+    positives.push_back(observe(std::move(t)));
+  }
+  util::Rng pr = rng.fork("pool");
+  for (sim::Trial& t :
+       sim::make_third_party_pool(population, 100, options, pr)) {
+    negatives.push_back(observe(std::move(t)));
+  }
+
+  // Enroll twice: with and without the privacy boost.
+  core::EnrollmentConfig plain_cfg;
+  core::EnrollmentConfig boost_cfg;
+  boost_cfg.privacy_boost = true;
+  const core::EnrolledUser plain =
+      core::enroll_user(pin, positives, negatives, plain_cfg);
+  const core::EnrolledUser boosted =
+      core::enroll_user(pin, positives, negatives, boost_cfg);
+
+  // --- Usability cost: acceptance with vs without fusion. ---
+  core::AuthOptions auth;
+  util::Rng t = rng.fork("test");
+  int plain_accepts = 0, boost_accepts = 0;
+  const int attempts = 10;
+  for (int i = 0; i < attempts; ++i) {
+    util::Rng r = t.fork(i);
+    const auto obs = observe(sim::make_trial(user, pin, options, r));
+    plain_accepts += authenticate(plain, obs, auth).accepted ? 1 : 0;
+    boost_accepts += authenticate(boosted, obs, auth).accepted ? 1 : 0;
+  }
+  std::printf("acceptance without boost: %d/%d, with boost: %d/%d\n",
+              plain_accepts, attempts, boost_accepts, attempts);
+
+  // --- Privacy gain: how recognisable is a leaked template? ---
+  // The adversary holds one leaked waveform and tries to match it to a
+  // freshly observed single keystroke of the same user via DTW.  Without
+  // the boost the leak IS a single keystroke (direct match); with the
+  // boost the leak is a 4-way sum.
+  util::Rng leak_rng = rng.fork("leak");
+  const auto leak_obs = observe(sim::make_trial(user, pin, options, leak_rng));
+  const auto leak_segments = segments_of(leak_obs);
+  if (leak_segments.size() < 4) {
+    std::printf("(not enough detected keystrokes in the leaked entry)\n");
+    return 0;
+  }
+  const auto fused = core::fuse_segments(leak_segments);
+
+  util::Rng probe_rng = rng.fork("probe");
+  const auto probe_obs =
+      observe(sim::make_trial(user, pin, options, probe_rng));
+  const auto probe_segments = segments_of(probe_obs);
+
+  signal::DtwOptions dtw;
+  dtw.band = 20;
+  double direct = 0.0, via_fused = 0.0;
+  std::size_t matched = 0;
+  for (std::size_t k = 0;
+       k < std::min(leak_segments.size(), probe_segments.size()); ++k) {
+    direct += signal::dtw_distance_normalized(leak_segments[k][0],
+                                              probe_segments[k][0], dtw);
+    via_fused += signal::dtw_distance_normalized(fused[0],
+                                                 probe_segments[k][0], dtw);
+    ++matched;
+  }
+  direct /= static_cast<double>(matched);
+  via_fused /= static_cast<double>(matched);
+  std::printf("adversary's match distance to fresh keystrokes:\n");
+  std::printf("  leaked raw segment  -> %.3f (small: the leak is directly "
+              "reusable)\n", direct);
+  std::printf("  leaked fused (Eq.4) -> %.3f (%.1fx larger: individual "
+              "keystrokes are hidden)\n", via_fused, via_fused / direct);
+  std::printf("\nFusion trades a little acceptance for templates that no "
+              "longer expose per-key biometrics.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Quickstart: enroll one user and authenticate a few attempts.
+//
+// Walks the whole P2Auth flow on simulated hardware:
+//   1. build a small population (one legitimate user, attackers, third
+//      parties);
+//   2. enroll the user: 9 one-handed entries of their PIN + the
+//      third-party pool as the negative class;
+//   3. authenticate: the user's own later entries, a wrong-PIN attempt,
+//      and an emulating attacker who knows the PIN.
+#include <cstdio>
+
+#include "core/authenticator.hpp"
+#include "core/enrollment.hpp"
+#include "keystroke/pinpad.hpp"
+#include "sim/attacks.hpp"
+#include "sim/dataset.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace p2auth;
+
+namespace {
+
+core::Observation observe(sim::Trial trial) {
+  return core::Observation{std::move(trial.entry), std::move(trial.trace)};
+}
+
+void report(const char* what, const core::AuthResult& r) {
+  std::printf("%-34s -> %s  (case: %s, reason: %s)\n", what,
+              r.accepted ? "ACCEPT" : "REJECT",
+              core::to_string(r.detected_case).c_str(), r.reason.c_str());
+}
+
+}  // namespace
+
+int main() {
+  // A small cohort: the wearer plus attack/third-party populations.
+  sim::PopulationConfig pop_cfg;
+  pop_cfg.num_users = 1;
+  pop_cfg.seed = 42;
+  const sim::Population population = sim::make_population(pop_cfg);
+  const ppg::UserProfile& alice = population.users.front();
+  const keystroke::Pin pin("1628");
+
+  util::Rng rng(2024);
+  sim::TrialOptions trial_options;  // 4-channel prototype, one-handed
+
+  // --- Enrollment. ---
+  std::printf("Enrolling %s with PIN %s...\n", alice.name.c_str(),
+              pin.digits().c_str());
+  std::vector<core::Observation> positives;
+  util::Rng enroll_rng = rng.fork("enroll");
+  for (sim::Trial& t :
+       sim::make_trials(alice, pin, 9, trial_options, enroll_rng)) {
+    positives.push_back(observe(std::move(t)));
+  }
+  util::Rng pool_rng = rng.fork("pool");
+  std::vector<core::Observation> negatives;
+  for (sim::Trial& t :
+       sim::make_third_party_pool(population, 100, trial_options, pool_rng)) {
+    negatives.push_back(observe(std::move(t)));
+  }
+
+  util::Stopwatch clock;
+  core::EnrollmentConfig enrollment;
+  const core::EnrolledUser enrolled =
+      core::enroll_user(pin, positives, negatives, enrollment);
+  std::printf("Enrollment took %.2f s (%zu key models)\n\n", clock.seconds(),
+              enrolled.stats.key_models_trained);
+
+  // --- Authentication. ---
+  core::AuthOptions auth;
+  util::Rng test_rng = rng.fork("test");
+
+  clock.restart();
+  for (int i = 0; i < 3; ++i) {
+    util::Rng r = test_rng.fork(100 + i);
+    const auto obs = observe(sim::make_trial(alice, pin, trial_options, r));
+    report("legitimate user, correct PIN", core::authenticate(enrolled, obs, auth));
+  }
+  std::printf("(%.3f s per authentication)\n\n", clock.seconds() / 3.0);
+
+  {
+    util::Rng r = test_rng.fork("wrong-pin");
+    const auto obs =
+        observe(sim::make_trial(alice, keystroke::Pin("9999"), trial_options, r));
+    report("legitimate user, wrong PIN", core::authenticate(enrolled, obs, auth));
+  }
+  {
+    util::Rng r = test_rng.fork("two-handed");
+    sim::TrialOptions two_handed = trial_options;
+    two_handed.input_case = keystroke::InputCase::kTwoHandedThree;
+    const auto obs = observe(sim::make_trial(alice, pin, two_handed, r));
+    report("legitimate user, two-handed", core::authenticate(enrolled, obs, auth));
+  }
+  for (int i = 0; i < 3; ++i) {
+    util::Rng r = test_rng.fork(200 + i);
+    const auto obs = observe(sim::make_emulating_attack(
+        population.attackers[i % population.attackers.size()], alice, pin,
+        trial_options, sim::EmulationOptions{}, r));
+    report("emulating attacker, correct PIN", core::authenticate(enrolled, obs, auth));
+  }
+  return 0;
+}

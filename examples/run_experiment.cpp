@@ -1,0 +1,128 @@
+// Command-line experiment runner: evaluate the P2Auth pipeline under an
+// arbitrary configuration without writing code.
+//
+//   run_experiment [--users N] [--case one|double3|double2]
+//                  [--channels 1..4] [--rate HZ] [--boost] [--no-pin]
+//                  [--third-party N] [--enroll N] [--test N]
+//                  [--wearing inner|back] [--seed S]
+//
+// Prints per-user and mean accuracy / TRR for the configuration, i.e. a
+// custom row of the paper's Fig. 10-style tables.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/evaluation.hpp"
+#include "util/table.hpp"
+
+using namespace p2auth;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--users N] [--case one|double3|double2] "
+               "[--channels 1..4]\n"
+               "          [--rate HZ] [--boost] [--no-pin] "
+               "[--third-party N]\n"
+               "          [--enroll N] [--test N] [--wearing inner|back] "
+               "[--seed S]\n",
+               argv0);
+  std::exit(2);
+}
+
+long parse_long(const char* argv0, const char* value) {
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0') usage(argv0);
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ExperimentConfig cfg;
+  cfg.seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--users") {
+      cfg.population.num_users = static_cast<std::size_t>(
+          parse_long(argv[0], next()));
+    } else if (arg == "--case") {
+      const std::string c = next();
+      if (c == "one") {
+        cfg.test_case = keystroke::InputCase::kOneHanded;
+      } else if (c == "double3") {
+        cfg.test_case = keystroke::InputCase::kTwoHandedThree;
+      } else if (c == "double2") {
+        cfg.test_case = keystroke::InputCase::kTwoHandedTwo;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--channels") {
+      cfg.sensors = ppg::SensorConfig::with_channels(
+          static_cast<std::size_t>(parse_long(argv[0], next())));
+    } else if (arg == "--rate") {
+      cfg.sensors.rate_hz = static_cast<double>(parse_long(argv[0], next()));
+    } else if (arg == "--boost") {
+      cfg.privacy_boost = true;
+    } else if (arg == "--no-pin") {
+      cfg.no_pin = true;
+      cfg.enroll_entries = 18;
+    } else if (arg == "--third-party") {
+      cfg.third_party_samples =
+          static_cast<std::size_t>(parse_long(argv[0], next()));
+    } else if (arg == "--enroll") {
+      cfg.enroll_entries =
+          static_cast<std::size_t>(parse_long(argv[0], next()));
+    } else if (arg == "--test") {
+      cfg.test_entries =
+          static_cast<std::size_t>(parse_long(argv[0], next()));
+    } else if (arg == "--wearing") {
+      const std::string w = next();
+      if (w == "inner") {
+        cfg.wearing = ppg::WearingPosition::kInnerWrist;
+      } else if (w == "back") {
+        cfg.wearing = ppg::WearingPosition::kBackOfWrist;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(parse_long(argv[0], next()));
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  std::printf("Running: %zu users, %zu channels @ %.0f Hz, enroll %zu / "
+              "test %zu, third-party %zu%s%s\n\n",
+              cfg.population.num_users, cfg.sensors.channels.size(),
+              cfg.sensors.rate_hz, cfg.enroll_entries, cfg.test_entries,
+              cfg.third_party_samples, cfg.privacy_boost ? ", boost" : "",
+              cfg.no_pin ? ", no-PIN" : "");
+
+  const core::ExperimentResult result = run_experiment(cfg);
+  util::Table table(
+      {"user", "accuracy", "TRR (random)", "TRR (emulating)"});
+  for (const auto& u : result.per_user) {
+    table.begin_row()
+        .cell("user" + std::to_string(u.user_id))
+        .cell(100.0 * u.metrics.accuracy(), 1)
+        .cell(100.0 * u.metrics.trr_random(), 1)
+        .cell(100.0 * u.metrics.trr_emulating(), 1);
+  }
+  table.begin_row()
+      .cell("mean")
+      .cell(100.0 * result.mean_accuracy(), 1)
+      .cell(100.0 * result.mean_trr_random(), 1)
+      .cell(100.0 * result.mean_trr_emulating(), 1);
+  table.print(std::cout, "Results (%)");
+  return 0;
+}

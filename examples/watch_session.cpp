@@ -1,0 +1,156 @@
+// The paper's deployment story (section VI), end to end:
+//
+//   1. the watch is put on — wear detection via heart-rate status;
+//   2. the user authenticates ONCE (streaming, sample by sample);
+//   3. the session stays trusted while the heart-rate rhythm confirms
+//      continuous wear;
+//   4. the watch comes off — the session ends; putting it on again (or
+//      handing it to someone else) requires re-authentication;
+//   5. a sensitive action (payment) triggers a re-authentication, which
+//      an attacker wearing the stolen watch fails.
+#include <cstdio>
+
+#include "core/enrollment.hpp"
+#include "core/streaming.hpp"
+#include "ppg/activity.hpp"
+#include "ppg/heart_rate.hpp"
+#include "ppg/pulse_model.hpp"
+#include "sim/dataset.hpp"
+
+using namespace p2auth;
+
+namespace {
+
+core::Observation observe(sim::Trial trial) {
+  return core::Observation{std::move(trial.entry), std::move(trial.trace)};
+}
+
+// Streams a trial through the streaming authenticator.
+core::AuthResult stream_entry(core::StreamingAuthenticator& auth,
+                              const sim::Trial& trial) {
+  std::size_t next_event = 0;
+  std::vector<double> sample(trial.trace.num_channels());
+  for (std::size_t i = 0; i < trial.trace.length(); ++i) {
+    const double t = static_cast<double>(i) / trial.trace.rate_hz;
+    while (next_event < trial.entry.events.size() &&
+           trial.entry.events[next_event].recorded_time_s <= t) {
+      auth.push_keystroke(trial.entry.events[next_event].digit,
+                          trial.entry.events[next_event].recorded_time_s);
+      ++next_event;
+    }
+    for (std::size_t c = 0; c < sample.size(); ++c) {
+      sample[c] = trial.trace.channels[c][i];
+    }
+    auth.push_sample(sample);
+    if (auto result = auth.poll()) return *result;
+  }
+  if (auto result = auth.poll()) return *result;
+  core::AuthResult incomplete;
+  incomplete.reason = "entry incomplete";
+  return incomplete;
+}
+
+}  // namespace
+
+int main() {
+  sim::PopulationConfig pop_cfg;
+  pop_cfg.num_users = 1;
+  pop_cfg.seed = 777;
+  const sim::Population population = sim::make_population(pop_cfg);
+  const ppg::UserProfile& alice = population.users.front();
+  const ppg::UserProfile& thief = population.attackers.front();
+  const keystroke::Pin pin("6938");
+
+  util::Rng rng(888);
+  sim::TrialOptions options;
+
+  // Enrollment (once, at setup).
+  std::vector<core::Observation> pos, neg;
+  util::Rng er = rng.fork("enroll");
+  for (sim::Trial& t : sim::make_trials(alice, pin, 9, options, er)) {
+    pos.push_back(observe(std::move(t)));
+  }
+  util::Rng pr = rng.fork("pool");
+  for (sim::Trial& t :
+       sim::make_third_party_pool(population, 100, options, pr)) {
+    neg.push_back(observe(std::move(t)));
+  }
+  const core::EnrolledUser enrolled =
+      core::enroll_user(pin, pos, neg, core::EnrollmentConfig{});
+  std::printf("[setup]   alice enrolled with PIN %s\n\n",
+              pin.digits().c_str());
+
+  // 1. Watch put on: wear detection from 20 s of idle PPG.
+  {
+    util::Rng r = rng.fork("wear-on");
+    ppg::CardiacProfile cardiac = alice.cardiac;
+    auto idle = ppg::generate_cardiac(cardiac, 2000, 100.0, r);
+    for (double& v : idle) v += r.normal(0.0, 0.1);
+    const ppg::WearReport report = ppg::detect_wear(idle, 100.0);
+    std::printf("[wear-on] rhythm in %zu/%zu windows, median %.0f bpm => %s\n",
+                report.windows_with_rhythm, report.windows_total,
+                report.median_bpm, report.worn ? "WORN" : "not worn");
+  }
+
+  // 2. One streaming authentication opens the session.
+  core::StreamingAuthenticator streaming(enrolled, 100.0, 4);
+  {
+    util::Rng r = rng.fork("login");
+    const sim::Trial t = sim::make_trial(alice, pin, options, r);
+    const core::AuthResult result = stream_entry(streaming, t);
+    std::printf("[login]   streaming authentication: %s (%s)\n",
+                result.accepted ? "ACCEPT - session opened" : "REJECT",
+                result.reason.c_str());
+  }
+
+  // 2b. The user tries to pay while walking: the activity detector
+  // defers authentication until the wrist is static (paper section VI).
+  {
+    util::Rng r = rng.fork("walking");
+    sim::TrialOptions walking = options;
+    walking.activity = ppg::ActivityState::kWalking;
+    const sim::Trial t = sim::make_trial(alice, pin, walking, r);
+    const auto report =
+        ppg::detect_activity(t.trace.channels[0], t.trace.rate_hz);
+    std::printf("[motion]  gait band holds %.0f%% of PPG power => %s\n",
+                100.0 * report.gait_fraction,
+                report.state == ppg::ActivityState::kWalking
+                    ? "WALKING - authentication deferred"
+                    : "static");
+  }
+
+  // 3. Watch removed: the off-wrist stream shows no cardiac rhythm.
+  {
+    util::Rng r = rng.fork("wear-off");
+    std::vector<double> off(2000);
+    for (double& v : off) v = r.normal(0.0, 0.02);  // sensor facing air
+    const ppg::WearReport report = ppg::detect_wear(off, 100.0);
+    std::printf("[wear-off] rhythm in %zu/%zu windows => %s - session "
+                "closed\n", report.windows_with_rhythm,
+                report.windows_total,
+                report.worn ? "still worn?!" : "NOT WORN");
+  }
+
+  // 4. A thief puts the watch on (it detects wear again - a different
+  // heart, but wear detection alone cannot know that) and tries to pay
+  // with alice's shoulder-surfed PIN: re-authentication fails.
+  {
+    util::Rng r = rng.fork("thief-wear");
+    ppg::CardiacProfile cardiac = thief.cardiac;
+    auto idle = ppg::generate_cardiac(cardiac, 2000, 100.0, r);
+    for (double& v : idle) v += r.normal(0.0, 0.1);
+    const ppg::WearReport report = ppg::detect_wear(idle, 100.0);
+    std::printf("[thief]   watch worn again (median %.0f bpm) => "
+                "re-authentication required\n", report.median_bpm);
+    util::Rng ar = rng.fork("thief-auth");
+    const sim::Trial t = sim::make_trial(thief, pin, options, ar);
+    const core::AuthResult result = stream_entry(streaming, t);
+    std::printf("[payment] thief types alice's PIN: %s (%s)\n",
+                result.accepted ? "ACCEPTED?!" : "REJECTED",
+                result.reason.c_str());
+  }
+
+  std::printf("\nWear detection scopes the trusted session; the PPG factor "
+              "stops whoever picks the watch up next.\n");
+  return 0;
+}

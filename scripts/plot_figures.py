@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Plot the waveform CSVs that the bench binaries dump.
+
+The C++ benches reproduce the paper's *numbers*; this helper renders the
+qualitative waveform figures (Fig. 3, Fig. 5, Fig. 9) from their CSV
+dumps for visual comparison with the paper.
+
+Usage:
+    # after running the benches (they write CSVs into the cwd):
+    python3 scripts/plot_figures.py [--dir DIR] [--out DIR]
+
+Requires matplotlib; degrades to a clear error message without it.
+"""
+import argparse
+import csv
+import os
+import sys
+
+
+def read_csv_columns(path):
+    """Reads a numeric CSV written by util::write_csv into {name: [..]}."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        columns = {name: [] for name in header}
+        for row in reader:
+            for name, value in zip(header, row):
+                columns[name].append(float(value))
+    return columns
+
+
+def plot_fig3(columns, out_path, plt):
+    """Per-key keystroke waveforms, arranged by PIN-pad layout."""
+    layout = ["1", "2", "3", "4", "5", "6", "7", "8", "9", "0"]
+    fig, axes = plt.subplots(4, 3, figsize=(10, 10), sharey=True)
+    positions = {
+        "1": (0, 0), "2": (0, 1), "3": (0, 2),
+        "4": (1, 0), "5": (1, 1), "6": (1, 2),
+        "7": (2, 0), "8": (2, 1), "9": (2, 2),
+        "0": (3, 1),
+    }
+    for axis in axes.flat:
+        axis.set_axis_off()
+    for key in layout:
+        row, col = positions[key]
+        axis = axes[row][col]
+        axis.set_axis_on()
+        axis.plot(columns[f"key{key}_sensor1"], lw=0.9, label="sensor 1")
+        axis.plot(columns[f"key{key}_sensor2"], lw=0.9, label="sensor 2")
+        axis.set_title(f"key {key}", fontsize=9)
+        axis.tick_params(labelsize=7)
+    axes[0][0].legend(fontsize=7)
+    fig.suptitle("Fig. 3 — keystroke-induced PPG per key (one volunteer)")
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+    print(f"wrote {out_path}")
+
+
+def plot_fig5(columns, out_path, plt):
+    """Preprocessing stages."""
+    fig, axes = plt.subplots(4, 1, figsize=(10, 9), sharex=True)
+    for axis, name in zip(
+            axes, ["raw", "filtered", "detrended", "short_time_energy"]):
+        axis.plot(columns[name], lw=0.8)
+        axis.set_ylabel(name, fontsize=8)
+        axis.tick_params(labelsize=7)
+    axes[-1].set_xlabel("sample (100 Hz)")
+    fig.suptitle("Fig. 5 — preprocessing stages")
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+    print(f"wrote {out_path}")
+
+
+def plot_fig9(columns, out_path, plt):
+    """Same PIN, four users."""
+    fig, axes = plt.subplots(len(columns), 1, figsize=(10, 8), sharex=True)
+    for axis, (name, series) in zip(axes, columns.items()):
+        axis.plot(series, lw=0.8)
+        axis.set_ylabel(name, fontsize=8)
+        axis.tick_params(labelsize=7)
+    axes[-1].set_xlabel("sample (100 Hz)")
+    fig.suptitle('Fig. 9 — PPG of PIN "1648" across users (IR channel)')
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+    print(f"wrote {out_path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default=".",
+                        help="directory holding the bench CSV dumps")
+    parser.add_argument("--out", default=".",
+                        help="directory for the rendered PNGs")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    os.makedirs(args.out, exist_ok=True)
+    jobs = [
+        ("fig3_waveforms.csv", plot_fig3, "fig3_waveforms.png"),
+        ("fig5_preprocessing.csv", plot_fig5, "fig5_preprocessing.png"),
+        ("fig9_user_waveforms.csv", plot_fig9, "fig9_user_waveforms.png"),
+    ]
+    plotted = 0
+    for csv_name, plotter, png_name in jobs:
+        path = os.path.join(args.dir, csv_name)
+        if not os.path.exists(path):
+            print(f"skip {csv_name} (not found; run the matching bench "
+                  "binary first)")
+            continue
+        plotter(read_csv_columns(path), os.path.join(args.out, png_name),
+                plt)
+        plotted += 1
+    if plotted == 0:
+        sys.exit("no CSV dumps found — run the bench binaries first")
+
+
+if __name__ == "__main__":
+    main()

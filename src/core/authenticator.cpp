@@ -1,0 +1,138 @@
+#include "core/authenticator.hpp"
+
+#include <algorithm>
+
+#include "keystroke/pinpad.hpp"
+
+namespace p2auth::core {
+
+namespace {
+
+// Verifies detected keystrokes with the per-key models and counts
+// passing votes.  Missing key models vote -1 (fail safe).
+std::vector<int> vote_keystrokes(const EnrolledUser& user,
+                                 const PreprocessedEntry& pre,
+                                 const Observation& observation,
+                                 const AuthOptions& options) {
+  std::vector<int> votes;
+  for (std::size_t i = 0; i < pre.keystroke_present.size(); ++i) {
+    if (!pre.keystroke_present[i]) continue;
+    const char digit = observation.entry.pin.at(i);
+    if (!user.has_key_model(digit)) {
+      votes.push_back(-1);
+      continue;
+    }
+    const std::vector<Series> segment =
+        extract_segment(pre.filtered, pre.calibrated_indices[i], pre.rate_hz,
+                        options.segmentation);
+    const std::size_t k = keystroke::key_index(digit);
+    votes.push_back(user.key_models[k]->accept(segment) ? 1 : -1);
+  }
+  return votes;
+}
+
+std::size_t passing(const std::vector<int>& votes) {
+  return static_cast<std::size_t>(
+      std::count(votes.begin(), votes.end(), 1));
+}
+
+}  // namespace
+
+AuthResult authenticate(const EnrolledUser& user,
+                        const Observation& observation,
+                        const AuthOptions& options) {
+  AuthResult result;
+
+  // --- Factor 1: PIN verification. ---
+  if (!user.pin.empty() && !options.skip_pin_check) {
+    result.pin_checked = true;
+    result.pin_ok = (observation.entry.pin == user.pin);
+    if (!result.pin_ok) {
+      result.reason = "wrong PIN";
+      return result;
+    }
+  } else {
+    result.pin_ok = true;  // no-PIN mode: factor 1 not used
+  }
+
+  // --- Preprocessing & input case identification. ---
+  const PreprocessedEntry pre =
+      preprocess_entry(observation, options.preprocess);
+  result.detected_case = pre.detected_case;
+  if (pre.detected_case == DetectedCase::kRejected) {
+    result.reason = "too few keystrokes detected in PPG";
+    return result;
+  }
+
+  // --- Factor 2: keystroke-induced PPG verification. ---
+  if (pre.detected_case == DetectedCase::kOneHanded) {
+    if (user.pin.empty()) {
+      // No-PIN mode: verify each keystroke; >= 3 of 4 must pass.
+      result.votes = vote_keystrokes(user, pre, observation, options);
+      result.accepted = passing(result.votes) >= 3;
+      result.reason = result.accepted ? "no-PIN keystroke pattern verified"
+                                      : "no-PIN keystroke pattern rejected";
+      return result;
+    }
+    if (user.privacy_boost && user.boost_model.has_value()) {
+      // Fused single-keystroke waveform (privacy boost).
+      std::vector<std::vector<Series>> segments;
+      for (std::size_t i = 0; i < pre.keystroke_present.size(); ++i) {
+        if (!pre.keystroke_present[i]) continue;
+        segments.push_back(extract_segment(pre.filtered,
+                                           pre.calibrated_indices[i],
+                                           pre.rate_hz, options.segmentation));
+      }
+      const std::vector<Series> fused = fuse_segments(segments);
+      result.waveform_score = user.boost_model->decision(fused);
+      result.accepted = result.waveform_score >= 0.0;
+      result.reason = result.accepted ? "boost model accepted"
+                                      : "boost model rejected";
+      return result;
+    }
+    if (!user.full_model.has_value()) {
+      result.reason = "no full-waveform model enrolled";
+      return result;
+    }
+    std::size_t first = pre.calibrated_indices.front();
+    for (std::size_t i = 0; i < pre.keystroke_present.size(); ++i) {
+      if (pre.keystroke_present[i]) {
+        first = pre.calibrated_indices[i];
+        break;
+      }
+    }
+    const std::vector<Series> full = extract_full_waveform(
+        pre.filtered, first, pre.rate_hz, options.segmentation);
+    result.waveform_score = user.full_model->decision(full);
+    result.accepted = result.waveform_score >= 0.0;
+    result.reason =
+        result.accepted ? "full model accepted" : "full model rejected";
+    return result;
+  }
+
+  // Two-handed cases: single-waveform models + results integration.
+  result.votes = vote_keystrokes(user, pre, observation, options);
+  const std::size_t pass = passing(result.votes);
+  switch (options.integration) {
+    case IntegrationPolicy::kPaper:
+      if (pre.detected_case == DetectedCase::kTwoHandedThree) {
+        result.accepted = pass >= 2;  // 2-of-3
+      } else {
+        result.accepted =
+            (pass == result.votes.size()) && !result.votes.empty();
+      }
+      break;
+    case IntegrationPolicy::kAll:
+      result.accepted =
+          (pass == result.votes.size()) && !result.votes.empty();
+      break;
+    case IntegrationPolicy::kAny:
+      result.accepted = pass >= 1;
+      break;
+  }
+  result.reason = result.accepted ? "keystroke votes accepted"
+                                  : "keystroke votes rejected";
+  return result;
+}
+
+}  // namespace p2auth::core

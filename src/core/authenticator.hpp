@@ -1,0 +1,60 @@
+// Authentication Phase (paper section IV-B 3): PIN verification, input
+// case dispatch, per-case classification and results integration.
+//
+// Decision policy (paper):
+//   * wrong PIN (when one is registered)        -> reject;
+//   * <= 1 keystroke detected in the PPG        -> reject (too little
+//     biometric evidence for a safe decision);
+//   * 4 detected (one-handed): full-waveform model, or the privacy-boost
+//     (fused) model when the user opted in;
+//   * 3 detected: per-key single-waveform models; accept when >= 2 pass;
+//   * 2 detected: both must pass;
+//   * no-PIN mode: the PIN check is skipped and all detected keystrokes
+//     are verified with per-key models (>= 3 of 4 must pass for a
+//     one-handed entry; two-handed rules as above).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/enrollment.hpp"
+#include "core/types.hpp"
+
+namespace p2auth::core {
+
+// Results-integration policy for two-handed cases (the paper's choice is
+// kPaper; the others are ablation baselines).
+enum class IntegrationPolicy {
+  kPaper,  // 3 detected: >= 2 pass; 2 detected: all pass
+  kAll,    // every detected keystroke must pass
+  kAny,    // any passing keystroke accepts (insecure baseline)
+};
+
+struct AuthOptions {
+  PreprocessOptions preprocess{};
+  SegmentationOptions segmentation{};
+  IntegrationPolicy integration = IntegrationPolicy::kPaper;
+  // Factor-isolation switch used by the attack experiments: when true the
+  // PIN check is skipped so the PPG factor alone is evaluated (see
+  // EXPERIMENTS.md on how the paper's random-attack TRR is interpreted).
+  bool skip_pin_check = false;
+};
+
+struct AuthResult {
+  bool accepted = false;
+  bool pin_checked = false;  // false in no-PIN mode
+  bool pin_ok = false;
+  DetectedCase detected_case = DetectedCase::kRejected;
+  // Per detected keystroke: +1 (model accepted), -1 (model rejected).
+  std::vector<int> votes;
+  // Decision value of the full/boost model when it was consulted.
+  double waveform_score = 0.0;
+  std::string reason;
+};
+
+// Runs two-factor authentication of `observation` against `user`.
+AuthResult authenticate(const EnrolledUser& user,
+                        const Observation& observation,
+                        const AuthOptions& options = {});
+
+}  // namespace p2auth::core

@@ -1,0 +1,34 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+
+namespace p2auth::core {
+
+double AuthMetrics::far() const noexcept {
+  OutcomeTally pooled = random_attack;
+  pooled.merge(emulating_attack);
+  return pooled.acceptance_rate();
+}
+
+void AuthMetrics::merge(const AuthMetrics& other) noexcept {
+  legitimate.merge(other.legitimate);
+  random_attack.merge(other.random_attack);
+  emulating_attack.merge(other.emulating_attack);
+}
+
+double mean(const std::vector<double>& values) noexcept {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (const double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double stddev(const std::vector<double>& values) noexcept {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double s = 0.0;
+  for (const double v : values) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(values.size()));
+}
+
+}  // namespace p2auth::core

@@ -1,0 +1,64 @@
+// Evaluation metrics (paper section V-B).
+//
+//   * Authentication accuracy — probability a legitimate user is
+//     accepted (usability).
+//   * True rejection rate (TRR) — probability an attacker is rejected
+//     (security), reported separately for random and emulating attacks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace p2auth::core {
+
+// Tallies accept/reject outcomes for one population of attempts.
+struct OutcomeTally {
+  std::size_t accepted = 0;
+  std::size_t total = 0;
+
+  void add(bool was_accepted) noexcept {
+    accepted += was_accepted ? 1 : 0;
+    ++total;
+  }
+  // Acceptance rate; 0 when empty.
+  double acceptance_rate() const noexcept {
+    return total == 0 ? 0.0
+                      : static_cast<double>(accepted) /
+                            static_cast<double>(total);
+  }
+  // Rejection rate; 1 when empty (vacuously rejecting).
+  double rejection_rate() const noexcept {
+    return 1.0 - acceptance_rate();
+  }
+  void merge(const OutcomeTally& other) noexcept {
+    accepted += other.accepted;
+    total += other.total;
+  }
+};
+
+struct AuthMetrics {
+  OutcomeTally legitimate;  // accuracy = acceptance_rate
+  OutcomeTally random_attack;
+  OutcomeTally emulating_attack;
+
+  double accuracy() const noexcept { return legitimate.acceptance_rate(); }
+  double trr_random() const noexcept {
+    return random_attack.rejection_rate();
+  }
+  double trr_emulating() const noexcept {
+    return emulating_attack.rejection_rate();
+  }
+  // False acceptance rate pooled over both attack types.
+  double far() const noexcept;
+  // False rejection rate of legitimate attempts.
+  double frr() const noexcept { return legitimate.rejection_rate(); }
+
+  void merge(const AuthMetrics& other) noexcept;
+};
+
+// Mean of a vector of doubles; 0 for empty input.
+double mean(const std::vector<double>& values) noexcept;
+// Population standard deviation; 0 for fewer than 2 values.
+double stddev(const std::vector<double>& values) noexcept;
+
+}  // namespace p2auth::core

@@ -1,0 +1,127 @@
+#include "core/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "signal/detrend.hpp"
+#include "signal/filters.hpp"
+
+namespace p2auth::core {
+
+namespace {
+
+// Scales a 100 Hz-referenced sample count to `rate_hz`, keeping it odd
+// when `keep_odd` (filter windows must stay odd).
+std::size_t scaled(std::size_t count_100hz, double rate_hz, bool keep_odd) {
+  const double f = rate_hz / 100.0;
+  auto s = static_cast<std::size_t>(
+      std::max(1.0, std::round(static_cast<double>(count_100hz) * f)));
+  if (keep_odd && s % 2 == 0) ++s;
+  return s;
+}
+
+}  // namespace
+
+std::string to_string(DetectedCase c) {
+  switch (c) {
+    case DetectedCase::kOneHanded:
+      return "one-handed";
+    case DetectedCase::kTwoHandedThree:
+      return "two-handed-3";
+    case DetectedCase::kTwoHandedTwo:
+      return "two-handed-2";
+    case DetectedCase::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+DetectedCase classify_case(std::size_t detected_count) noexcept {
+  switch (detected_count) {
+    case 4:
+      return DetectedCase::kOneHanded;
+    case 3:
+      return DetectedCase::kTwoHandedThree;
+    case 2:
+      return DetectedCase::kTwoHandedTwo;
+    default:
+      return DetectedCase::kRejected;
+  }
+}
+
+PreprocessedEntry preprocess_entry(const Observation& observation,
+                                   const PreprocessOptions& options) {
+  const ppg::MultiChannelTrace& trace = observation.trace;
+  if (trace.channels.empty() || trace.length() == 0) {
+    throw std::invalid_argument("preprocess_entry: empty trace");
+  }
+  if (options.reference_channel >= trace.num_channels()) {
+    throw std::invalid_argument("preprocess_entry: bad reference channel");
+  }
+  // A corrupted sensor stream must never silently reach the classifier.
+  for (const Series& ch : trace.channels) {
+    if (ch.size() != trace.length()) {
+      throw std::invalid_argument("preprocess_entry: ragged channels");
+    }
+    for (const double v : ch) {
+      if (!std::isfinite(v)) {
+        throw std::invalid_argument(
+            "preprocess_entry: non-finite sample in trace");
+      }
+    }
+  }
+  const double rate = trace.rate_hz;
+
+  PreprocessedEntry out;
+  out.rate_hz = rate;
+
+  // 1.1 Noise Removal: median filter per channel.
+  const std::size_t median_w =
+      scaled(options.median_window_100hz, rate, /*keep_odd=*/true);
+  out.filtered.reserve(trace.num_channels());
+  for (const Series& ch : trace.channels) {
+    out.filtered.push_back(signal::median_filter(ch, median_w));
+  }
+
+  // 1.2 Fine-grained Keystroke Time Calibration on the reference channel.
+  out.recorded_indices =
+      keystroke::recorded_indices(observation.entry, rate, trace.length());
+  signal::CalibrationOptions calib = options.calibration;
+  calib.sg_window = scaled(calib.sg_window, rate, /*keep_odd=*/true);
+  calib.objective_window =
+      scaled(calib.objective_window, rate, /*keep_odd=*/false);
+  calib.search_half_width =
+      scaled(calib.search_half_width, rate, /*keep_odd=*/false);
+  // Guard: SG window must stay larger than the polynomial order.
+  calib.sg_window = std::max<std::size_t>(
+      calib.sg_window, static_cast<std::size_t>(calib.sg_polyorder) + 2 +
+                           ((calib.sg_polyorder % 2) ? 0 : 1));
+  if (calib.sg_window % 2 == 0) ++calib.sg_window;
+  const Series& reference = out.filtered[options.reference_channel];
+  out.calibrated_indices =
+      options.calibrate
+          ? signal::calibrate_keystrokes(reference, out.recorded_indices,
+                                         calib)
+          : out.recorded_indices;
+
+  // 1.3 PIN Input Case Identification: detrend, then threshold the
+  // short-time energy near each calibrated keystroke.
+  out.detrended_reference =
+      options.detrend_before_energy
+          ? signal::detrend_smoothness_priors(reference,
+                                              options.detrend_lambda)
+          : reference;
+  signal::EnergyDetectorOptions energy = options.energy;
+  energy.energy_window = scaled(energy.energy_window, rate, false);
+  energy.search_half_width = scaled(energy.search_half_width, rate, false);
+  out.short_time_energy =
+      signal::short_time_energy(out.detrended_reference, energy.energy_window);
+  out.keystroke_present = signal::detect_keystrokes(
+      out.detrended_reference, out.calibrated_indices, energy);
+  out.detected_case =
+      classify_case(signal::count_detected(out.keystroke_present));
+  return out;
+}
+
+}  // namespace p2auth::core

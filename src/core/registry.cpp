@@ -1,0 +1,105 @@
+#include "core/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/serialization.hpp"
+#include "util/serialize.hpp"
+
+namespace p2auth::core {
+
+void UserRegistry::add(const std::string& name, EnrolledUser user) {
+  if (name.empty()) {
+    throw std::invalid_argument("UserRegistry::add: empty name");
+  }
+  const auto [it, inserted] = users_.emplace(name, std::move(user));
+  (void)it;
+  if (!inserted) {
+    throw std::invalid_argument("UserRegistry::add: duplicate name '" +
+                                name + "'");
+  }
+}
+
+bool UserRegistry::remove(const std::string& name) {
+  return users_.erase(name) > 0;
+}
+
+const EnrolledUser* UserRegistry::find(const std::string& name) const {
+  const auto it = users_.find(name);
+  return it == users_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> UserRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(users_.size());
+  for (const auto& [name, user] : users_) out.push_back(name);
+  return out;
+}
+
+AuthResult UserRegistry::verify(const std::string& name,
+                                const Observation& observation,
+                                const AuthOptions& options) const {
+  const EnrolledUser* user = find(name);
+  if (user == nullptr) {
+    throw std::invalid_argument("UserRegistry::verify: unknown user '" +
+                                name + "'");
+  }
+  return authenticate(*user, observation, options);
+}
+
+UserRegistry::IdentifyResult UserRegistry::identify(
+    const Observation& observation, const AuthOptions& options) const {
+  if (users_.empty()) {
+    throw std::logic_error("UserRegistry::identify: empty registry");
+  }
+  IdentifyResult result;
+  const PreprocessedEntry pre =
+      preprocess_entry(observation, options.preprocess);
+  result.detected_case = pre.detected_case;
+  if (pre.detected_case != DetectedCase::kOneHanded) {
+    return result;  // identification needs the full-waveform evidence
+  }
+  std::size_t first = pre.calibrated_indices.front();
+  for (std::size_t i = 0; i < pre.keystroke_present.size(); ++i) {
+    if (pre.keystroke_present[i]) {
+      first = pre.calibrated_indices[i];
+      break;
+    }
+  }
+  const std::vector<Series> full = extract_full_waveform(
+      pre.filtered, first, pre.rate_hz, options.segmentation);
+  for (const auto& [name, user] : users_) {
+    if (!user.full_model.has_value() || !user.full_model->trained()) {
+      continue;
+    }
+    result.scores.emplace_back(name, user.full_model->decision(full));
+  }
+  std::sort(result.scores.begin(), result.scores.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (!result.scores.empty() && result.scores.front().second >= 0.0) {
+    result.identity = result.scores.front().first;
+  }
+  return result;
+}
+
+void UserRegistry::save(std::ostream& os) const {
+  util::write_string(os, "p2auth-registry.v1", "");
+  util::write_u64(os, "count", users_.size());
+  for (const auto& [name, user] : users_) {
+    util::write_string(os, "name", name);
+    save_enrolled_user(user, os);
+  }
+}
+
+UserRegistry UserRegistry::load(std::istream& is) {
+  (void)util::read_string(is, "p2auth-registry.v1");
+  const std::uint64_t count = util::read_u64(is, "count");
+  UserRegistry registry;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string name = util::read_string(is, "name");
+    registry.add(name, load_enrolled_user(is));
+  }
+  return registry;
+}
+
+}  // namespace p2auth::core

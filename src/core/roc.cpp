@@ -1,0 +1,109 @@
+#include "core/roc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p2auth::core {
+
+RocCurve compute_roc(std::span<const double> genuine,
+                     std::span<const double> impostor) {
+  if (genuine.empty() || impostor.empty()) {
+    throw std::invalid_argument("compute_roc: empty score list");
+  }
+  // Candidate thresholds: every distinct score, plus sentinels.
+  std::vector<double> thresholds(genuine.begin(), genuine.end());
+  thresholds.insert(thresholds.end(), impostor.begin(), impostor.end());
+  std::sort(thresholds.begin(), thresholds.end(), std::greater<>());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  RocCurve curve;
+  curve.points.reserve(thresholds.size() + 2);
+  auto rate_at = [](std::span<const double> scores, double threshold) {
+    std::size_t n = 0;
+    for (const double s : scores) n += (s >= threshold) ? 1 : 0;
+    return static_cast<double>(n) / static_cast<double>(scores.size());
+  };
+  // Start above every score (accept nothing).
+  curve.points.push_back({thresholds.front() + 1.0, 0.0, 0.0});
+  for (const double t : thresholds) {
+    curve.points.push_back({t, rate_at(genuine, t), rate_at(impostor, t)});
+  }
+  // End below every score (accept everything).
+  curve.points.push_back({thresholds.back() - 1.0, 1.0, 1.0});
+  return curve;
+}
+
+double RocCurve::auc() const {
+  double area = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double dx =
+        points[i].false_accept_rate - points[i - 1].false_accept_rate;
+    const double y =
+        0.5 * (points[i].true_accept_rate + points[i - 1].true_accept_rate);
+    area += dx * y;
+  }
+  return area;
+}
+
+namespace {
+
+// Finds the crossing of FRR(=1-TAR) and FAR along the curve and
+// interpolates linearly.
+std::pair<double, double> find_eer(const std::vector<RocPoint>& points) {
+  double prev_diff = (1.0 - points.front().true_accept_rate) -
+                     points.front().false_accept_rate;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double diff = (1.0 - points[i].true_accept_rate) -
+                        points[i].false_accept_rate;
+    if ((prev_diff >= 0.0 && diff <= 0.0) ||
+        (prev_diff <= 0.0 && diff >= 0.0)) {
+      const double denom = prev_diff - diff;
+      const double alpha = denom == 0.0 ? 0.0 : prev_diff / denom;
+      const double far =
+          points[i - 1].false_accept_rate +
+          alpha * (points[i].false_accept_rate -
+                   points[i - 1].false_accept_rate);
+      const double frr = (1.0 - points[i - 1].true_accept_rate) +
+                         alpha * ((1.0 - points[i].true_accept_rate) -
+                                  (1.0 - points[i - 1].true_accept_rate));
+      const double threshold =
+          points[i - 1].threshold +
+          alpha * (points[i].threshold - points[i - 1].threshold);
+      return {0.5 * (far + frr), threshold};
+    }
+    prev_diff = diff;
+  }
+  // No crossing (degenerate): report the endpoint.
+  return {points.back().false_accept_rate, points.back().threshold};
+}
+
+}  // namespace
+
+double RocCurve::eer() const { return find_eer(points).first; }
+
+double RocCurve::eer_threshold() const { return find_eer(points).second; }
+
+double d_prime(std::span<const double> genuine,
+               std::span<const double> impostor) {
+  if (genuine.empty() || impostor.empty()) {
+    throw std::invalid_argument("d_prime: empty score list");
+  }
+  auto moments = [](std::span<const double> v) {
+    double m = 0.0;
+    for (const double x : v) m += x;
+    m /= static_cast<double>(v.size());
+    double var = 0.0;
+    for (const double x : v) var += (x - m) * (x - m);
+    var /= static_cast<double>(v.size());
+    return std::pair{m, var};
+  };
+  const auto [mg, vg] = moments(genuine);
+  const auto [mi, vi] = moments(impostor);
+  const double pooled = std::sqrt(0.5 * (vg + vi));
+  if (pooled < 1e-300) return mg > mi ? 1e9 : 0.0;
+  return (mg - mi) / pooled;
+}
+
+}  // namespace p2auth::core

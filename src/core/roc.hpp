@@ -1,0 +1,47 @@
+// ROC analysis over decision scores.
+//
+// The paper reports fixed-threshold accuracy/TRR; for deeper analysis
+// (and the ablation benches) we also expose the full trade-off curve:
+// given genuine and impostor decision scores, compute the ROC, its AUC
+// and the equal error rate (EER) — the operating point where false
+// acceptance equals false rejection.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace p2auth::core {
+
+struct RocPoint {
+  double threshold = 0.0;
+  double true_accept_rate = 0.0;   // fraction of genuine >= threshold
+  double false_accept_rate = 0.0;  // fraction of impostor >= threshold
+};
+
+struct RocCurve {
+  // Points ordered by descending threshold (FAR non-decreasing).
+  std::vector<RocPoint> points;
+
+  // Area under the ROC (trapezoidal); 1.0 = perfect separation,
+  // 0.5 = chance.
+  double auc() const;
+
+  // Equal error rate and the threshold achieving it (linear
+  // interpolation between bracketing points).
+  double eer() const;
+  double eer_threshold() const;
+};
+
+// Builds the ROC from genuine (should accept) and impostor (should
+// reject) decision scores.  Both lists must be non-empty; throws
+// std::invalid_argument otherwise.
+RocCurve compute_roc(std::span<const double> genuine,
+                     std::span<const double> impostor);
+
+// d-prime separability index: (mu_g - mu_i) / sqrt((var_g + var_i) / 2).
+// 0 = indistinguishable; > 2 = strong biometric.
+double d_prime(std::span<const double> genuine,
+               std::span<const double> impostor);
+
+}  // namespace p2auth::core

@@ -1,0 +1,58 @@
+// Waveform Segmentation (paper section IV-B 2.5) and the privacy-boost
+// waveform fusion (section IV-B 2.2, Eq. (4)).
+//
+// Segment geometry follows the paper: with a mean inter-keystroke
+// interval of ~1.1 s, a 90-sample window at 100 Hz (0.9 s) around each
+// calibrated keystroke avoids overlapping adjacent keystrokes.  The full
+// waveform used by the one-handed model is a fixed-span window anchored
+// at the first keystroke, so every full-waveform sample has one length
+// regardless of the user's cadence.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/preprocess.hpp"
+#include "core/types.hpp"
+
+namespace p2auth::core {
+
+struct SegmentationOptions {
+  // Single-keystroke window: 0.9 s total (90 samples at 100 Hz), placed
+  // asymmetrically around the calibrated index: the artifact develops
+  // after the press, so more window goes to the right.
+  double segment_before_s = 0.3;
+  double segment_after_s = 0.6;
+  // Full waveform window: starts `full_lead_s` before the first
+  // calibrated keystroke and spans `full_span_s`.
+  double full_lead_s = 0.5;
+  double full_span_s = 6.0;
+};
+
+// Extracts one single-keystroke segment (all channels) centered on the
+// calibrated index.  Windows are clamped at trace edges and zero-padded
+// to the nominal length so all segments at one rate agree in length.
+std::vector<Series> extract_segment(const std::vector<Series>& channels,
+                                    std::size_t center_index, double rate_hz,
+                                    const SegmentationOptions& options = {});
+
+// Extracts the fixed-span full waveform anchored at the first calibrated
+// keystroke.
+std::vector<Series> extract_full_waveform(
+    const std::vector<Series>& channels, std::size_t first_index,
+    double rate_hz, const SegmentationOptions& options = {});
+
+// Privacy boost (Eq. 4): per-channel additive fusion of K single-
+// keystroke segments.  All segments must agree in channel count and
+// length; throws std::invalid_argument otherwise.
+std::vector<Series> fuse_segments(
+    const std::vector<std::vector<Series>>& segments);
+
+// Nominal single-segment length at a rate (for tests and model sizing).
+std::size_t segment_length(double rate_hz,
+                           const SegmentationOptions& options = {});
+// Nominal full-waveform length at a rate.
+std::size_t full_waveform_length(double rate_hz,
+                                 const SegmentationOptions& options = {});
+
+}  // namespace p2auth::core

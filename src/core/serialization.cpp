@@ -1,0 +1,108 @@
+#include "core/serialization.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace p2auth::core {
+
+void save_waveform_model(const WaveformModel& model, std::ostream& os) {
+  if (!model.trained()) {
+    throw std::logic_error("save_waveform_model: not trained");
+  }
+  util::write_string(os, "waveform-model.v1", "");
+  model.rocket().save(os);
+  model.ridge().save(os);
+  util::write_double(os, "threshold", model.threshold());
+}
+
+WaveformModel load_waveform_model(std::istream& is) {
+  (void)util::read_string(is, "waveform-model.v1");
+  ml::MultiChannelMiniRocket rocket = ml::MultiChannelMiniRocket::load(is);
+  linalg::RidgeClassifier ridge = linalg::RidgeClassifier::load(is);
+  const double threshold = util::read_double(is, "threshold");
+  return WaveformModel::from_parts(std::move(rocket), std::move(ridge),
+                                   threshold);
+}
+
+void save_enrolled_user(const EnrolledUser& user, std::ostream& os) {
+  util::write_string(os, "p2auth-enrolled-user.v1", "");
+  util::write_string(os, "pin", user.pin.digits());
+  util::write_bool(os, "privacy_boost", user.privacy_boost);
+  util::write_u64(os, "stats.full_positives", user.stats.full_positives);
+  util::write_u64(os, "stats.full_negatives", user.stats.full_negatives);
+  util::write_u64(os, "stats.segment_positives",
+                  user.stats.segment_positives);
+  util::write_u64(os, "stats.segment_negatives",
+                  user.stats.segment_negatives);
+  util::write_u64(os, "stats.key_models", user.stats.key_models_trained);
+
+  util::write_bool(os, "has_full_model", user.full_model.has_value());
+  if (user.full_model.has_value()) save_waveform_model(*user.full_model, os);
+  util::write_bool(os, "has_boost_model", user.boost_model.has_value());
+  if (user.boost_model.has_value()) {
+    save_waveform_model(*user.boost_model, os);
+  }
+  for (std::size_t k = 0; k < user.key_models.size(); ++k) {
+    util::write_bool(os, "has_key_model", user.key_models[k].has_value());
+    if (user.key_models[k].has_value()) {
+      save_waveform_model(*user.key_models[k], os);
+    }
+  }
+}
+
+EnrolledUser load_enrolled_user(std::istream& is) {
+  (void)util::read_string(is, "p2auth-enrolled-user.v1");
+  EnrolledUser user;
+  user.pin = keystroke::Pin(util::read_string(is, "pin"));
+  user.privacy_boost = util::read_bool(is, "privacy_boost");
+  user.stats.full_positives = util::read_u64(is, "stats.full_positives");
+  user.stats.full_negatives = util::read_u64(is, "stats.full_negatives");
+  user.stats.segment_positives =
+      util::read_u64(is, "stats.segment_positives");
+  user.stats.segment_negatives =
+      util::read_u64(is, "stats.segment_negatives");
+  user.stats.key_models_trained = util::read_u64(is, "stats.key_models");
+
+  if (util::read_bool(is, "has_full_model")) {
+    user.full_model = load_waveform_model(is);
+  }
+  if (util::read_bool(is, "has_boost_model")) {
+    user.boost_model = load_waveform_model(is);
+  }
+  for (std::size_t k = 0; k < user.key_models.size(); ++k) {
+    if (util::read_bool(is, "has_key_model")) {
+      user.key_models[k] = load_waveform_model(is);
+    }
+  }
+  if (user.privacy_boost && !user.boost_model.has_value()) {
+    throw std::runtime_error(
+        "load_enrolled_user: privacy boost set without a boost model");
+  }
+  return user;
+}
+
+void save_enrolled_user_file(const EnrolledUser& user,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_enrolled_user_file: cannot open " + path);
+  }
+  save_enrolled_user(user, out);
+  if (!out) {
+    throw std::runtime_error("save_enrolled_user_file: write failed: " +
+                             path);
+  }
+}
+
+EnrolledUser load_enrolled_user_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_enrolled_user_file: cannot open " + path);
+  }
+  return load_enrolled_user(in);
+}
+
+}  // namespace p2auth::core

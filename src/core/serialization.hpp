@@ -1,0 +1,30 @@
+// Persistence of enrolled users.
+//
+// An enrollment is expensive (the user types 9+ PINs) and its models must
+// survive device restarts, so EnrolledUser serialises to a versioned text
+// format.  Loading validates tags and shapes and throws
+// std::runtime_error on any inconsistency — a corrupted model store must
+// never silently authenticate.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/enrollment.hpp"
+
+namespace p2auth::core {
+
+// Streams a trained WaveformModel (MiniRocket + ridge + threshold).
+void save_waveform_model(const WaveformModel& model, std::ostream& os);
+WaveformModel load_waveform_model(std::istream& is);
+
+// Streams a full enrolled user (PIN, flags, stats, all models).
+void save_enrolled_user(const EnrolledUser& user, std::ostream& os);
+EnrolledUser load_enrolled_user(std::istream& is);
+
+// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_enrolled_user_file(const EnrolledUser& user,
+                             const std::string& path);
+EnrolledUser load_enrolled_user_file(const std::string& path);
+
+}  // namespace p2auth::core

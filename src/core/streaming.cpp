@@ -1,0 +1,87 @@
+#include "core/streaming.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace p2auth::core {
+
+StreamingAuthenticator::StreamingAuthenticator(const EnrolledUser& user,
+                                               double rate_hz,
+                                               std::size_t channels,
+                                               StreamingOptions options)
+    : user_(user),
+      rate_hz_(rate_hz),
+      channels_(channels),
+      options_(options) {
+  if (rate_hz <= 0.0) {
+    throw std::invalid_argument(
+        "StreamingAuthenticator: rate must be positive");
+  }
+  if (channels == 0) {
+    throw std::invalid_argument("StreamingAuthenticator: need channels");
+  }
+  if (options_.tail_s < 0.0 || options_.timeout_s <= 0.0) {
+    throw std::invalid_argument("StreamingAuthenticator: bad time limits");
+  }
+  trace_.rate_hz = rate_hz;
+  trace_.channels.assign(channels, {});
+}
+
+void StreamingAuthenticator::push_sample(std::span<const double> sample) {
+  if (sample.size() != channels_) {
+    throw std::invalid_argument(
+        "StreamingAuthenticator::push_sample: channel count mismatch");
+  }
+  for (std::size_t c = 0; c < channels_; ++c) {
+    trace_.channels[c].push_back(sample[c]);
+  }
+}
+
+void StreamingAuthenticator::push_keystroke(char digit,
+                                            double recorded_time_s) {
+  keystroke::KeystrokeEvent event;
+  event.digit = digit;  // validity checked by Pin construction below
+  event.recorded_time_s = recorded_time_s;
+  event.true_time_s = recorded_time_s;  // truth is unknown on-device
+  entry_.events.push_back(event);
+  std::string digits = entry_.pin.digits();
+  digits.push_back(digit);
+  entry_.pin = keystroke::Pin(digits);  // throws on non-digit
+}
+
+double StreamingAuthenticator::buffered_seconds() const noexcept {
+  return static_cast<double>(trace_.length()) / rate_hz_;
+}
+
+void StreamingAuthenticator::reset() {
+  for (auto& ch : trace_.channels) ch.clear();
+  entry_ = keystroke::EntryRecord{};
+}
+
+std::optional<AuthResult> StreamingAuthenticator::poll() {
+  if (trace_.length() == 0) return std::nullopt;
+
+  if (buffered_seconds() > options_.timeout_s) {
+    reset();
+    AuthResult timed_out;
+    timed_out.accepted = false;
+    timed_out.reason = "attempt timed out";
+    return timed_out;
+  }
+
+  std::size_t expected = options_.expected_keystrokes;
+  if (expected == 0) {
+    expected = user_.pin.empty() ? 4 : user_.pin.length();
+  }
+  if (entry_.events.size() < expected) return std::nullopt;
+
+  // Wait for the artifact tail after the final keystroke.
+  const double last = entry_.events.back().recorded_time_s;
+  if (buffered_seconds() < last + options_.tail_s) return std::nullopt;
+
+  Observation observation{entry_, trace_};
+  reset();
+  return authenticate(user_, observation, options_.auth);
+}
+
+}  // namespace p2auth::core

@@ -1,0 +1,70 @@
+// Streaming (on-device) authentication front-end.
+//
+// The batch API (core/authenticator.hpp) takes a complete Observation.
+// On a real watch the PPG arrives sample by sample and the phone's
+// keystroke log event by event; this class buffers both, decides when an
+// attempt is complete (all expected keystrokes seen and the artifact tail
+// fully captured) and then runs the standard pipeline.  It also enforces
+// an attempt timeout so a half-typed PIN cannot pin memory forever.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/authenticator.hpp"
+#include "core/enrollment.hpp"
+
+namespace p2auth::core {
+
+struct StreamingOptions {
+  AuthOptions auth{};
+  // Seconds of PPG required after the last keystroke before deciding
+  // (must cover the artifact tail and the segmentation window).
+  double tail_s = 0.9;
+  // An attempt older than this (since the first buffered sample) is
+  // abandoned with a rejection.
+  double timeout_s = 30.0;
+  // Keystrokes expected per attempt; 0 = derive from the enrolled PIN
+  // (or 4 in no-PIN mode).
+  std::size_t expected_keystrokes = 0;
+};
+
+class StreamingAuthenticator {
+ public:
+  // `user` must outlive the authenticator.  `rate_hz` and `channels`
+  // describe the incoming PPG stream.  Throws std::invalid_argument on a
+  // non-positive rate or zero channels.
+  StreamingAuthenticator(const EnrolledUser& user, double rate_hz,
+                         std::size_t channels,
+                         StreamingOptions options = {});
+
+  // Pushes one multi-channel PPG sample (size must equal `channels`).
+  void push_sample(std::span<const double> sample);
+
+  // Pushes one keystroke event from the phone (recorded timestamp is on
+  // the stream clock: seconds since the first pushed sample).
+  void push_keystroke(char digit, double recorded_time_s);
+
+  // Checks whether an attempt is decidable; returns the decision and
+  // resets for the next attempt, or std::nullopt while incomplete.  A
+  // timed-out attempt yields a rejection with reason "attempt timed out".
+  std::optional<AuthResult> poll();
+
+  // Drops all buffered data.
+  void reset();
+
+  double buffered_seconds() const noexcept;
+  std::size_t num_keystrokes() const noexcept {
+    return entry_.events.size();
+  }
+
+ private:
+  const EnrolledUser& user_;
+  double rate_hz_;
+  std::size_t channels_;
+  StreamingOptions options_;
+  ppg::MultiChannelTrace trace_;
+  keystroke::EntryRecord entry_;
+};
+
+}  // namespace p2auth::core

@@ -1,0 +1,36 @@
+// Shared types of the P2Auth core pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "keystroke/events.hpp"
+#include "ppg/simulator.hpp"
+
+namespace p2auth::core {
+
+using Series = std::vector<double>;
+
+// What the deployed system observes for one authentication attempt: the
+// smartphone's keystroke log and the wearable's raw PPG stream.
+//
+// NOTE: keystroke::EntryRecord carries simulator ground truth
+// (true_time_s, hand) used only by tests and data-generation code.  The
+// pipeline reads nothing but `entry.pin` digits and
+// `events[i].recorded_time_s`.
+struct Observation {
+  keystroke::EntryRecord entry;
+  ppg::MultiChannelTrace trace;
+};
+
+// Input case decided by the PIN Input Case Identification module.
+enum class DetectedCase {
+  kOneHanded,       // 4 keystrokes detected in the PPG
+  kTwoHandedThree,  // 3 detected
+  kTwoHandedTwo,    // 2 detected
+  kRejected,        // <= 1 detected: too little evidence, reject
+};
+
+std::string to_string(DetectedCase c);
+
+}  // namespace p2auth::core

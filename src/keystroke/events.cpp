@@ -1,0 +1,35 @@
+#include "keystroke/events.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p2auth::keystroke {
+
+std::vector<KeystrokeEvent> EntryRecord::watch_hand_events() const {
+  std::vector<KeystrokeEvent> out;
+  for (const auto& e : events) {
+    if (e.hand == Hand::kWatchHand) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<std::size_t> recorded_indices(const EntryRecord& entry,
+                                          double rate_hz,
+                                          std::size_t trace_length) {
+  if (rate_hz <= 0.0) {
+    throw std::invalid_argument("recorded_indices: rate must be positive");
+  }
+  std::vector<std::size_t> out;
+  out.reserve(entry.events.size());
+  for (const auto& e : entry.events) {
+    const double idx = std::round(e.recorded_time_s * rate_hz);
+    const auto clamped = static_cast<std::size_t>(std::max(0.0, idx));
+    out.push_back(trace_length == 0
+                      ? 0
+                      : std::min(trace_length - 1, clamped));
+  }
+  return out;
+}
+
+}  // namespace p2auth::keystroke

@@ -1,0 +1,46 @@
+// Keystroke event records.
+//
+// Two timelines exist for every keystroke:
+//   * the *true* instant the fingertip hit the key (ground truth inside
+//     the simulator — the physical event the PPG artifact is locked to);
+//   * the *recorded* instant the smartphone logged, which lags/leads the
+//     truth by the smartphone<->wearable communication delay.
+// The preprocessing pipeline only ever sees the recorded timeline plus the
+// PPG trace; the fine-grained calibration step recovers the true timing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "keystroke/pinpad.hpp"
+
+namespace p2auth::keystroke {
+
+// Which hand performed the keystroke.  The smartwatch only observes
+// keystrokes made by the watch-wearing hand.
+enum class Hand { kWatchHand, kOtherHand };
+
+struct KeystrokeEvent {
+  char digit = '0';
+  double true_time_s = 0.0;      // ground truth (simulator-only)
+  double recorded_time_s = 0.0;  // what the phone logged
+  Hand hand = Hand::kWatchHand;
+};
+
+// One PIN-entry attempt: the PIN typed and its keystroke events in order.
+struct EntryRecord {
+  Pin pin;
+  std::vector<KeystrokeEvent> events;
+
+  // Events performed by the watch-wearing hand (the only ones whose
+  // artifacts appear in the PPG trace).
+  std::vector<KeystrokeEvent> watch_hand_events() const;
+};
+
+// Converts recorded event times to sample indices at `rate_hz`, clamped to
+// [0, trace_length).  Throws std::invalid_argument for non-positive rates.
+std::vector<std::size_t> recorded_indices(const EntryRecord& entry,
+                                          double rate_hz,
+                                          std::size_t trace_length);
+
+}  // namespace p2auth::keystroke

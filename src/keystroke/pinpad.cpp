@@ -1,0 +1,46 @@
+#include "keystroke/pinpad.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace p2auth::keystroke {
+
+KeyPosition key_position(char digit) {
+  if (digit < '0' || digit > '9') {
+    throw std::invalid_argument("key_position: not a digit key");
+  }
+  if (digit == '0') return {1.0, 3.0};
+  const int v = digit - '1';  // 0..8
+  return {static_cast<double>(v % 3), static_cast<double>(v / 3)};
+}
+
+std::size_t key_index(char digit) {
+  if (digit < '0' || digit > '9') {
+    throw std::invalid_argument("key_index: not a digit key");
+  }
+  return static_cast<std::size_t>(digit - '0');
+}
+
+Pin::Pin(std::string_view digits) : digits_(digits) {
+  for (const char c : digits_) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("Pin: non-digit character");
+    }
+  }
+}
+
+const std::vector<Pin>& paper_pins() {
+  static const std::vector<Pin> pins = {
+      Pin("1628"), Pin("3570"), Pin("5094"), Pin("6938"), Pin("7412")};
+  return pins;
+}
+
+double key_travel_distance(char from, char to) {
+  const KeyPosition a = key_position(from);
+  const KeyPosition b = key_position(to);
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace p2auth::keystroke

@@ -1,0 +1,68 @@
+// PIN pad model: key identities, layout geometry and PIN parsing.
+//
+// The geometry matters to the simulator because the wrist-muscle
+// configuration while reaching a key depends on where the key is on the
+// pad (paper Fig. 3 arranges per-key PPG responses by pad layout).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2auth::keystroke {
+
+// A key on the 10-digit PIN pad ('0'..'9').
+struct Key {
+  char digit = '0';
+
+  friend bool operator==(const Key&, const Key&) = default;
+};
+
+// Position of a key on the standard 4-row phone PIN pad, in key units:
+//   1 2 3
+//   4 5 6
+//   7 8 9
+//     0
+struct KeyPosition {
+  double x = 0.0;  // column: 0, 1, 2
+  double y = 0.0;  // row:    0 (top) .. 3 (bottom)
+};
+
+// Returns the pad position of a digit key; non-digit characters throw
+// std::invalid_argument.
+KeyPosition key_position(char digit);
+
+// Index 0..9 of a digit key (identity mapping for '0'..'9'); non-digits
+// throw std::invalid_argument.
+std::size_t key_index(char digit);
+
+// A PIN is an ordered sequence of digit keys.
+class Pin {
+ public:
+  Pin() = default;
+  // Parses a digit string; any non-digit character throws
+  // std::invalid_argument.  Empty PINs are allowed (the no-PIN mode).
+  explicit Pin(std::string_view digits);
+
+  const std::string& digits() const noexcept { return digits_; }
+  std::size_t length() const noexcept { return digits_.size(); }
+  char at(std::size_t i) const { return digits_.at(i); }
+  bool empty() const noexcept { return digits_.empty(); }
+
+  friend bool operator==(const Pin&, const Pin&) = default;
+
+ private:
+  std::string digits_;
+};
+
+// The five PINs used in the paper's data collection.
+const std::vector<Pin>& paper_pins();
+
+// Euclidean distance between two keys on the pad (used by the timing
+// model: larger travel -> slightly longer inter-key interval).
+double key_travel_distance(char from, char to);
+
+}  // namespace p2auth::keystroke

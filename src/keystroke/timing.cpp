@@ -1,0 +1,82 @@
+#include "keystroke/timing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p2auth::keystroke {
+
+TimingProfile TimingProfile::sample(util::Rng& rng) {
+  TimingProfile p;
+  p.mean_interval_s = rng.normal(1.1, 0.12);
+  p.mean_interval_s = std::clamp(p.mean_interval_s, 0.8, 1.5);
+  p.cadence_jitter = rng.uniform(0.04, 0.09);
+  p.keystroke_jitter_s = rng.uniform(0.03, 0.08);
+  p.travel_s_per_key = rng.uniform(0.02, 0.05);
+  p.lead_in_s = rng.uniform(0.6, 1.0);
+  return p;
+}
+
+std::size_t watch_hand_count(InputCase input_case) noexcept {
+  switch (input_case) {
+    case InputCase::kOneHanded:
+      return 4;
+    case InputCase::kTwoHandedThree:
+      return 3;
+    case InputCase::kTwoHandedTwo:
+      return 2;
+  }
+  return 4;
+}
+
+EntryRecord generate_entry(const Pin& pin, const TimingProfile& profile,
+                           InputCase input_case, util::Rng& rng) {
+  if (pin.empty()) {
+    throw std::invalid_argument("generate_entry: empty PIN");
+  }
+  EntryRecord entry;
+  entry.pin = pin;
+
+  // Per-entry cadence factor (a user types a whole entry a bit faster or
+  // slower than their average).
+  const double cadence =
+      std::max(0.5, rng.normal(1.0, profile.cadence_jitter));
+
+  double t = profile.lead_in_s + rng.uniform(0.0, 0.2);
+  for (std::size_t i = 0; i < pin.length(); ++i) {
+    KeystrokeEvent e;
+    e.digit = pin.at(i);
+    if (i > 0) {
+      const double travel =
+          profile.travel_s_per_key * key_travel_distance(pin.at(i - 1), e.digit);
+      double interval = profile.mean_interval_s * cadence + travel +
+                        rng.normal(0.0, profile.keystroke_jitter_s);
+      interval = std::max(0.35, interval);
+      t += interval;
+    }
+    e.true_time_s = t;
+    e.recorded_time_s =
+        t + rng.uniform(profile.comm_delay_lo_s, profile.comm_delay_hi_s);
+    entry.events.push_back(e);
+  }
+
+  // Hand assignment: choose which keystroke positions belong to the watch
+  // hand.
+  const std::size_t watch_n =
+      std::min(watch_hand_count(input_case), entry.events.size());
+  std::vector<std::size_t> positions = rng.permutation(entry.events.size());
+  positions.resize(watch_n);
+  std::sort(positions.begin(), positions.end());
+  for (auto& e : entry.events) e.hand = Hand::kOtherHand;
+  for (const std::size_t p : positions) {
+    entry.events[p].hand = Hand::kWatchHand;
+  }
+  return entry;
+}
+
+double entry_duration_s(const EntryRecord& entry, double tail_s) {
+  double last = 0.0;
+  for (const auto& e : entry.events) last = std::max(last, e.true_time_s);
+  return last + tail_s;
+}
+
+}  // namespace p2auth::keystroke

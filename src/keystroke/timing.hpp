@@ -1,0 +1,55 @@
+// Keystroke timing model.
+//
+// Generates per-entry keystroke schedules matching the paper's
+// measurements: mean inter-keystroke interval ~= 1.1 s with per-user
+// cadence, small per-key jitter, slightly longer travel between distant
+// keys, and a random smartphone<->wearable communication delay that makes
+// the *recorded* timestamps coarse (the motivation for the fine-grained
+// calibration module).
+#pragma once
+
+#include "keystroke/events.hpp"
+#include "keystroke/pinpad.hpp"
+#include "util/rng.hpp"
+
+namespace p2auth::keystroke {
+
+struct TimingProfile {
+  // Mean inter-keystroke interval in seconds (paper: ~1.1 s average).
+  double mean_interval_s = 1.1;
+  // Per-entry cadence jitter (std dev of a multiplicative factor).
+  double cadence_jitter = 0.06;
+  // Per-keystroke timing jitter std dev (seconds).
+  double keystroke_jitter_s = 0.05;
+  // Additional seconds of travel time per key-unit of pad distance.
+  double travel_s_per_key = 0.03;
+  // Lead-in before the first keystroke (seconds).
+  double lead_in_s = 0.8;
+  // Communication delay: recorded = true + delay, delay ~ U(lo, hi).
+  double comm_delay_lo_s = 0.02;
+  double comm_delay_hi_s = 0.25;
+
+  // Draws a profile around these defaults with user-specific variation.
+  static TimingProfile sample(util::Rng& rng);
+};
+
+// Hand-assignment policy for an entry.
+enum class InputCase {
+  kOneHanded,      // all keystrokes by the watch hand
+  kTwoHandedThree, // 3 of 4 keystrokes by the watch hand
+  kTwoHandedTwo,   // 2 of 4 keystrokes by the watch hand
+};
+
+// Number of watch-hand keystrokes implied by a case for a 4-digit PIN.
+std::size_t watch_hand_count(InputCase input_case) noexcept;
+
+// Generates the keystroke schedule for one PIN entry.  All keystrokes get
+// true times; hands are assigned per `input_case` (watch-hand keystrokes
+// chosen uniformly at random among positions, preserving order).
+EntryRecord generate_entry(const Pin& pin, const TimingProfile& profile,
+                           InputCase input_case, util::Rng& rng);
+
+// Total duration to simulate for an entry (last keystroke + tail).
+double entry_duration_s(const EntryRecord& entry, double tail_s = 1.2);
+
+}  // namespace p2auth::keystroke

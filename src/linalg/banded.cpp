@@ -1,0 +1,127 @@
+#include "linalg/banded.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace p2auth::linalg {
+
+SymmetricBanded::SymmetricBanded(std::size_t n, std::size_t bandwidth)
+    : n_(n), bw_(bandwidth), diag_(bandwidth + 1) {
+  if (bandwidth >= n && n > 0) {
+    throw std::invalid_argument("SymmetricBanded: bandwidth >= n");
+  }
+  for (std::size_t d = 0; d <= bw_; ++d) diag_[d].assign(n_ - d, 0.0);
+}
+
+double SymmetricBanded::at(std::size_t i, std::size_t j) const noexcept {
+  const std::size_t lo = std::min(i, j);
+  const std::size_t d = std::max(i, j) - lo;
+  if (d > bw_ || std::max(i, j) >= n_) return 0.0;
+  return diag_[d][lo];
+}
+
+void SymmetricBanded::set(std::size_t i, std::size_t j, double v) {
+  const std::size_t lo = std::min(i, j);
+  const std::size_t d = std::max(i, j) - lo;
+  if (d > bw_ || std::max(i, j) >= n_) {
+    throw std::out_of_range("SymmetricBanded::set outside band");
+  }
+  diag_[d][lo] = v;
+}
+
+void SymmetricBanded::add(std::size_t i, std::size_t j, double v) {
+  const std::size_t lo = std::min(i, j);
+  const std::size_t d = std::max(i, j) - lo;
+  if (d > bw_ || std::max(i, j) >= n_) {
+    throw std::out_of_range("SymmetricBanded::add outside band");
+  }
+  diag_[d][lo] += v;
+}
+
+std::vector<double> SymmetricBanded::multiply(
+    std::span<const double> x) const {
+  if (x.size() != n_) {
+    throw std::invalid_argument("SymmetricBanded::multiply: size");
+  }
+  std::vector<double> y(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double s = diag_[0][i] * x[i];
+    for (std::size_t d = 1; d <= bw_; ++d) {
+      if (i + d < n_) s += diag_[d][i] * x[i + d];
+      if (i >= d) s += diag_[d][i - d] * x[i - d];
+    }
+    y[i] = s;
+  }
+  return y;
+}
+
+SymmetricBanded SymmetricBanded::smoothness_prior(std::size_t n,
+                                                  double lambda) {
+  if (n < 3) {
+    throw std::invalid_argument("smoothness_prior: need n >= 3");
+  }
+  SymmetricBanded a(n, 2);
+  const double l2 = lambda * lambda;
+  // D2 row r (r = 0..n-3) has entries [1, -2, 1] at columns r, r+1, r+2.
+  // Accumulate D2^T D2 by rows of D2.
+  for (std::size_t r = 0; r + 2 < n; ++r) {
+    const double c[3] = {1.0, -2.0, 1.0};
+    for (std::size_t a_i = 0; a_i < 3; ++a_i) {
+      for (std::size_t b_i = a_i; b_i < 3; ++b_i) {
+        a.add(r + a_i, r + b_i, l2 * c[a_i] * c[b_i]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) a.add(i, i, 1.0);
+  return a;
+}
+
+BandedCholesky::BandedCholesky(const SymmetricBanded& a)
+    : n_(a.size()), bw_(a.bandwidth()), l_(a.bandwidth() + 1) {
+  for (std::size_t d = 0; d <= bw_; ++d) l_[d].assign(n_ - d, 0.0);
+  // Banded Cholesky: L(j,j) and L(i,j) for i in (j, j+bw].
+  for (std::size_t j = 0; j < n_; ++j) {
+    double diag = a.at(j, j);
+    const std::size_t kmin = j > bw_ ? j - bw_ : 0;
+    for (std::size_t k = kmin; k < j; ++k) {
+      const double ljk = l_[j - k][k];
+      diag -= ljk * ljk;
+    }
+    if (diag <= 0.0) {
+      throw std::domain_error("BandedCholesky: matrix not positive definite");
+    }
+    l_[0][j] = std::sqrt(diag);
+    const std::size_t imax = std::min(j + bw_, n_ - 1);
+    for (std::size_t i = j + 1; i <= imax; ++i) {
+      double s = a.at(i, j);
+      const std::size_t kk = i > bw_ ? i - bw_ : 0;
+      for (std::size_t k = std::max(kk, kmin); k < j; ++k) {
+        s -= l_[i - k][k] * l_[j - k][k];
+      }
+      l_[i - j][j] = s / l_[0][j];
+    }
+  }
+}
+
+std::vector<double> BandedCholesky::solve(std::span<const double> b) const {
+  if (b.size() != n_) {
+    throw std::invalid_argument("BandedCholesky::solve: size");
+  }
+  std::vector<double> y(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double s = b[i];
+    const std::size_t kmin = i > bw_ ? i - bw_ : 0;
+    for (std::size_t k = kmin; k < i; ++k) s -= l_[i - k][k] * y[k];
+    y[i] = s / l_[0][i];
+  }
+  std::vector<double> x(n_);
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double s = y[ii];
+    const std::size_t kmax = std::min(ii + bw_, n_ - 1);
+    for (std::size_t k = ii + 1; k <= kmax; ++k) s -= l_[k - ii][ii] * x[k];
+    x[ii] = s / l_[0][ii];
+  }
+  return x;
+}
+
+}  // namespace p2auth::linalg

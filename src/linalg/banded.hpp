@@ -1,0 +1,64 @@
+// Symmetric banded matrices and a banded Cholesky solver.
+//
+// The smoothness-priors detrending step (Tarvainen et al. 2002, Eq. (2) in
+// the paper) needs (I + lambda^2 D2^T D2)^{-1} y where D2^T D2 is
+// pentadiagonal.  A dense solve would be O(n^3) per trace; the banded
+// Cholesky below is O(n * bw^2) and keeps preprocessing real-time even on
+// long recordings.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace p2auth::linalg {
+
+// Symmetric banded matrix stored by diagonals: band(d)[i] holds
+// A(i, i + d) for d = 0..bandwidth.  Only the upper triangle is stored.
+class SymmetricBanded {
+ public:
+  // n x n matrix with `bandwidth` super-diagonals (bandwidth = 0 means
+  // diagonal matrix).
+  SymmetricBanded(std::size_t n, std::size_t bandwidth);
+
+  std::size_t size() const noexcept { return n_; }
+  std::size_t bandwidth() const noexcept { return bw_; }
+
+  // Element accessors; (i, j) outside the band reads as 0 and writing
+  // there throws std::out_of_range.
+  double at(std::size_t i, std::size_t j) const noexcept;
+  void set(std::size_t i, std::size_t j, double v);
+  void add(std::size_t i, std::size_t j, double v);
+
+  // y = A x.
+  std::vector<double> multiply(std::span<const double> x) const;
+
+  // Builds I + lambda^2 * D2^T D2 for the smoothness-priors detrender,
+  // where D2 is the (n-2) x n second-difference operator.  Requires n >= 3.
+  static SymmetricBanded smoothness_prior(std::size_t n, double lambda);
+
+ private:
+  std::size_t n_;
+  std::size_t bw_;
+  // diag_[d] has length n_ - d.
+  std::vector<std::vector<double>> diag_;
+
+  friend class BandedCholesky;
+};
+
+// Cholesky factorisation of an SPD banded matrix; the factor retains the
+// bandwidth, so solves are O(n * bw).
+class BandedCholesky {
+ public:
+  explicit BandedCholesky(const SymmetricBanded& a);
+
+  std::vector<double> solve(std::span<const double> b) const;
+
+ private:
+  std::size_t n_;
+  std::size_t bw_;
+  // Lower-triangular factor stored by sub-diagonals: l_[d][i] = L(i+d, i).
+  std::vector<std::vector<double>> l_;
+};
+
+}  // namespace p2auth::linalg

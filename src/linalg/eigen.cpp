@@ -1,0 +1,90 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace p2auth::linalg {
+
+EigenDecomposition eigen_symmetric(const Matrix& a, int max_sweeps) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("eigen_symmetric: matrix not square");
+  }
+  const std::size_t n = a.rows();
+  // Symmetry check with a tolerance scaled to the matrix magnitude.
+  const double scale = std::max(1.0, a.frobenius_norm());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (std::abs(a(i, j) - a(j, i)) > 1e-8 * scale) {
+        throw std::invalid_argument("eigen_symmetric: matrix not symmetric");
+      }
+    }
+  }
+
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+
+  auto off_diagonal_mass = [&]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) s += d(i, j) * d(i, j);
+    }
+    return s;
+  };
+
+  const double tol = 1e-24 * scale * scale;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_mass() <= tol) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation to D from both sides.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        // Accumulate eigenvectors.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return d(x, x) < d(y, y); });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = d(order[k], order[k]);
+    for (std::size_t r = 0; r < n; ++r) out.vectors(r, k) = v(r, order[k]);
+  }
+  return out;
+}
+
+}  // namespace p2auth::linalg

@@ -1,0 +1,25 @@
+// Symmetric eigendecomposition (cyclic Jacobi).
+//
+// Used by the ridge classifier to evaluate leave-one-out cross-validation
+// residuals for a whole lambda grid from a single decomposition of the
+// Gram matrix.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace p2auth::linalg {
+
+struct EigenDecomposition {
+  // Ascending eigenvalues.
+  Vector values;
+  // Column k of `vectors` is the eigenvector for values[k].
+  Matrix vectors;
+};
+
+// Eigendecomposition of a symmetric matrix via the cyclic Jacobi method.
+// `a` must be square and (numerically) symmetric; asymmetric inputs throw
+// std::invalid_argument.  Convergence is to machine-precision off-diagonal
+// mass or `max_sweeps`, whichever first.
+EigenDecomposition eigen_symmetric(const Matrix& a, int max_sweeps = 64);
+
+}  // namespace p2auth::linalg

@@ -1,0 +1,140 @@
+#include "linalg/ridge.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/eigen.hpp"
+#include "util/serialize.hpp"
+
+namespace p2auth::linalg {
+
+void RidgeClassifier::save(std::ostream& os) const {
+  if (!trained()) throw std::logic_error("RidgeClassifier::save: not trained");
+  util::write_string(os, "ridge.v1", "");
+  util::write_vector(os, "weights", weights_);
+  util::write_double(os, "bias", bias_);
+  util::write_double(os, "lambda", chosen_lambda_);
+}
+
+RidgeClassifier RidgeClassifier::load(std::istream& is) {
+  (void)util::read_string(is, "ridge.v1");
+  RidgeClassifier clf;
+  clf.weights_ = util::read_vector(is, "weights");
+  clf.bias_ = util::read_double(is, "bias");
+  clf.chosen_lambda_ = util::read_double(is, "lambda");
+  if (clf.weights_.empty()) {
+    throw std::runtime_error("RidgeClassifier::load: empty weights");
+  }
+  return clf;
+}
+
+void RidgeClassifier::fit(const Matrix& x, std::span<const double> y,
+                          const RidgeOptions& options) {
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  if (n == 0 || p == 0) throw std::invalid_argument("RidgeClassifier: empty");
+  if (y.size() != n) {
+    throw std::invalid_argument("RidgeClassifier: label count mismatch");
+  }
+  if (options.lambdas.empty()) {
+    throw std::invalid_argument("RidgeClassifier: empty lambda grid");
+  }
+  for (const double v : y) {
+    if (v != 1.0 && v != -1.0) {
+      throw std::invalid_argument("RidgeClassifier: labels must be +-1");
+    }
+  }
+
+  // Intercept handling: augment the features with a constant column so
+  // the leave-one-out identity below stays exact (centering on the full
+  // sample would leak the held-out point into every fold).  The intercept
+  // is therefore lightly penalised, which is harmless at this scale.
+  const double intercept_column = options.fit_intercept ? 1.0 : 0.0;
+
+  // Dual formulation on the n x n Gram matrix of the augmented features.
+  Matrix k = x.gram_rows();
+  if (options.fit_intercept) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) k(i, j) += 1.0;
+    }
+  }
+  const EigenDecomposition eig = eigen_symmetric(k);
+  const Vector yv(y.begin(), y.end());
+  // q_ty = Q^T y
+  const Vector q_ty = eig.vectors.multiply_transposed(yv);
+
+  double best_err = std::numeric_limits<double>::infinity();
+  double best_lambda = options.lambdas.front();
+  Vector best_alpha;
+  for (const double lambda : options.lambdas) {
+    if (lambda <= 0.0) {
+      throw std::invalid_argument("RidgeClassifier: lambda must be > 0");
+    }
+    // alpha = Q diag(1/(mu + lambda)) Q^T yc
+    Vector scaled(n);
+    for (std::size_t kk = 0; kk < n; ++kk) {
+      const double mu = std::max(eig.values[kk], 0.0);
+      scaled[kk] = q_ty[kk] / (mu + lambda);
+    }
+    Vector alpha = eig.vectors.multiply(scaled);
+    // LOO residuals: e_i = alpha_i / diag_i where yhat = K alpha,
+    // residual y - yhat = lambda * alpha, and
+    // diag_i = [ (K + lambda I)^{-1} ]_ii = sum_k Q_ik^2 / (mu_k + lambda).
+    double err = 0.0;
+    bool degenerate = false;
+    Vector loo(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double diag = 0.0;
+      for (std::size_t kk = 0; kk < n; ++kk) {
+        const double q = eig.vectors(i, kk);
+        const double mu = std::max(eig.values[kk], 0.0);
+        diag += q * q / (mu + lambda);
+      }
+      if (diag <= 1e-300) {
+        degenerate = true;
+        break;
+      }
+      const double loo_residual = alpha[i] / diag;
+      err += loo_residual * loo_residual;
+      // The LOO prediction of y_i (uncentered): y_i minus its residual.
+      loo[i] = y[i] - loo_residual;
+    }
+    if (degenerate) continue;
+    err /= static_cast<double>(n);
+    if (err < best_err) {
+      best_err = err;
+      best_lambda = lambda;
+      best_alpha = std::move(alpha);
+      loo_decisions_ = std::move(loo);
+    }
+  }
+  if (best_alpha.empty()) {
+    throw std::domain_error("RidgeClassifier: all lambdas degenerate");
+  }
+
+  // Primal weights w = X^T alpha; the intercept is the weight of the
+  // constant column, sum(alpha) * intercept_column.
+  weights_.assign(p, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    axpy(best_alpha[i], x.row(i), weights_);
+  }
+  bias_ = 0.0;
+  for (const double a : best_alpha) bias_ += a * intercept_column;
+  chosen_lambda_ = best_lambda;
+  best_loo_error_ = best_err;
+}
+
+double RidgeClassifier::decision(std::span<const double> features) const {
+  if (!trained()) throw std::logic_error("RidgeClassifier: not trained");
+  if (features.size() != weights_.size()) {
+    throw std::invalid_argument("RidgeClassifier: feature size mismatch");
+  }
+  return dot(features, weights_) + bias_;
+}
+
+int RidgeClassifier::predict(std::span<const double> features) const {
+  return decision(features) >= 0.0 ? 1 : -1;
+}
+
+}  // namespace p2auth::linalg

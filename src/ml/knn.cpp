@@ -1,0 +1,66 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace p2auth::ml {
+
+KnnClassifier::KnnClassifier(KnnOptions options) : options_(options) {
+  if (options_.k == 0) {
+    throw std::invalid_argument("KnnClassifier: k must be >= 1");
+  }
+}
+
+void KnnClassifier::fit(linalg::Matrix features, std::vector<double> labels) {
+  if (features.rows() == 0) {
+    throw std::invalid_argument("KnnClassifier::fit: no samples");
+  }
+  if (features.rows() != labels.size()) {
+    throw std::invalid_argument("KnnClassifier::fit: label count mismatch");
+  }
+  for (const double y : labels) {
+    if (y != 1.0 && y != -1.0) {
+      throw std::invalid_argument("KnnClassifier::fit: labels must be +-1");
+    }
+  }
+  features_ = std::move(features);
+  labels_ = std::move(labels);
+}
+
+double KnnClassifier::score(std::span<const double> features) const {
+  if (!trained()) throw std::logic_error("KnnClassifier: not trained");
+  if (features.size() != features_.cols()) {
+    throw std::invalid_argument("KnnClassifier: feature size mismatch");
+  }
+  const std::size_t n = features_.rows();
+  std::vector<double> dist(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = features_.row(i);
+    double d = 0.0;
+    for (std::size_t j = 0; j < features.size(); ++j) {
+      const double diff = row[j] - features[j];
+      d += diff * diff;
+    }
+    dist[i] = d;
+  }
+  const std::size_t k = std::min(options_.k, n);
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k), idx.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return dist[a] < dist[b];
+                    });
+  std::size_t positive = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (labels_[idx[i]] > 0.0) ++positive;
+  }
+  return static_cast<double>(positive) / static_cast<double>(k);
+}
+
+int KnnClassifier::predict(std::span<const double> features) const {
+  return score(features) > 0.5 ? 1 : -1;
+}
+
+}  // namespace p2auth::ml

@@ -1,0 +1,38 @@
+// k-nearest-neighbour classifier over feature vectors (one of the Fig. 15
+// machine-learning comparators).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace p2auth::ml {
+
+struct KnnOptions {
+  std::size_t k = 3;
+};
+
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(KnnOptions options = {});
+
+  // Labels must be +-1; sizes must agree.
+  void fit(linalg::Matrix features, std::vector<double> labels);
+
+  bool trained() const noexcept { return !labels_.empty(); }
+
+  // Majority vote over the k nearest (Euclidean) training samples;
+  // ties break toward -1 (reject) for safety.
+  int predict(std::span<const double> features) const;
+
+  // Fraction of the k nearest neighbours labelled +1 (a soft score).
+  double score(std::span<const double> features) const;
+
+ private:
+  KnnOptions options_;
+  linalg::Matrix features_;
+  std::vector<double> labels_;
+};
+
+}  // namespace p2auth::ml

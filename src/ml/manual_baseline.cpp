@@ -1,0 +1,105 @@
+#include "ml/manual_baseline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "signal/stats.hpp"
+
+namespace p2auth::ml {
+
+std::vector<double> manual_features(std::span<const double> waveform) {
+  if (waveform.empty()) {
+    throw std::invalid_argument("manual_features: empty waveform");
+  }
+  const signal::SummaryStats s = signal::summarize(waveform);
+  std::vector<double> f = {
+      s.mean,    s.stddev,   s.skewness, s.kurtosis, s.rms,
+      s.range,   s.min,      s.max,      s.mean_abs_deviation,
+  };
+  f.push_back(static_cast<double>(signal::mean_crossings(waveform)));
+  const std::vector<double> ac = signal::autocorrelation(waveform, 8);
+  f.insert(f.end(), ac.begin(), ac.end());
+  f.push_back(signal::percentile(waveform, 25.0));
+  f.push_back(signal::percentile(waveform, 75.0));
+  return f;
+}
+
+ManualBaseline::ManualBaseline(ManualBaselineOptions options)
+    : options_(options) {
+  if (options_.tau <= 0.0) {
+    throw std::invalid_argument("ManualBaseline: tau must be positive");
+  }
+}
+
+void ManualBaseline::fit(const std::vector<std::vector<Series>>& enroll) {
+  if (enroll.size() < 2) {
+    throw std::invalid_argument("ManualBaseline::fit: need >= 2 samples");
+  }
+  const std::size_t channels = enroll.front().size();
+  if (channels == 0) {
+    throw std::invalid_argument("ManualBaseline::fit: no channels");
+  }
+  for (const auto& sample : enroll) {
+    if (sample.size() != channels) {
+      throw std::invalid_argument("ManualBaseline::fit: channel mismatch");
+    }
+  }
+  templates_ = enroll;
+  features_.clear();
+  for (const auto& sample : enroll) {
+    // Features averaged over channels (the paper: "information from the
+    // four sensors is leveraged by feature extraction and averaging over
+    // different channels").
+    std::vector<double> mean_features;
+    for (std::size_t c = 0; c < channels; ++c) {
+      const std::vector<double> f = manual_features(sample[c]);
+      if (mean_features.empty()) mean_features.assign(f.size(), 0.0);
+      for (std::size_t i = 0; i < f.size(); ++i) mean_features[i] += f[i];
+    }
+    for (double& v : mean_features) v /= static_cast<double>(channels);
+    features_.push_back(std::move(mean_features));
+  }
+
+  // All-pairs intra-class DTW distance -> normalisation scale.  This is
+  // the O(S^2 * n^2) enrollment cost the paper's Table I measures.
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < templates_.size(); ++i) {
+    for (std::size_t j = i + 1; j < templates_.size(); ++j) {
+      double d = 0.0;
+      for (std::size_t c = 0; c < channels; ++c) {
+        d += signal::dtw_distance_normalized(templates_[i][c],
+                                             templates_[j][c], options_.dtw);
+      }
+      total += d / static_cast<double>(channels);
+      ++pairs;
+    }
+  }
+  intra_scale_ = pairs > 0 ? total / static_cast<double>(pairs) : 1.0;
+  if (intra_scale_ < 1e-12) intra_scale_ = 1e-12;
+}
+
+double ManualBaseline::distance(const std::vector<Series>& probe) const {
+  if (!trained()) throw std::logic_error("ManualBaseline: not trained");
+  const std::size_t channels = templates_.front().size();
+  if (probe.size() != channels) {
+    throw std::invalid_argument("ManualBaseline::distance: channel mismatch");
+  }
+  double total = 0.0;
+  for (const auto& tmpl : templates_) {
+    double d = 0.0;
+    for (std::size_t c = 0; c < channels; ++c) {
+      d += signal::dtw_distance_normalized(probe[c], tmpl[c], options_.dtw);
+    }
+    total += d / static_cast<double>(channels);
+  }
+  const double mean_distance =
+      total / static_cast<double>(templates_.size());
+  return mean_distance / intra_scale_;
+}
+
+bool ManualBaseline::accept(const std::vector<Series>& probe) const {
+  return distance(probe) < options_.tau;
+}
+
+}  // namespace p2auth::ml

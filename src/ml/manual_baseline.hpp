@@ -1,0 +1,65 @@
+// Manual-feature + DTW baseline, reproducing the comparison method of
+// Shang & Wu, "A usable authentication system using wrist-worn
+// photoplethysmography sensors on smartwatches" (IEEE CNS 2019), as the
+// paper reproduces it in section V-D / Fig. 11 / Table I.
+//
+// The method trains on the legitimate user's data only: it extracts
+// hand-crafted statistical features from each enrolled waveform, averages
+// information over channels, and authenticates a probe by the average
+// (feature-weighted) DTW distance to the enrolled templates, thresholded
+// at tau (the paper tunes tau = 1.7 on its dataset).  Its two documented
+// weaknesses — per-user threshold sensitivity and the O(n^2) DTW cost in
+// both enrollment (all-pairs normalisation) and authentication — are both
+// preserved here.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "signal/dtw.hpp"
+
+namespace p2auth::ml {
+
+using Series = std::vector<double>;
+
+struct ManualBaselineOptions {
+  // Accept when normalised distance < tau; paper: tuned to 1.7.
+  double tau = 1.7;
+  signal::DtwOptions dtw;
+};
+
+// Hand-crafted feature vector of one waveform (summary stats, shape and
+// autocorrelation descriptors).  Exposed for tests and for the feature
+// comparison experiment.
+std::vector<double> manual_features(std::span<const double> waveform);
+
+class ManualBaseline {
+ public:
+  explicit ManualBaseline(ManualBaselineOptions options = {});
+
+  // Enrolls the legitimate user's multi-channel waveforms.
+  // enroll[i] = sample i, one Series per channel.  All samples must share
+  // the channel count.  Computes the all-pairs intra-class DTW scale used
+  // to normalise probe distances (this is the expensive step).
+  void fit(const std::vector<std::vector<Series>>& enroll);
+
+  bool trained() const noexcept { return !templates_.empty(); }
+
+  // Normalised distance of a probe to the enrolled templates (averaged
+  // over channels and templates, divided by the intra-class scale).
+  double distance(const std::vector<Series>& probe) const;
+
+  // true = accept as the legitimate user.
+  bool accept(const std::vector<Series>& probe) const;
+
+  double intra_class_scale() const noexcept { return intra_scale_; }
+  const ManualBaselineOptions& options() const noexcept { return options_; }
+
+ private:
+  ManualBaselineOptions options_;
+  std::vector<std::vector<Series>> templates_;   // [sample][channel]
+  std::vector<std::vector<double>> features_;    // per-sample features
+  double intra_scale_ = 1.0;
+};
+
+}  // namespace p2auth::ml

@@ -1,0 +1,338 @@
+#include "ml/minirocket.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace p2auth::ml {
+
+void MiniRocket::save(std::ostream& os) const {
+  if (!fitted()) throw std::logic_error("MiniRocket::save: not fitted");
+  util::write_string(os, "minirocket.v1", "");
+  util::write_u64(os, "num_features_opt", options_.num_features);
+  util::write_u64(os, "max_dilations", options_.max_dilations);
+  util::write_u64(os, "pooling", static_cast<std::uint64_t>(options_.pooling));
+  util::write_u64(os, "input_length", input_length_);
+  util::write_int_vector(os, "dilations", dilations_);
+  util::write_u64(os, "biases_per_combo", biases_per_combo_);
+  util::write_vector(os, "biases", biases_);
+}
+
+MiniRocket MiniRocket::load(std::istream& is) {
+  (void)util::read_string(is, "minirocket.v1");
+  MiniRocketOptions options;
+  options.num_features = util::read_u64(is, "num_features_opt");
+  options.max_dilations = util::read_u64(is, "max_dilations");
+  const auto pooling = util::read_u64(is, "pooling");
+  if (pooling > static_cast<std::uint64_t>(Pooling::kMax)) {
+    throw std::runtime_error("MiniRocket::load: bad pooling value");
+  }
+  options.pooling = static_cast<Pooling>(pooling);
+  MiniRocket rocket(options);
+  rocket.input_length_ = util::read_u64(is, "input_length");
+  rocket.dilations_ = util::read_int_vector(is, "dilations");
+  rocket.biases_per_combo_ = util::read_u64(is, "biases_per_combo");
+  rocket.biases_ = util::read_vector(is, "biases");
+  if (rocket.dilations_.empty() || rocket.biases_.empty() ||
+      rocket.biases_per_combo_ == 0 ||
+      rocket.biases_.size() != minirocket_kernels().size() *
+                                   rocket.dilations_.size() *
+                                   rocket.biases_per_combo_) {
+    throw std::runtime_error("MiniRocket::load: inconsistent shape");
+  }
+  return rocket;
+}
+
+void MultiChannelMiniRocket::save(std::ostream& os) const {
+  if (!fitted()) {
+    throw std::logic_error("MultiChannelMiniRocket::save: not fitted");
+  }
+  util::write_string(os, "mc-minirocket.v1", "");
+  util::write_u64(os, "num_features_opt", options_.num_features);
+  util::write_u64(os, "channels", per_channel_.size());
+  for (const MiniRocket& mr : per_channel_) mr.save(os);
+}
+
+MultiChannelMiniRocket MultiChannelMiniRocket::load(std::istream& is) {
+  (void)util::read_string(is, "mc-minirocket.v1");
+  MiniRocketOptions options;
+  options.num_features = util::read_u64(is, "num_features_opt");
+  MultiChannelMiniRocket rocket(options);
+  const std::uint64_t channels = util::read_u64(is, "channels");
+  if (channels == 0 || channels > 64) {
+    throw std::runtime_error("MultiChannelMiniRocket::load: bad channels");
+  }
+  for (std::uint64_t c = 0; c < channels; ++c) {
+    rocket.per_channel_.push_back(MiniRocket::load(is));
+  }
+  return rocket;
+}
+
+const std::vector<std::array<int, 3>>& minirocket_kernels() {
+  static const std::vector<std::array<int, 3>> kernels = [] {
+    std::vector<std::array<int, 3>> out;
+    out.reserve(84);
+    for (int a = 0; a < 9; ++a) {
+      for (int b = a + 1; b < 9; ++b) {
+        for (int c = b + 1; c < 9; ++c) out.push_back({a, b, c});
+      }
+    }
+    return out;
+  }();
+  return kernels;
+}
+
+namespace {
+
+// Nine-tap sliding sum at the given dilation with zero padding:
+// sum9[i] = sum_{j=0..8} x[i + (j-4)*d].  Shared across all 84 kernels of
+// one dilation — the key MiniRocket trick: since every kernel is
+// -1 everywhere with three +2s, its output is 3*(three taps) - sum9.
+Series nine_tap_sum(std::span<const double> x, int dilation) {
+  const auto n = static_cast<long long>(x.size());
+  Series sum(x.size(), 0.0);
+  for (int j = 0; j < 9; ++j) {
+    const long long shift = static_cast<long long>(j - 4) * dilation;
+    const long long lo = std::max<long long>(0, -shift);
+    const long long hi = std::min(n, n - shift);
+    for (long long i = lo; i < hi; ++i) {
+      sum[static_cast<std::size_t>(i)] +=
+          x[static_cast<std::size_t>(i + shift)];
+    }
+  }
+  return sum;
+}
+
+// Completes the convolution for one kernel from the shared nine-tap sum.
+void kernel_from_sum(std::span<const double> x, std::span<const double> sum9,
+                     const std::array<int, 3>& kernel, int dilation,
+                     Series& out) {
+  const auto n = static_cast<long long>(x.size());
+  out.assign(x.size(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = -sum9[i];
+  for (const int j : kernel) {
+    const long long shift = static_cast<long long>(j - 4) * dilation;
+    const long long lo = std::max<long long>(0, -shift);
+    const long long hi = std::min(n, n - shift);
+    for (long long i = lo; i < hi; ++i) {
+      out[static_cast<std::size_t>(i)] +=
+          3.0 * x[static_cast<std::size_t>(i + shift)];
+    }
+  }
+}
+
+}  // namespace
+
+Series dilated_convolution(std::span<const double> x,
+                           const std::array<int, 3>& kernel, int dilation) {
+  if (dilation < 1) {
+    throw std::invalid_argument("dilated_convolution: dilation >= 1");
+  }
+  const Series sum9 = nine_tap_sum(x, dilation);
+  Series out;
+  kernel_from_sum(x, sum9, kernel, dilation, out);
+  return out;
+}
+
+MiniRocket::MiniRocket(MiniRocketOptions options) : options_(options) {
+  if (options_.num_features == 0 || options_.max_dilations == 0) {
+    throw std::invalid_argument("MiniRocket: zero feature/dilation budget");
+  }
+}
+
+void MiniRocket::fit(const std::vector<Series>& train, util::Rng& rng) {
+  if (train.empty()) throw std::invalid_argument("MiniRocket::fit: no data");
+  input_length_ = train.front().size();
+  if (input_length_ < 9) {
+    throw std::invalid_argument("MiniRocket::fit: series too short (< 9)");
+  }
+  for (const auto& s : train) {
+    if (s.size() != input_length_) {
+      throw std::invalid_argument("MiniRocket::fit: unequal series lengths");
+    }
+  }
+
+  // Exponential dilations 2^0, 2^1, ... while the receptive field
+  // (8 * dilation) fits in the series, capped at max_dilations.
+  dilations_.clear();
+  for (int d = 1; 8 * d < static_cast<int>(input_length_) &&
+                  dilations_.size() < options_.max_dilations;
+       d *= 2) {
+    dilations_.push_back(d);
+  }
+  if (dilations_.empty()) dilations_.push_back(1);
+
+  const std::size_t num_kernels = minirocket_kernels().size();
+  const std::size_t combos = num_kernels * dilations_.size();
+  if (options_.pooling == Pooling::kMax) {
+    // Max pooling emits one feature per combo; bias quantiles are unused
+    // but biases_ doubles as the "fitted" flag, so keep one slot each.
+    biases_per_combo_ = 1;
+    biases_.assign(combos, 0.0);
+    return;
+  }
+  biases_per_combo_ =
+      std::max<std::size_t>(1, (options_.num_features + combos - 1) / combos);
+  biases_.assign(combos * biases_per_combo_, 0.0);
+
+  // Low-discrepancy quantile sequence (golden-ratio spacing), as in the
+  // reference implementation, keeps biases spread without clustering.
+  constexpr double kPhi = 0.6180339887498949;
+  std::vector<double> quantiles(biases_per_combo_);
+  for (std::size_t q = 0; q < biases_per_combo_; ++q) {
+    quantiles[q] = std::fmod(kPhi * static_cast<double>(q + 1), 1.0);
+  }
+
+  // Biases come from quantiles of the convolution output on randomly
+  // chosen training examples — one example per dilation, shared by the 84
+  // kernels of that dilation so the expensive nine-tap sliding sum is
+  // computed once.
+  Series conv, sorted;
+  for (std::size_t di = 0; di < dilations_.size(); ++di) {
+    const Series& sample =
+        train[rng.uniform_int(static_cast<std::uint32_t>(train.size()))];
+    const Series sum9 = nine_tap_sum(sample, dilations_[di]);
+    for (std::size_t ki = 0; ki < num_kernels; ++ki) {
+      kernel_from_sum(sample, sum9, minirocket_kernels()[ki], dilations_[di],
+                      conv);
+      sorted = conv;
+      std::sort(sorted.begin(), sorted.end());
+      const std::size_t combo = ki * dilations_.size() + di;
+      for (std::size_t q = 0; q < biases_per_combo_; ++q) {
+        const double rank =
+            quantiles[q] * static_cast<double>(sorted.size() - 1);
+        const auto lo = static_cast<std::size_t>(std::floor(rank));
+        const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+        const double frac = rank - static_cast<double>(lo);
+        biases_[combo * biases_per_combo_ + q] =
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+      }
+    }
+  }
+}
+
+std::size_t MiniRocket::num_features() const noexcept {
+  return biases_.size();
+}
+
+linalg::Vector MiniRocket::transform(std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("MiniRocket::transform: not fitted");
+  if (x.size() != input_length_) {
+    throw std::invalid_argument("MiniRocket::transform: length mismatch");
+  }
+  linalg::Vector features(num_features(), 0.0);
+  const auto& kernels = minirocket_kernels();
+  const double inv_n = 1.0 / static_cast<double>(x.size());
+  Series conv;
+  if (options_.pooling == Pooling::kMax) {
+    for (std::size_t di = 0; di < dilations_.size(); ++di) {
+      const Series sum9 = nine_tap_sum(x, dilations_[di]);
+      for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+        kernel_from_sum(x, sum9, kernels[ki], dilations_[di], conv);
+        double peak = conv.front();
+        for (const double v : conv) peak = std::max(peak, v);
+        features[ki * dilations_.size() + di] = peak;
+      }
+    }
+    return features;
+  }
+  std::vector<std::size_t> counts(biases_per_combo_);
+  for (std::size_t di = 0; di < dilations_.size(); ++di) {
+    const Series sum9 = nine_tap_sum(x, dilations_[di]);
+    for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+      kernel_from_sum(x, sum9, kernels[ki], dilations_[di], conv);
+      const std::size_t combo = ki * dilations_.size() + di;
+      const double* bias = &biases_[combo * biases_per_combo_];
+      std::fill(counts.begin(), counts.end(), 0);
+      for (const double v : conv) {
+        for (std::size_t q = 0; q < biases_per_combo_; ++q) {
+          counts[q] += (v > bias[q]) ? 1 : 0;
+        }
+      }
+      for (std::size_t q = 0; q < biases_per_combo_; ++q) {
+        features[combo * biases_per_combo_ + q] =
+            static_cast<double>(counts[q]) * inv_n;
+      }
+    }
+  }
+  return features;
+}
+
+linalg::Matrix MiniRocket::transform(const std::vector<Series>& batch) const {
+  linalg::Matrix out(batch.size(), num_features());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const linalg::Vector f = transform(batch[i]);
+    std::copy(f.begin(), f.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+MultiChannelMiniRocket::MultiChannelMiniRocket(MiniRocketOptions options)
+    : options_(options) {}
+
+void MultiChannelMiniRocket::fit(
+    const std::vector<std::vector<Series>>& train, util::Rng& rng) {
+  if (train.empty()) {
+    throw std::invalid_argument("MultiChannelMiniRocket::fit: no data");
+  }
+  const std::size_t channels = train.front().size();
+  if (channels == 0) {
+    throw std::invalid_argument("MultiChannelMiniRocket::fit: no channels");
+  }
+  for (const auto& sample : train) {
+    if (sample.size() != channels) {
+      throw std::invalid_argument(
+          "MultiChannelMiniRocket::fit: channel count mismatch");
+    }
+  }
+  MiniRocketOptions per_channel_options = options_;
+  per_channel_options.num_features =
+      std::max<std::size_t>(84, options_.num_features / channels);
+  per_channel_.assign(channels, MiniRocket(per_channel_options));
+  std::vector<Series> channel_train(train.size());
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      channel_train[i] = train[i][c];
+    }
+    util::Rng channel_rng = rng.fork(0xABCD1234ULL + c);
+    per_channel_[c].fit(channel_train, channel_rng);
+  }
+}
+
+std::size_t MultiChannelMiniRocket::num_features() const {
+  std::size_t total = 0;
+  for (const auto& mr : per_channel_) total += mr.num_features();
+  return total;
+}
+
+linalg::Vector MultiChannelMiniRocket::transform(
+    const std::vector<Series>& sample) const {
+  if (!fitted()) {
+    throw std::logic_error("MultiChannelMiniRocket::transform: not fitted");
+  }
+  if (sample.size() != per_channel_.size()) {
+    throw std::invalid_argument(
+        "MultiChannelMiniRocket::transform: channel count mismatch");
+  }
+  linalg::Vector out;
+  out.reserve(num_features());
+  for (std::size_t c = 0; c < per_channel_.size(); ++c) {
+    const linalg::Vector f = per_channel_[c].transform(sample[c]);
+    out.insert(out.end(), f.begin(), f.end());
+  }
+  return out;
+}
+
+linalg::Matrix MultiChannelMiniRocket::transform(
+    const std::vector<std::vector<Series>>& batch) const {
+  linalg::Matrix out(batch.size(), num_features());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const linalg::Vector f = transform(batch[i]);
+    std::copy(f.begin(), f.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+}  // namespace p2auth::ml

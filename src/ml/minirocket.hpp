@@ -1,0 +1,119 @@
+// MiniRocket feature transform (Dempster, Schmidt, Webb; KDD 2021).
+//
+// This is the ROCKET-based Feature Extraction module of the paper
+// (section IV-B 2.3, Eq. (5)-(6)).  The transform convolves the input
+// series with a fixed set of 84 kernels of length 9 whose weights take
+// only the two values {-1, 2} (exactly three 2s, so each kernel sums to
+// zero), at exponentially spaced dilations, and pools each convolution
+// with PPV — the proportion of output values exceeding a bias:
+//
+//   PPV(X * W_d - b) = (1/N) sum_i [ (X * W_d)_i > b ]
+//
+// Biases are drawn from quantiles of the convolution outputs on training
+// data, so fit() must see training series before transform() is used.
+// The default feature budget (~10 000, paper: "feature vector of length
+// 10K") is spread evenly over kernels, dilations and bias quantiles.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace p2auth::ml {
+
+using Series = std::vector<double>;
+
+// Pooling statistic applied to each convolution output.
+enum class Pooling {
+  kPpv,  // proportion of positive values vs bias quantiles (the paper's
+         // Eq. (6); MiniRocket's defining statistic)
+  kMax,  // global max pooling (classic-ROCKET style; ablation baseline —
+         // one feature per kernel-dilation combo, biases unused)
+};
+
+struct MiniRocketOptions {
+  // Target total feature count; the realised count is the nearest multiple
+  // of (84 * num_dilations).  Ignored for kMax pooling (one feature per
+  // kernel-dilation combo).
+  std::size_t num_features = 9996;
+  // Cap on the number of dilations (the input length may allow fewer).
+  std::size_t max_dilations = 32;
+  Pooling pooling = Pooling::kPpv;
+};
+
+// All C(9,3) = 84 index triples marking the positions of weight +2 (the
+// remaining six positions carry weight -1).
+const std::vector<std::array<int, 3>>& minirocket_kernels();
+
+// Dilated zero-padded ("same") convolution of `x` with the kernel whose
+// +2 positions are `kernel`; output has the same length as `x`.
+Series dilated_convolution(std::span<const double> x,
+                           const std::array<int, 3>& kernel, int dilation);
+
+class MiniRocket {
+ public:
+  explicit MiniRocket(MiniRocketOptions options = {});
+
+  // Fits dilations and biases on training series (all series must share
+  // one length; empty input throws std::invalid_argument).  `rng` selects
+  // the training examples used for bias quantiles.
+  void fit(const std::vector<Series>& train, util::Rng& rng);
+
+  bool fitted() const noexcept { return !biases_.empty(); }
+  std::size_t num_features() const noexcept;
+  std::size_t input_length() const noexcept { return input_length_; }
+  const std::vector<int>& dilations() const noexcept { return dilations_; }
+
+  // Transforms one series (must match the fitted length) into the PPV
+  // feature vector.
+  linalg::Vector transform(std::span<const double> x) const;
+
+  // Transforms a batch into a feature matrix (rows = samples).
+  linalg::Matrix transform(const std::vector<Series>& batch) const;
+
+  // Persists / restores a fitted transform (dilations + biases).
+  void save(std::ostream& os) const;
+  static MiniRocket load(std::istream& is);
+
+ private:
+  MiniRocketOptions options_;
+  std::size_t input_length_ = 0;
+  std::vector<int> dilations_;
+  std::size_t biases_per_combo_ = 0;
+  // biases_[combo * biases_per_combo_ + q] where combo = kernel-major
+  // (kernel index * num_dilations + dilation index).
+  std::vector<double> biases_;
+};
+
+// Multi-channel convenience wrapper: one independent MiniRocket per
+// channel, feature budget split evenly, outputs concatenated.  This is
+// how the pipeline consumes the prototype's 2-4 PPG channels.
+class MultiChannelMiniRocket {
+ public:
+  explicit MultiChannelMiniRocket(MiniRocketOptions options = {});
+
+  // train[i] is sample i: one Series per channel (all samples must agree
+  // on channel count and per-channel length).
+  void fit(const std::vector<std::vector<Series>>& train, util::Rng& rng);
+
+  bool fitted() const noexcept { return !per_channel_.empty(); }
+  std::size_t num_features() const;
+  std::size_t num_channels() const noexcept { return per_channel_.size(); }
+
+  linalg::Vector transform(const std::vector<Series>& sample) const;
+  linalg::Matrix transform(const std::vector<std::vector<Series>>& batch) const;
+
+  void save(std::ostream& os) const;
+  static MultiChannelMiniRocket load(std::istream& is);
+
+ private:
+  MiniRocketOptions options_;
+  std::vector<MiniRocket> per_channel_;
+};
+
+}  // namespace p2auth::ml

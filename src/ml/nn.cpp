@@ -1,0 +1,432 @@
+#include "ml/nn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p2auth::ml::nn {
+
+namespace {
+
+// He-style initialisation scale.
+double init_scale(std::size_t fan_in) {
+  return std::sqrt(2.0 / static_cast<double>(std::max<std::size_t>(1, fan_in)));
+}
+
+}  // namespace
+
+void Param::adam_step(double lr, double beta1, double beta2, double eps,
+                      long long t) {
+  if (m_.size() != value.size()) {
+    m_.assign(value.size(), 0.0);
+    v_.assign(value.size(), 0.0);
+  }
+  const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(t));
+  const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(t));
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    m_[i] = beta1 * m_[i] + (1.0 - beta1) * grad[i];
+    v_[i] = beta2 * v_[i] + (1.0 - beta2) * grad[i] * grad[i];
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    value[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+Dense::Dense(std::size_t in, std::size_t out, util::Rng& rng)
+    : in_(in), out_(out), w_(in * out), b_(out) {
+  const double s = init_scale(in);
+  for (double& v : w_.value) v = rng.normal(0.0, s);
+}
+
+Vector Dense::forward(std::span<const double> x) {
+  if (x.size() != in_) throw std::invalid_argument("Dense: input size");
+  cached_input_.assign(x.begin(), x.end());
+  Vector y(out_, 0.0);
+  for (std::size_t o = 0; o < out_; ++o) {
+    double s = b_.value[o];
+    const double* w = &w_.value[o * in_];
+    for (std::size_t i = 0; i < in_; ++i) s += w[i] * x[i];
+    y[o] = s;
+  }
+  return y;
+}
+
+Vector Dense::backward(std::span<const double> grad_out) {
+  if (grad_out.size() != out_) throw std::invalid_argument("Dense: grad size");
+  Vector grad_in(in_, 0.0);
+  for (std::size_t o = 0; o < out_; ++o) {
+    const double g = grad_out[o];
+    b_.grad[o] += g;
+    double* wg = &w_.grad[o * in_];
+    const double* w = &w_.value[o * in_];
+    for (std::size_t i = 0; i < in_; ++i) {
+      wg[i] += g * cached_input_[i];
+      grad_in[i] += g * w[i];
+    }
+  }
+  return grad_in;
+}
+
+Vector Relu::forward(std::span<const double> x) {
+  cached_input_.assign(x.begin(), x.end());
+  Vector y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::max(0.0, x[i]);
+  return y;
+}
+
+Vector Relu::backward(std::span<const double> grad_out) {
+  Vector g(grad_out.size());
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    g[i] = cached_input_[i] > 0.0 ? grad_out[i] : 0.0;
+  }
+  return g;
+}
+
+Vector Tanh::forward(std::span<const double> x) {
+  Vector y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::tanh(x[i]);
+  cached_output_ = y;
+  return y;
+}
+
+Vector Tanh::backward(std::span<const double> grad_out) {
+  Vector g(grad_out.size());
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    g[i] = grad_out[i] * (1.0 - cached_output_[i] * cached_output_[i]);
+  }
+  return g;
+}
+
+Conv1d::Conv1d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, util::Rng& rng)
+    : cin_(in_channels),
+      cout_(out_channels),
+      k_(kernel),
+      w_(in_channels * out_channels * kernel),
+      b_(out_channels) {
+  if (kernel % 2 == 0) {
+    throw std::invalid_argument("Conv1d: kernel must be odd");
+  }
+  const double s = init_scale(in_channels * kernel);
+  for (double& v : w_.value) v = rng.normal(0.0, s);
+}
+
+Vector Conv1d::forward(std::span<const double> x) {
+  if (x.size() % cin_ != 0) {
+    throw std::invalid_argument("Conv1d: input not divisible by channels");
+  }
+  const std::size_t t = x.size() / cin_;
+  cached_t_ = t;
+  cached_input_.assign(x.begin(), x.end());
+  Vector y(cout_ * t, 0.0);
+  const long long half = static_cast<long long>(k_ / 2);
+  for (std::size_t co = 0; co < cout_; ++co) {
+    for (std::size_t i = 0; i < t; ++i) {
+      double s = b_.value[co];
+      for (std::size_t ci = 0; ci < cin_; ++ci) {
+        const double* w = &w_.value[(co * cin_ + ci) * k_];
+        const double* xc = &cached_input_[ci * t];
+        for (std::size_t j = 0; j < k_; ++j) {
+          const long long idx =
+              static_cast<long long>(i) + static_cast<long long>(j) - half;
+          if (idx < 0 || idx >= static_cast<long long>(t)) continue;
+          s += w[j] * xc[idx];
+        }
+      }
+      y[co * t + i] = s;
+    }
+  }
+  return y;
+}
+
+Vector Conv1d::backward(std::span<const double> grad_out) {
+  const std::size_t t = cached_t_;
+  if (grad_out.size() != cout_ * t) {
+    throw std::invalid_argument("Conv1d: grad size");
+  }
+  Vector grad_in(cin_ * t, 0.0);
+  const long long half = static_cast<long long>(k_ / 2);
+  for (std::size_t co = 0; co < cout_; ++co) {
+    const double* go = &grad_out[co * t];
+    for (std::size_t i = 0; i < t; ++i) b_.grad[co] += go[i];
+    for (std::size_t ci = 0; ci < cin_; ++ci) {
+      double* wg = &w_.grad[(co * cin_ + ci) * k_];
+      const double* w = &w_.value[(co * cin_ + ci) * k_];
+      const double* xc = &cached_input_[ci * t];
+      double* gi = &grad_in[ci * t];
+      for (std::size_t i = 0; i < t; ++i) {
+        const double g = go[i];
+        if (g == 0.0) continue;
+        for (std::size_t j = 0; j < k_; ++j) {
+          const long long idx =
+              static_cast<long long>(i) + static_cast<long long>(j) - half;
+          if (idx < 0 || idx >= static_cast<long long>(t)) continue;
+          wg[j] += g * xc[idx];
+          gi[idx] += g * w[j];
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+ResidualBlock::ResidualBlock(std::size_t channels, std::size_t kernel,
+                             util::Rng& rng)
+    : conv1_(channels, channels, kernel, rng),
+      conv2_(channels, channels, kernel, rng) {}
+
+Vector ResidualBlock::forward(std::span<const double> x) {
+  Vector h = conv1_.forward(x);
+  h = relu_.forward(h);
+  h = conv2_.forward(h);
+  if (h.size() != x.size()) {
+    throw std::logic_error("ResidualBlock: shape not preserved");
+  }
+  for (std::size_t i = 0; i < h.size(); ++i) h[i] += x[i];
+  return h;
+}
+
+Vector ResidualBlock::backward(std::span<const double> grad_out) {
+  Vector g = conv2_.backward(grad_out);
+  g = relu_.backward(g);
+  g = conv1_.backward(g);
+  // Skip connection adds the output gradient straight through.
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] += grad_out[i];
+  return g;
+}
+
+std::vector<Param*> ResidualBlock::params() {
+  std::vector<Param*> p = conv1_.params();
+  const std::vector<Param*> p2 = conv2_.params();
+  p.insert(p.end(), p2.begin(), p2.end());
+  return p;
+}
+
+GlobalAvgPool::GlobalAvgPool(std::size_t channels) : channels_(channels) {}
+
+Vector GlobalAvgPool::forward(std::span<const double> x) {
+  if (x.size() % channels_ != 0) {
+    throw std::invalid_argument("GlobalAvgPool: input not divisible");
+  }
+  cached_t_ = x.size() / channels_;
+  Vector y(channels_, 0.0);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < cached_t_; ++i) s += x[c * cached_t_ + i];
+    y[c] = s / static_cast<double>(cached_t_);
+  }
+  return y;
+}
+
+Vector GlobalAvgPool::backward(std::span<const double> grad_out) {
+  if (grad_out.size() != channels_) {
+    throw std::invalid_argument("GlobalAvgPool: grad size");
+  }
+  Vector g(channels_ * cached_t_);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const double v = grad_out[c] / static_cast<double>(cached_t_);
+    for (std::size_t i = 0; i < cached_t_; ++i) g[c * cached_t_ + i] = v;
+  }
+  return g;
+}
+
+ElmanRnn::ElmanRnn(std::size_t in_channels, std::size_t hidden,
+                   util::Rng& rng)
+    : cin_(in_channels),
+      hidden_(hidden),
+      wx_(hidden * in_channels),
+      wh_(hidden * hidden),
+      b_(hidden) {
+  const double sx = init_scale(in_channels);
+  const double sh = init_scale(hidden);
+  for (double& v : wx_.value) v = rng.normal(0.0, sx);
+  for (double& v : wh_.value) v = rng.normal(0.0, 0.5 * sh);
+}
+
+Vector ElmanRnn::forward(std::span<const double> x) {
+  if (x.size() % cin_ != 0) {
+    throw std::invalid_argument("ElmanRnn: input not divisible by channels");
+  }
+  const std::size_t t_len = x.size() / cin_;
+  cached_inputs_.assign(t_len, Vector(cin_));
+  cached_hidden_.assign(t_len, Vector(hidden_));
+  Vector h(hidden_, 0.0);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    Vector& xt = cached_inputs_[t];
+    // Channel-major layout: x[c * T + t].
+    for (std::size_t c = 0; c < cin_; ++c) xt[c] = x[c * t_len + t];
+    Vector pre(hidden_, 0.0);
+    for (std::size_t o = 0; o < hidden_; ++o) {
+      double s = b_.value[o];
+      const double* wxo = &wx_.value[o * cin_];
+      for (std::size_t c = 0; c < cin_; ++c) s += wxo[c] * xt[c];
+      const double* who = &wh_.value[o * hidden_];
+      for (std::size_t k = 0; k < hidden_; ++k) s += who[k] * h[k];
+      pre[o] = s;
+    }
+    for (std::size_t o = 0; o < hidden_; ++o) h[o] = std::tanh(pre[o]);
+    cached_hidden_[t] = h;
+  }
+  return h;
+}
+
+Vector ElmanRnn::backward(std::span<const double> grad_out) {
+  const std::size_t t_len = cached_inputs_.size();
+  if (grad_out.size() != hidden_) {
+    throw std::invalid_argument("ElmanRnn: grad size");
+  }
+  Vector grad_in(cin_ * t_len, 0.0);
+  Vector gh(grad_out.begin(), grad_out.end());  // dL/dh_t
+  for (std::size_t ti = t_len; ti-- > 0;) {
+    const Vector& h = cached_hidden_[ti];
+    const Vector& xt = cached_inputs_[ti];
+    const Vector* h_prev = ti > 0 ? &cached_hidden_[ti - 1] : nullptr;
+    Vector gpre(hidden_);
+    for (std::size_t o = 0; o < hidden_; ++o) {
+      gpre[o] = gh[o] * (1.0 - h[o] * h[o]);
+    }
+    Vector gh_prev(hidden_, 0.0);
+    for (std::size_t o = 0; o < hidden_; ++o) {
+      const double g = gpre[o];
+      b_.grad[o] += g;
+      double* wxg = &wx_.grad[o * cin_];
+      const double* wxo = &wx_.value[o * cin_];
+      for (std::size_t c = 0; c < cin_; ++c) {
+        wxg[c] += g * xt[c];
+        grad_in[c * t_len + ti] += g * wxo[c];
+      }
+      double* whg = &wh_.grad[o * hidden_];
+      const double* who = &wh_.value[o * hidden_];
+      for (std::size_t k = 0; k < hidden_; ++k) {
+        if (h_prev != nullptr) whg[k] += g * (*h_prev)[k];
+        gh_prev[k] += g * who[k];
+      }
+    }
+    gh = std::move(gh_prev);
+  }
+  return grad_in;
+}
+
+BinaryNet::BinaryNet(std::vector<std::unique_ptr<Layer>> layers)
+    : layers_(std::move(layers)) {
+  if (layers_.empty()) throw std::invalid_argument("BinaryNet: no layers");
+}
+
+double BinaryNet::forward_logit(std::span<const double> x) {
+  Vector h(x.begin(), x.end());
+  for (const auto& layer : layers_) h = layer->forward(h);
+  if (h.size() != 1) {
+    throw std::logic_error("BinaryNet: final layer must emit one logit");
+  }
+  return h[0];
+}
+
+void BinaryNet::fit(const std::vector<Vector>& inputs,
+                    std::span<const double> labels,
+                    const TrainOptions& options, util::Rng& rng) {
+  if (inputs.empty() || inputs.size() != labels.size()) {
+    throw std::invalid_argument("BinaryNet::fit: bad shapes");
+  }
+  for (const double y : labels) {
+    if (y != 1.0 && y != -1.0) {
+      throw std::invalid_argument("BinaryNet::fit: labels must be +-1");
+    }
+  }
+  std::vector<Param*> all_params;
+  for (const auto& layer : layers_) {
+    const std::vector<Param*> p = layer->params();
+    all_params.insert(all_params.end(), p.begin(), p.end());
+  }
+  std::vector<std::size_t> order(inputs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  // Class-balanced sample weights: w_c = n / (2 * n_c).
+  double weight_pos = 1.0, weight_neg = 1.0;
+  if (options.class_balanced) {
+    std::size_t n_pos = 0;
+    for (const double v : labels) n_pos += v > 0.0 ? 1 : 0;
+    const std::size_t n_neg = labels.size() - n_pos;
+    if (n_pos > 0 && n_neg > 0) {
+      weight_pos = static_cast<double>(labels.size()) /
+                   (2.0 * static_cast<double>(n_pos));
+      weight_neg = static_cast<double>(labels.size()) /
+                   (2.0 * static_cast<double>(n_neg));
+    }
+  }
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size();
+         start += options.batch_size) {
+      for (Param* p : all_params) p->zero_grad();
+      const std::size_t stop =
+          std::min(order.size(), start + options.batch_size);
+      for (std::size_t bi = start; bi < stop; ++bi) {
+        const std::size_t i = order[bi];
+        const double z = forward_logit(inputs[i]);
+        // Logistic loss on {-1, +1}: L = log(1 + exp(-y z)),
+        // dL/dz = -y * sigmoid(-y z).
+        const double yz = labels[i] * z;
+        const double sig = 1.0 / (1.0 + std::exp(yz));
+        const double weight = labels[i] > 0.0 ? weight_pos : weight_neg;
+        const double gz = -labels[i] * sig * weight /
+                          static_cast<double>(stop - start);
+        Vector g = {gz};
+        for (std::size_t li = layers_.size(); li-- > 0;) {
+          g = layers_[li]->backward(g);
+        }
+      }
+      ++adam_t_;
+      for (Param* p : all_params) {
+        p->adam_step(options.learning_rate, options.beta1, options.beta2,
+                     options.eps, adam_t_);
+      }
+    }
+  }
+}
+
+double BinaryNet::logit(std::span<const double> x) const {
+  // Forward mutates layer caches only; expose a const interface for
+  // callers while reusing the training pipeline.
+  return const_cast<BinaryNet*>(this)->forward_logit(x);
+}
+
+int BinaryNet::predict(std::span<const double> x) const {
+  return logit(x) >= 0.0 ? 1 : -1;
+}
+
+std::unique_ptr<BinaryNet> make_resnet1d(std::size_t in_channels,
+                                         std::size_t filters,
+                                         util::Rng& rng) {
+  std::vector<std::unique_ptr<Layer>> layers;
+  layers.push_back(std::make_unique<Conv1d>(in_channels, filters, 7, rng));
+  layers.push_back(std::make_unique<Relu>());
+  layers.push_back(std::make_unique<ResidualBlock>(filters, 5, rng));
+  layers.push_back(std::make_unique<ResidualBlock>(filters, 5, rng));
+  layers.push_back(std::make_unique<GlobalAvgPool>(filters));
+  layers.push_back(std::make_unique<Dense>(filters, 1, rng));
+  return std::make_unique<BinaryNet>(std::move(layers));
+}
+
+std::unique_ptr<BinaryNet> make_fnn(std::size_t input_dim, std::size_t hidden,
+                                    util::Rng& rng) {
+  std::vector<std::unique_ptr<Layer>> layers;
+  layers.push_back(std::make_unique<Dense>(input_dim, hidden, rng));
+  layers.push_back(std::make_unique<Relu>());
+  layers.push_back(std::make_unique<Dense>(hidden, hidden / 2, rng));
+  layers.push_back(std::make_unique<Relu>());
+  layers.push_back(std::make_unique<Dense>(hidden / 2, 1, rng));
+  return std::make_unique<BinaryNet>(std::move(layers));
+}
+
+std::unique_ptr<BinaryNet> make_rnn_fnn(std::size_t in_channels,
+                                        std::size_t hidden, util::Rng& rng) {
+  std::vector<std::unique_ptr<Layer>> layers;
+  layers.push_back(std::make_unique<ElmanRnn>(in_channels, hidden, rng));
+  layers.push_back(std::make_unique<Dense>(hidden, hidden, rng));
+  layers.push_back(std::make_unique<Relu>());
+  layers.push_back(std::make_unique<Dense>(hidden, 1, rng));
+  return std::make_unique<BinaryNet>(std::move(layers));
+}
+
+}  // namespace p2auth::ml::nn

@@ -1,0 +1,197 @@
+// Minimal from-scratch neural networks for the Fig. 15 model comparison
+// (ResNet-style 1-D CNN, plain FNN, and Elman RNN + FNN head).
+//
+// This is not a general deep-learning framework; it is a compact layer
+// stack with explicit backprop and Adam, sized for the paper's
+// simulator-scale experiments (tens-to-hundreds of short series).  All
+// layers operate on flat vectors; 1-D convolutional layers interpret the
+// vector as channel-major (C, T) data with T inferred per forward pass.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace p2auth::ml::nn {
+
+using Vector = std::vector<double>;
+
+// A learnable parameter vector with its gradient and Adam moments.
+class Param {
+ public:
+  explicit Param(std::size_t n = 0) : value(n, 0.0), grad(n, 0.0) {}
+
+  void zero_grad() { std::fill(grad.begin(), grad.end(), 0.0); }
+  // One Adam update; `t` is the 1-based step count for bias correction.
+  void adam_step(double lr, double beta1, double beta2, double eps,
+                 long long t);
+
+  Vector value;
+  Vector grad;
+
+ private:
+  Vector m_, v_;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  // Forward pass; implementations cache what backward needs.
+  virtual Vector forward(std::span<const double> x) = 0;
+  // Backward pass: receives dLoss/dOutput, accumulates parameter
+  // gradients, returns dLoss/dInput.
+  virtual Vector backward(std::span<const double> grad_out) = 0;
+  virtual std::vector<Param*> params() { return {}; }
+};
+
+// Fully connected layer.
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in, std::size_t out, util::Rng& rng);
+  Vector forward(std::span<const double> x) override;
+  Vector backward(std::span<const double> grad_out) override;
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+
+ private:
+  std::size_t in_, out_;
+  Param w_;  // out x in, row-major
+  Param b_;
+  Vector cached_input_;
+};
+
+class Relu : public Layer {
+ public:
+  Vector forward(std::span<const double> x) override;
+  Vector backward(std::span<const double> grad_out) override;
+
+ private:
+  Vector cached_input_;
+};
+
+class Tanh : public Layer {
+ public:
+  Vector forward(std::span<const double> x) override;
+  Vector backward(std::span<const double> grad_out) override;
+
+ private:
+  Vector cached_output_;
+};
+
+// 1-D convolution, channel-major (C, T) layout, zero ("same") padding,
+// stride 1.
+class Conv1d : public Layer {
+ public:
+  Conv1d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, util::Rng& rng);
+  Vector forward(std::span<const double> x) override;
+  Vector backward(std::span<const double> grad_out) override;
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+
+  std::size_t in_channels() const noexcept { return cin_; }
+  std::size_t out_channels() const noexcept { return cout_; }
+
+ private:
+  std::size_t cin_, cout_, k_;
+  Param w_;  // cout x cin x k
+  Param b_;  // cout
+  Vector cached_input_;
+  std::size_t cached_t_ = 0;
+};
+
+// Residual block: x + Conv(ReLU(Conv(x))); channel count must be
+// preserved by the enclosed convolutions.
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(std::size_t channels, std::size_t kernel, util::Rng& rng);
+  Vector forward(std::span<const double> x) override;
+  Vector backward(std::span<const double> grad_out) override;
+  std::vector<Param*> params() override;
+
+ private:
+  Conv1d conv1_;
+  Relu relu_;
+  Conv1d conv2_;
+};
+
+// Global average pooling over time: (C, T) -> (C).
+class GlobalAvgPool : public Layer {
+ public:
+  explicit GlobalAvgPool(std::size_t channels);
+  Vector forward(std::span<const double> x) override;
+  Vector backward(std::span<const double> grad_out) override;
+
+ private:
+  std::size_t channels_;
+  std::size_t cached_t_ = 0;
+};
+
+// Elman recurrent layer consuming a (C, T) channel-major sequence and
+// emitting the final hidden state (H).  Backward is truncated-free full
+// BPTT (sequences here are short).
+class ElmanRnn : public Layer {
+ public:
+  ElmanRnn(std::size_t in_channels, std::size_t hidden, util::Rng& rng);
+  Vector forward(std::span<const double> x) override;
+  Vector backward(std::span<const double> grad_out) override;
+  std::vector<Param*> params() override { return {&wx_, &wh_, &b_}; }
+
+ private:
+  std::size_t cin_, hidden_;
+  Param wx_;  // hidden x cin
+  Param wh_;  // hidden x hidden
+  Param b_;   // hidden
+  std::vector<Vector> cached_inputs_;   // x_t per step
+  std::vector<Vector> cached_hidden_;   // h_t per step (post-tanh)
+};
+
+struct TrainOptions {
+  int epochs = 40;
+  std::size_t batch_size = 8;
+  double learning_rate = 3e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  // When true, per-sample loss is weighted inversely to class frequency
+  // (needed for the paper-style 9-positive / 100-negative enrollment mix).
+  bool class_balanced = true;
+};
+
+// A binary classifier: a layer stack ending in a single logit, trained
+// with logistic loss on labels in {-1, +1}.
+class BinaryNet {
+ public:
+  // Takes ownership of the layers.  The final layer must output exactly
+  // one value (checked at first forward).
+  explicit BinaryNet(std::vector<std::unique_ptr<Layer>> layers);
+
+  // Trains on (inputs, labels); labels must be +-1.
+  void fit(const std::vector<Vector>& inputs, std::span<const double> labels,
+           const TrainOptions& options, util::Rng& rng);
+
+  double logit(std::span<const double> x) const;
+  int predict(std::span<const double> x) const;
+
+ private:
+  // Forward/backward are non-const internally (caches); the public logit
+  // uses a const_cast-free mutable pipeline.
+  double forward_logit(std::span<const double> x);
+  std::vector<std::unique_ptr<Layer>> layers_;
+  long long adam_t_ = 0;
+};
+
+// Model factories used by the Fig. 15 bench.
+// A ResNet-lite: Conv -> ReLU -> 2 residual blocks -> GAP -> Dense(1).
+std::unique_ptr<BinaryNet> make_resnet1d(std::size_t in_channels,
+                                         std::size_t filters,
+                                         util::Rng& rng);
+// Plain FNN on a flattened input.
+std::unique_ptr<BinaryNet> make_fnn(std::size_t input_dim,
+                                    std::size_t hidden, util::Rng& rng);
+// Elman RNN over the sequence + dense head (the paper's "RNN-FNN").
+std::unique_ptr<BinaryNet> make_rnn_fnn(std::size_t in_channels,
+                                        std::size_t hidden, util::Rng& rng);
+
+}  // namespace p2auth::ml::nn

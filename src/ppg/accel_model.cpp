@@ -1,0 +1,76 @@
+#include "ppg/accel_model.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "keystroke/pinpad.hpp"
+
+namespace p2auth::ppg {
+
+std::vector<double> AccelTrace::magnitude_minus_gravity() const {
+  std::vector<double> out(length());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double x = axes[0][i];
+    const double y = axes[1][i];
+    const double z = axes[2][i];
+    out[i] = std::sqrt(x * x + y * y + z * z) - 1.0;
+  }
+  return out;
+}
+
+AccelTrace simulate_accel(const UserProfile& user,
+                          const keystroke::EntryRecord& entry,
+                          double duration_s, const AccelOptions& options,
+                          util::Rng& rng) {
+  if (options.rate_hz <= 0.0 || duration_s <= 0.0) {
+    throw std::invalid_argument("simulate_accel: bad rate/duration");
+  }
+  AccelTrace trace;
+  trace.rate_hz = options.rate_hz;
+  const auto n =
+      static_cast<std::size_t>(std::ceil(duration_s * options.rate_hz));
+  for (auto& axis : trace.axes) axis.assign(n, 0.0);
+
+  // Static wrist orientation: gravity mostly on z with a per-entry tilt.
+  const double tilt = rng.normal(0.0, 0.08);
+  const double roll = rng.normal(0.0, 0.08);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace.axes[0][i] = std::sin(tilt);
+    trace.axes[1][i] = std::sin(roll);
+    trace.axes[2][i] = std::cos(tilt) * std::cos(roll);
+  }
+
+  // Keystroke bumps: damped sinusoid, tiny, watch-hand keystrokes only.
+  for (const auto& e : entry.events) {
+    if (e.hand != keystroke::Hand::kWatchHand) continue;
+    const keystroke::KeyPosition pos = keystroke::key_position(e.digit);
+    // Slight per-key directionality so there is *some* signal (Fig. 12
+    // shows accelerometer auth works, just worse than PPG).
+    const double amp =
+        options.bump_scale * user.hand.amplitude_scale *
+        std::max(0.3, rng.normal(1.0, 0.4 * (1.0 - user.stability)));
+    const double freq = 9.0 + 2.0 * user.hand.osc_freq_hz / 4.0;
+    const auto start =
+        static_cast<std::size_t>(std::max(0.0, e.true_time_s * options.rate_hz));
+    const auto span =
+        static_cast<std::size_t>(options.bump_width_s * 6.0 * options.rate_hz);
+    for (std::size_t i = start; i < std::min(n, start + span); ++i) {
+      const double t = static_cast<double>(i) / options.rate_hz - e.true_time_s;
+      if (t < 0.0) continue;
+      const double env = std::exp(-t / options.bump_width_s);
+      const double osc =
+          std::sin(2.0 * std::numbers::pi * freq * t);
+      trace.axes[0][i] += amp * env * osc * (0.4 + 0.2 * pos.x);
+      trace.axes[1][i] += amp * env * osc * (0.4 + 0.15 * pos.y);
+      trace.axes[2][i] += 0.6 * amp * env * osc;
+    }
+  }
+
+  for (auto& axis : trace.axes) {
+    for (double& v : axis) v += rng.normal(0.0, options.noise_sigma);
+  }
+  return trace;
+}
+
+}  // namespace p2auth::ppg

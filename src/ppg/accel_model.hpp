@@ -1,0 +1,48 @@
+// Simulated 3-axis wrist accelerometer (LIS2DH12 in the paper's
+// prototype, sampled at 75 Hz).
+//
+// During seated PIN entry the wrist is nearly static: keystrokes are thumb
+// movements, so the accelerometer sees only faint bumps over gravity plus
+// sensor noise.  This low keystroke SNR (relative to PPG, whose artifact
+// rides on muscle-driven blood-volume changes) is the paper's explanation
+// for Fig. 12, where PPG-based authentication beats accelerometer-based
+// authentication.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "keystroke/events.hpp"
+#include "ppg/profile.hpp"
+#include "util/rng.hpp"
+
+namespace p2auth::ppg {
+
+struct AccelOptions {
+  double rate_hz = 75.0;       // paper: motion sampled at 75 Hz
+  double noise_sigma = 0.012;  // g; LIS2DH12-class noise floor
+  // Keystroke bump magnitude in g. Deliberately small: seated entry keeps
+  // the wrist still.
+  double bump_scale = 0.02;
+  double bump_width_s = 0.08;
+};
+
+struct AccelTrace {
+  double rate_hz = 75.0;
+  // axes[0] = x, axes[1] = y, axes[2] = z (z carries gravity).
+  std::array<std::vector<double>, 3> axes;
+
+  std::size_t length() const noexcept { return axes[0].size(); }
+  // The magnitude signal |a| - 1g that authentication baselines consume.
+  std::vector<double> magnitude_minus_gravity() const;
+};
+
+// Simulates the accelerometer during one PIN entry.  Watch-hand
+// keystrokes produce small per-(user, key) bumps; other-hand keystrokes
+// produce (almost) nothing.
+AccelTrace simulate_accel(const UserProfile& user,
+                          const keystroke::EntryRecord& entry,
+                          double duration_s, const AccelOptions& options,
+                          util::Rng& rng);
+
+}  // namespace p2auth::ppg

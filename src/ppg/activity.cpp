@@ -1,0 +1,46 @@
+#include "ppg/activity.hpp"
+
+#include <stdexcept>
+
+#include "signal/detrend.hpp"
+#include "signal/fft.hpp"
+
+namespace p2auth::ppg {
+
+ActivityReport detect_activity(std::span<const double> window,
+                               double rate_hz,
+                               const ActivityDetectorOptions& options) {
+  if (window.empty()) {
+    throw std::invalid_argument("detect_activity: empty window");
+  }
+  if (rate_hz <= 0.0) {
+    throw std::invalid_argument("detect_activity: rate must be positive");
+  }
+  if (options.gait_hi_hz <= options.gait_lo_hz) {
+    throw std::invalid_argument("detect_activity: bad gait band");
+  }
+  // Remove baseline wander so it does not masquerade as low-frequency
+  // power.
+  const std::vector<double> detrended =
+      signal::detrend_smoothness_priors(window, 200.0);
+  const signal::PowerSpectrum spectrum =
+      signal::power_spectrum(detrended, rate_hz);
+
+  ActivityReport report;
+  report.gait_band_power =
+      spectrum.band_power(options.gait_lo_hz, options.gait_hi_hz);
+  // Analyse up to 6 Hz (above that is keystroke-oscillation and noise
+  // territory); skip near-DC residue.
+  report.analysed_power = spectrum.band_power(0.1, 6.0);
+  report.gait_fraction =
+      report.analysed_power > 1e-12
+          ? report.gait_band_power / report.analysed_power
+          : 0.0;
+  const bool walking =
+      report.gait_fraction >= options.walking_fraction &&
+      report.gait_band_power >= options.min_gait_power;
+  report.state = walking ? ActivityState::kWalking : ActivityState::kStatic;
+  return report;
+}
+
+}  // namespace p2auth::ppg

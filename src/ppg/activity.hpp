@@ -1,0 +1,42 @@
+// Activity detection from PPG (static vs walking).
+//
+// Paper section VI: "Additional authentication actions are required when
+// performing other sensitive activities... authentication, such as
+// payments, is relatively static."  A deployed watch therefore needs to
+// *know* whether the wearer is static before it trusts an entry.  Gait
+// puts strong 0.6-2.6 Hz components (arm swing + step harmonic) into the
+// PPG that a seated wrist does not have; this detector measures the
+// fraction of (non-DC) spectral power in that band.
+#pragma once
+
+#include <span>
+
+#include "ppg/simulator.hpp"
+
+namespace p2auth::ppg {
+
+struct ActivityDetectorOptions {
+  double gait_lo_hz = 0.6;
+  double gait_hi_hz = 2.6;
+  // Walking when the gait band holds at least this fraction of the
+  // analysed power AND the absolute gait power clears the floor below
+  // (a resting heartbeat at ~1.2 Hz also lives in the band, but with far
+  // less power than gait).
+  double walking_fraction = 0.6;
+  double min_gait_power = 30.0;
+};
+
+struct ActivityReport {
+  ActivityState state = ActivityState::kStatic;
+  double gait_band_power = 0.0;
+  double analysed_power = 0.0;  // total non-DC power up to 6 Hz
+  double gait_fraction = 0.0;
+};
+
+// Classifies a PPG window (>= ~4 s recommended).  Throws
+// std::invalid_argument on empty input or non-positive rate.
+ActivityReport detect_activity(std::span<const double> window,
+                               double rate_hz,
+                               const ActivityDetectorOptions& options = {});
+
+}  // namespace p2auth::ppg

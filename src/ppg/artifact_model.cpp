@@ -1,0 +1,122 @@
+#include "ppg/artifact_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "keystroke/pinpad.hpp"
+
+namespace p2auth::ppg {
+
+namespace {
+
+// The thumb's resting ("home") position on the pad, roughly over key 5.
+constexpr double kHomeX = 1.0;
+constexpr double kHomeY = 1.2;
+
+}  // namespace
+
+ArtifactParams artifact_params(const UserProfile& user, char key) {
+  const std::size_t k = keystroke::key_index(key);
+  // Per-(user, key) deterministic stream: same inputs, same parameters.
+  util::Rng stream(user.latent_seed ^ (0x9e3779b97f4a7c15ULL * (k + 1)),
+                   0x2545f4914f6cdd1dULL + k);
+
+  const keystroke::KeyPosition pos = keystroke::key_position(key);
+  const double dx = pos.x - kHomeX;
+  const double dy = pos.y - kHomeY;
+  const double reach = std::sqrt(dx * dx + dy * dy);
+
+  ArtifactParams p;
+  // Reach modulates muscle recruitment: farther keys produce stronger and
+  // slightly slower artifacts; direction (dx, dy) shifts morphology.
+  const double reach_gain = 1.0 + 0.25 * reach;
+  p.amplitude = 3.0 * user.hand.amplitude_scale * reach_gain *
+                stream.lognormal(0.0, 0.20);
+  p.latency_s = user.hand.latency_s + 0.01 * reach +
+                stream.uniform(-0.008, 0.008);
+  p.rise_s = 0.055 * user.hand.rise_scale * (1.0 + 0.1 * dy) *
+             stream.lognormal(0.0, 0.15);
+  p.decay_s = 0.17 * user.hand.decay_scale * (1.0 + 0.08 * reach) *
+              stream.lognormal(0.0, 0.15);
+  p.osc_freq_hz =
+      user.hand.osc_freq_hz * (1.0 + 0.06 * dx) * stream.lognormal(0.0, 0.08);
+  p.osc_phase = user.hand.osc_phase + 0.5 * dx + 0.3 * dy +
+                stream.uniform(-0.2, 0.2);
+  p.rebound_amp = 0.55 * user.hand.rebound_scale * stream.lognormal(0.0, 0.25);
+  p.rebound_delay_s = 0.32 + 0.05 * user.hand.decay_scale +
+                      0.02 * reach + stream.uniform(-0.03, 0.03);
+  p.rebound_width_s = 0.11 * stream.lognormal(0.0, 0.2);
+  // Press direction vs sensor site decides whether blood is displaced away
+  // from or toward the sensor; keep it a stable per-(user, key) property.
+  p.sign = (user.hand.asymmetry + 0.4 * dy + stream.uniform(-0.3, 0.3)) >= 0.0
+               ? 1.0
+               : -1.0;
+  // Clamp time constants to physically sensible ranges.
+  p.latency_s = std::clamp(p.latency_s, 0.01, 0.15);
+  p.rise_s = std::clamp(p.rise_s, 0.02, 0.15);
+  // Decay capped so the artifact (incl. rebound) dies out well before the
+  // next keystroke ~1.1 s later.
+  p.decay_s = std::clamp(p.decay_s, 0.06, 0.30);
+  p.osc_freq_hz = std::clamp(p.osc_freq_hz, 1.5, 9.0);
+  return p;
+}
+
+ArtifactParams perturb_params(const ArtifactParams& base, double stability,
+                              util::Rng& rng) {
+  if (stability <= 0.0 || stability > 1.0) {
+    throw std::invalid_argument("perturb_params: stability in (0, 1]");
+  }
+  const double wobble = (1.0 - stability);
+  ArtifactParams p = base;
+  p.amplitude *= std::max(0.35, rng.normal(1.0, 0.9 * wobble + 0.06));
+  p.latency_s = std::clamp(
+      p.latency_s + rng.normal(0.0, 0.035 * wobble + 0.004), 0.005, 0.2);
+  p.rise_s = std::clamp(p.rise_s * rng.lognormal(0.0, 0.6 * wobble + 0.04),
+                        0.015, 0.2);
+  p.decay_s = std::clamp(p.decay_s * rng.lognormal(0.0, 0.6 * wobble + 0.04),
+                         0.05, 0.32);
+  p.osc_freq_hz = std::clamp(
+      p.osc_freq_hz * rng.lognormal(0.0, 0.22 * wobble + 0.015), 1.0, 10.0);
+  p.osc_phase += rng.normal(0.0, 0.8 * wobble + 0.05);
+  p.rebound_amp *= std::max(0.1, rng.normal(1.0, 0.8 * wobble + 0.06));
+  return p;
+}
+
+double artifact_value(const ArtifactParams& p, double t_since_press) noexcept {
+  const double t = t_since_press - p.latency_s;
+  if (t <= 0.0) return 0.0;
+  // Asymmetric envelope: (1 - e^{-t/rise}) * e^{-t/decay}.
+  const double envelope =
+      (1.0 - std::exp(-t / p.rise_s)) * std::exp(-t / p.decay_s);
+  const double osc =
+      std::cos(2.0 * std::numbers::pi * p.osc_freq_hz * t + p.osc_phase);
+  const double main_lobe = p.sign * p.amplitude * envelope * osc;
+  // Slower blood-refill rebound of opposite polarity.
+  const double rd = (t - p.rebound_delay_s) / p.rebound_width_s;
+  const double rebound = -p.sign * p.rebound_amp * std::exp(-0.5 * rd * rd);
+  return main_lobe + rebound;
+}
+
+void render_artifact(std::span<double> trace, double rate_hz,
+                     double press_time_s, const ArtifactParams& p,
+                     double channel_gain, double channel_delay_s) {
+  if (rate_hz <= 0.0) {
+    throw std::invalid_argument("render_artifact: rate must be positive");
+  }
+  constexpr double kArtifactSpanS = 1.05;
+  const double start_s = press_time_s + channel_delay_s;
+  const auto begin = static_cast<long long>(std::floor(start_s * rate_hz));
+  const auto end = static_cast<long long>(
+      std::ceil((start_s + kArtifactSpanS) * rate_hz));
+  for (long long i = std::max<long long>(0, begin);
+       i < std::min<long long>(static_cast<long long>(trace.size()), end);
+       ++i) {
+    const double t = static_cast<double>(i) / rate_hz - start_s;
+    trace[static_cast<std::size_t>(i)] +=
+        channel_gain * artifact_value(p, t);
+  }
+}
+
+}  // namespace p2auth::ppg

@@ -1,0 +1,60 @@
+// Keystroke-induced PPG artifact model.
+//
+// A thumb keystroke contracts wrist flexor muscles and deforms the
+// vasculature under the watch, producing a transient in the PPG that is
+// larger than the heartbeat peaks (paper section III-B).  The transient's
+// shape depends on (a) the user's tissue/hand anatomy and habits and
+// (b) which key is pressed (reach direction and distance change the
+// muscle recruitment).  We model it as a damped oscillation under an
+// asymmetric rise/decay envelope plus a slower blood-refill rebound lobe.
+//
+// Parameters for a (user, key) pair are derived *deterministically* from
+// the user's latent seed and the key's pad geometry, so the same user
+// pressing the same key always has the same underlying template; each
+// individual keystroke then adds small intra-trial variation scaled by
+// (1 - stability).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ppg/profile.hpp"
+#include "util/rng.hpp"
+
+namespace p2auth::ppg {
+
+// The canonical artifact template parameters for one (user, key) pair.
+struct ArtifactParams {
+  double amplitude = 2.5;       // main lobe amplitude (in heartbeat units)
+  double latency_s = 0.05;      // press-to-artifact delay
+  double rise_s = 0.06;         // envelope rise time constant
+  double decay_s = 0.18;        // envelope decay time constant
+  double osc_freq_hz = 4.0;     // damped oscillation frequency
+  double osc_phase = 0.0;
+  double rebound_amp = 0.6;     // secondary blood-refill lobe
+  double rebound_delay_s = 0.35;
+  double rebound_width_s = 0.12;
+  double sign = 1.0;            // direction of the blood-volume change
+};
+
+// Deterministic per-(user, key) template parameters.  Same (profile, key)
+// always yields the same parameters.
+ArtifactParams artifact_params(const UserProfile& user, char key);
+
+// One concrete keystroke's parameters: the template plus intra-trial
+// variation drawn from `rng`, scaled by the user's behavioural stability.
+ArtifactParams perturb_params(const ArtifactParams& base, double stability,
+                              util::Rng& rng);
+
+// Evaluates the artifact waveform at time `t_since_press` seconds after
+// the key press (0 for t < latency ramp; decays to ~0 after ~1 s).
+double artifact_value(const ArtifactParams& p, double t_since_press) noexcept;
+
+// Adds one keystroke artifact into `trace` (sampled at `rate_hz`), pressed
+// at `press_time_s`, scaled by `channel_gain`, delayed by
+// `channel_delay_s`.  Rendering covers [press, press + 1.5 s].
+void render_artifact(std::span<double> trace, double rate_hz,
+                     double press_time_s, const ArtifactParams& p,
+                     double channel_gain, double channel_delay_s);
+
+}  // namespace p2auth::ppg

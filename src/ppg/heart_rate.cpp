@@ -1,0 +1,130 @@
+#include "ppg/heart_rate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "signal/detrend.hpp"
+
+namespace p2auth::ppg {
+
+std::optional<HeartRateEstimate> estimate_heart_rate(
+    std::span<const double> window, double rate_hz,
+    const HeartRateOptions& options) {
+  if (rate_hz <= 0.0) {
+    throw std::invalid_argument("estimate_heart_rate: rate must be positive");
+  }
+  if (window.empty()) {
+    throw std::invalid_argument("estimate_heart_rate: empty window");
+  }
+  if (options.min_bpm <= 0.0 || options.max_bpm <= options.min_bpm) {
+    throw std::invalid_argument("estimate_heart_rate: bad bpm band");
+  }
+  // Remove slow drift so the autocorrelation sees the pulse, not wander.
+  const std::vector<double> x =
+      signal::detrend_smoothness_priors(window, 50.0);
+  const std::size_t n = x.size();
+
+  const auto lag_min = static_cast<std::size_t>(
+      std::floor(rate_hz * 60.0 / options.max_bpm));
+  const auto lag_max = static_cast<std::size_t>(
+      std::ceil(rate_hz * 60.0 / options.min_bpm));
+  if (lag_min < 2 || lag_max + 2 >= n) return std::nullopt;  // window too
+                                                             // short
+
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(n);
+  double c0 = 0.0;
+  for (const double v : x) c0 += (v - mean) * (v - mean);
+  if (c0 < 1e-12) return std::nullopt;  // flatline
+
+  // Normalised autocorrelation over the physiological lag band.
+  double best_value = -1.0;
+  std::size_t best_lag = 0;
+  std::vector<double> ac(lag_max + 1, 0.0);
+  for (std::size_t lag = lag_min; lag <= lag_max; ++lag) {
+    double c = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i) {
+      c += (x[i] - mean) * (x[i + lag] - mean);
+    }
+    // Length-corrected normalisation keeps long lags comparable.
+    const double norm =
+        c0 * static_cast<double>(n - lag) / static_cast<double>(n);
+    ac[lag] = norm > 1e-12 ? c / norm : 0.0;
+    if (ac[lag] > best_value) {
+      best_value = ac[lag];
+      best_lag = lag;
+    }
+  }
+  // Require a local peak, not a band-edge artifact.
+  if (best_lag <= lag_min || best_lag >= lag_max) {
+    // Allow edge hits only when decisively periodic.
+    if (best_value < options.min_periodicity + 0.2) return std::nullopt;
+  }
+  if (best_value < options.min_periodicity) return std::nullopt;
+
+  // Parabolic refinement around the peak for sub-lag precision.
+  double refined = static_cast<double>(best_lag);
+  if (best_lag > lag_min && best_lag < lag_max) {
+    const double y0 = ac[best_lag - 1], y1 = ac[best_lag],
+                 y2 = ac[best_lag + 1];
+    const double denom = y0 - 2.0 * y1 + y2;
+    if (std::abs(denom) > 1e-12) {
+      refined += 0.5 * (y0 - y2) / denom;
+    }
+  }
+  HeartRateEstimate estimate;
+  estimate.bpm = 60.0 * rate_hz / refined;
+  estimate.periodicity = best_value;
+  return estimate;
+}
+
+WearReport detect_wear(std::span<const double> trace, double rate_hz,
+                       const WearDetectorOptions& options) {
+  if (rate_hz <= 0.0) {
+    throw std::invalid_argument("detect_wear: rate must be positive");
+  }
+  if (options.window_s <= 0.0 || options.hop_s <= 0.0) {
+    throw std::invalid_argument("detect_wear: bad window/hop");
+  }
+  WearReport report;
+  const auto window_n = static_cast<std::size_t>(options.window_s * rate_hz);
+  const auto hop_n = static_cast<std::size_t>(options.hop_s * rate_hz);
+  if (window_n == 0 || hop_n == 0 || trace.size() < window_n) {
+    return report;  // not enough data: treat as not worn
+  }
+  std::vector<double> bpms;
+  double previous_bpm = 0.0;
+  for (std::size_t start = 0; start + window_n <= trace.size();
+       start += hop_n) {
+    ++report.windows_total;
+    const auto estimate = estimate_heart_rate(
+        trace.subspan(start, window_n), rate_hz, options.heart_rate);
+    if (!estimate.has_value()) {
+      previous_bpm = 0.0;
+      continue;
+    }
+    // Consistency: the rhythm must not jump implausibly between windows.
+    if (previous_bpm > 0.0 &&
+        std::abs(estimate->bpm - previous_bpm) > options.max_bpm_jump) {
+      previous_bpm = estimate->bpm;
+      continue;
+    }
+    previous_bpm = estimate->bpm;
+    ++report.windows_with_rhythm;
+    bpms.push_back(estimate->bpm);
+  }
+  if (report.windows_total == 0) return report;
+  const double fraction = static_cast<double>(report.windows_with_rhythm) /
+                          static_cast<double>(report.windows_total);
+  report.worn = fraction >= options.min_rhythm_fraction;
+  if (!bpms.empty()) {
+    auto mid = bpms.begin() + static_cast<long>(bpms.size() / 2);
+    std::nth_element(bpms.begin(), mid, bpms.end());
+    report.median_bpm = *mid;
+  }
+  return report;
+}
+
+}  // namespace p2auth::ppg

@@ -1,0 +1,68 @@
+// Heart-rate estimation and wear detection from PPG.
+//
+// P2Auth's deployment story (paper section VI) authenticates once when
+// the watch is put on and then trusts the session for as long as the
+// watch stays on the wrist, detected "based on the heart rate status".
+// This module supplies that substrate: a windowed autocorrelation-based
+// heart-rate estimator and a wear detector that checks for a plausible,
+// stable cardiac rhythm.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace p2auth::ppg {
+
+struct HeartRateOptions {
+  // Physiological search band for the beat period.
+  double min_bpm = 40.0;
+  double max_bpm = 180.0;
+  // Minimum normalised autocorrelation at the detected period for the
+  // estimate to count as a rhythm (0 = anything, 1 = perfect periodicity).
+  double min_periodicity = 0.35;
+};
+
+struct HeartRateEstimate {
+  double bpm = 0.0;
+  // Autocorrelation peak value at the estimated period (confidence).
+  double periodicity = 0.0;
+};
+
+// Estimates the heart rate of a PPG window (>= ~3 beats long) sampled at
+// `rate_hz`.  Returns std::nullopt when no rhythm in the physiological
+// band passes the periodicity bar (sensor off-wrist, flatlined, or pure
+// noise).  Throws std::invalid_argument on a non-positive rate or an
+// empty window.
+std::optional<HeartRateEstimate> estimate_heart_rate(
+    std::span<const double> window, double rate_hz,
+    const HeartRateOptions& options = {});
+
+struct WearDetectorOptions {
+  HeartRateOptions heart_rate{};
+  // Analysis window and hop, in seconds.
+  double window_s = 4.0;
+  double hop_s = 1.0;
+  // Fraction of windows that must show a rhythm for "worn".
+  double min_rhythm_fraction = 0.6;
+  // Maximum beat-to-beat drift between adjacent windows for the rhythm
+  // to count as one continuous heart (bpm difference).
+  double max_bpm_jump = 25.0;
+};
+
+struct WearReport {
+  bool worn = false;
+  // Median of the windowed bpm estimates (0 if none).
+  double median_bpm = 0.0;
+  std::size_t windows_total = 0;
+  std::size_t windows_with_rhythm = 0;
+};
+
+// Decides whether the trace comes from a worn watch: a sufficient
+// fraction of analysis windows must carry a mutually consistent cardiac
+// rhythm.  Used to gate authentication sessions (re-authenticate whenever
+// the watch is taken off).
+WearReport detect_wear(std::span<const double> trace, double rate_hz,
+                       const WearDetectorOptions& options = {});
+
+}  // namespace p2auth::ppg

@@ -1,0 +1,68 @@
+#include "ppg/noise_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace p2auth::ppg {
+
+void add_baseline_wander(std::span<double> trace, double rate_hz,
+                         const NoiseOptions& options, util::Rng& rng) {
+  if (rate_hz <= 0.0) {
+    throw std::invalid_argument("add_baseline_wander: rate must be positive");
+  }
+  const std::size_t n = trace.size();
+  if (n == 0) return;
+  // Slow sinusoids with random frequency/phase/amplitude.
+  struct Component {
+    double freq, phase, amp;
+  };
+  std::vector<Component> comps;
+  for (int c = 0; c < options.wander_components; ++c) {
+    comps.push_back({rng.uniform(options.wander_min_hz, options.wander_max_hz),
+                     rng.uniform(0.0, 2.0 * std::numbers::pi),
+                     options.wander_amplitude * rng.uniform(0.3, 1.0) /
+                         std::max(1, options.wander_components)});
+  }
+  // Bounded random walk (mean-reverting) for the aperiodic part.
+  double walk = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / rate_hz;
+    double v = 0.0;
+    for (const auto& c : comps) {
+      v += c.amp * std::sin(2.0 * std::numbers::pi * c.freq * t + c.phase);
+    }
+    walk += rng.normal(0.0, options.walk_step);
+    walk *= 0.999;  // mean reversion keeps the walk bounded
+    trace[i] += v + walk;
+  }
+}
+
+void add_white_noise(std::span<double> trace, const NoiseOptions& options,
+                     util::Rng& rng) {
+  for (double& v : trace) v += rng.normal(0.0, options.white_sigma);
+}
+
+void add_impulse_noise(std::span<double> trace, double rate_hz,
+                       const NoiseOptions& options, util::Rng& rng) {
+  if (rate_hz <= 0.0) {
+    throw std::invalid_argument("add_impulse_noise: rate must be positive");
+  }
+  const double p_per_sample = options.impulse_rate_hz / rate_hz;
+  for (double& v : trace) {
+    if (rng.uniform() < p_per_sample) {
+      const double sign = rng.uniform() < 0.5 ? -1.0 : 1.0;
+      v += sign * options.impulse_amplitude * rng.uniform(0.5, 1.0);
+    }
+  }
+}
+
+void add_all_noise(std::span<double> trace, double rate_hz,
+                   const NoiseOptions& options, util::Rng& rng) {
+  add_baseline_wander(trace, rate_hz, options, rng);
+  add_white_noise(trace, options, rng);
+  add_impulse_noise(trace, rate_hz, options, rng);
+}
+
+}  // namespace p2auth::ppg

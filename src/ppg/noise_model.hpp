@@ -1,0 +1,48 @@
+// Measurement noise models for low-cost PPG front-ends.
+//
+// Three components (paper sections III/IV motivate each):
+//   * baseline wander — slow non-linear drift (respiration, sensor
+//     contact pressure changes); the reason the pipeline detrends before
+//     short-time-energy analysis;
+//   * white measurement noise — ADC/LED shot noise; suppressed by the
+//     median filter;
+//   * impulsive noise — occasional contact glitches; the median filter's
+//     main target.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace p2auth::ppg {
+
+struct NoiseOptions {
+  double wander_amplitude = 1.2;   // baseline drift magnitude
+  double wander_min_hz = 0.04;
+  double wander_max_hz = 0.30;
+  int wander_components = 3;       // number of slow sinusoids
+  double walk_step = 0.015;        // slow random-walk component per sample
+  double white_sigma = 0.12;       // Gaussian measurement noise
+  double impulse_rate_hz = 0.4;    // expected impulses per second
+  double impulse_amplitude = 3.0;  // impulse magnitude (either sign)
+};
+
+// Adds baseline wander (sum of slow sinusoids + bounded random walk) into
+// `trace` at `rate_hz`.
+void add_baseline_wander(std::span<double> trace, double rate_hz,
+                         const NoiseOptions& options, util::Rng& rng);
+
+// Adds white Gaussian measurement noise.
+void add_white_noise(std::span<double> trace, const NoiseOptions& options,
+                     util::Rng& rng);
+
+// Adds sparse impulsive glitches.
+void add_impulse_noise(std::span<double> trace, double rate_hz,
+                       const NoiseOptions& options, util::Rng& rng);
+
+// Convenience: all three, in the order wander -> white -> impulses.
+void add_all_noise(std::span<double> trace, double rate_hz,
+                   const NoiseOptions& options, util::Rng& rng);
+
+}  // namespace p2auth::ppg

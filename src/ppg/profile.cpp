@@ -1,0 +1,68 @@
+#include "ppg/profile.hpp"
+
+#include <algorithm>
+
+namespace p2auth::ppg {
+
+UserProfile UserProfile::sample(std::uint32_t user_id, util::Rng& rng) {
+  UserProfile u;
+  u.user_id = user_id;
+  u.name = "user" + std::to_string(user_id);
+
+  // Cardiac physiology: resting HR 58-92 bpm, individual pulse morphology.
+  u.cardiac.heart_rate_bpm = rng.uniform(58.0, 92.0);
+  u.cardiac.hrv_fraction = rng.uniform(0.02, 0.07);
+  u.cardiac.respiration_hz = rng.uniform(0.18, 0.32);
+  u.cardiac.systolic_amp = rng.uniform(0.8, 1.2);
+  u.cardiac.systolic_width = rng.uniform(0.08, 0.13);
+  u.cardiac.systolic_center = rng.uniform(0.18, 0.26);
+  u.cardiac.dicrotic_amp = rng.uniform(0.2, 0.5);
+  u.cardiac.dicrotic_width = rng.uniform(0.09, 0.15);
+  u.cardiac.dicrotic_center = rng.uniform(0.45, 0.60);
+  u.cardiac.diastolic_decay = rng.uniform(2.2, 3.4);
+
+  // Hand/tissue latent factors — deliberately wide ranges: these carry the
+  // identity information (the paper's feasibility study found inter-user
+  // artifact differences to be large).
+  // Floor at 0.55: the paper's feasibility study found keystroke
+  // artifacts consistently larger than heartbeat peaks for every
+  // volunteer, so no user's artifacts sink to the heartbeat level.
+  u.hand.amplitude_scale = std::max(0.55, rng.lognormal(0.0, 0.50));
+  u.hand.latency_s = rng.uniform(0.015, 0.12);
+  u.hand.rise_scale = rng.lognormal(0.0, 0.42);
+  u.hand.decay_scale = rng.lognormal(0.0, 0.42);
+  u.hand.osc_freq_hz = rng.uniform(2.0, 7.5);
+  u.hand.osc_phase = rng.uniform(0.0, 6.28318530717958647692);
+  u.hand.rebound_scale = rng.lognormal(0.0, 0.55);
+  u.hand.asymmetry = rng.uniform(-0.9, 0.9);
+
+  u.timing = keystroke::TimingProfile::sample(rng);
+
+  // Behavioural stability: most users repeatable, a tail of noisy users
+  // (mirrors the paper's volunteer 8 vs volunteer 11 observation).
+  u.stability = std::clamp(rng.normal(0.85, 0.10), 0.55, 0.98);
+
+  // Channel couplings.  Channels 0/1 belong to PPG sensor 1 (inner wrist,
+  // IR and red), channels 2/3 to sensor 2 on the other side of the wrist.
+  // IR penetrates deeper tissue -> stronger, cleaner artifact pickup; red
+  // is shallower.  Sensor 2 sits over different vasculature: lower and
+  // more variable coupling, sometimes inverted.
+  for (std::size_t c = 0; c < kMaxChannels; ++c) {
+    ChannelCoupling& cc = u.coupling[c];
+    const bool infrared = (c % 2 == 0);
+    const bool sensor2 = (c >= 2);
+    cc.cardiac_gain = rng.uniform(0.8, 1.2) * (infrared ? 1.0 : 0.85);
+    double art = rng.uniform(0.85, 1.25) * (infrared ? 1.0 : 0.62);
+    if (sensor2) {
+      art *= rng.uniform(0.6, 1.0);
+      if (rng.uniform() < 0.3) art = -art;  // opposite-side sign flip
+    }
+    cc.artifact_gain = art;
+    cc.artifact_delay_s = sensor2 ? rng.uniform(0.0, 0.03) : 0.0;
+  }
+
+  u.latent_seed = rng.next_u64();
+  return u;
+}
+
+}  // namespace p2auth::ppg

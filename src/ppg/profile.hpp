@@ -1,0 +1,87 @@
+// Per-user physiological and behavioural profiles.
+//
+// This is the synthetic stand-in for the paper's 15 human volunteers
+// (see DESIGN.md, substitution table).  A profile captures exactly the
+// latent structure the paper's feasibility study observed:
+//
+//   * users differ in tissue structure / wearing position / keystroke
+//     habit  -> inter-user differences in keystroke-induced PPG patterns;
+//   * the same user pressing different keys produces different patterns
+//     -> per-key differences within a user;
+//   * patterns are stable over time -> small intra-user variation, with a
+//     per-user behavioural stability factor (the paper notes volunteer 8
+//     was very stable while volunteer 11 was noisy).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "keystroke/timing.hpp"
+#include "util/rng.hpp"
+
+namespace p2auth::ppg {
+
+// Cardiac (pulse wave) parameters.
+struct CardiacProfile {
+  double heart_rate_bpm = 72.0;
+  double hrv_fraction = 0.04;      // beat-to-beat RR variation
+  double respiration_hz = 0.25;    // respiratory sinus arrhythmia rate
+  double systolic_amp = 1.0;       // systolic peak height
+  double systolic_width = 0.10;    // in beat-phase units
+  double systolic_center = 0.22;   // phase of systolic peak
+  double dicrotic_amp = 0.35;      // dicrotic (reflected) wave height
+  double dicrotic_width = 0.12;
+  double dicrotic_center = 0.52;
+  double diastolic_decay = 2.8;    // exponential tail shape
+};
+
+// Latent hand/tissue factors that shape keystroke artifacts.  Two users
+// with different factors produce visibly different artifact waveforms for
+// the same key.
+struct HandFactors {
+  double amplitude_scale = 1.0;   // overall artifact strength
+  double latency_s = 0.05;        // neuromuscular latency after the press
+  double rise_scale = 1.0;        // envelope rise-time scale
+  double decay_scale = 1.0;       // envelope decay-time scale
+  double osc_freq_hz = 4.0;       // damped-oscillation frequency
+  double osc_phase = 0.0;
+  double rebound_scale = 1.0;     // secondary blood-refill lobe strength
+  double asymmetry = 0.0;         // press/release asymmetry in [-1, 1]
+};
+
+// Channel coupling: how strongly each sensor channel picks up cardiac and
+// artifact components for this wearer (wearing position and skin/tissue
+// dependent).
+struct ChannelCoupling {
+  double cardiac_gain = 1.0;
+  double artifact_gain = 1.0;
+  double artifact_delay_s = 0.0;  // propagation offset to this sensor site
+};
+
+inline constexpr std::size_t kMaxChannels = 4;
+
+struct UserProfile {
+  std::uint32_t user_id = 0;
+  std::string name;
+
+  CardiacProfile cardiac;
+  HandFactors hand;
+  keystroke::TimingProfile timing;
+
+  // Behavioural stability in (0, 1]: 1 = perfectly repeatable keystrokes;
+  // smaller values add intra-user variation (extra micro-movements).
+  double stability = 0.85;
+
+  // Per-channel couplings (index = channel id, up to kMaxChannels).
+  ChannelCoupling coupling[kMaxChannels];
+
+  // Deterministic per-user seed from which per-(user, key) artifact
+  // parameters are derived.
+  std::uint64_t latent_seed = 0;
+
+  // Samples a complete random user.  `rng` is consumed; the profile is
+  // fully determined by the draws (no hidden globals).
+  static UserProfile sample(std::uint32_t user_id, util::Rng& rng);
+};
+
+}  // namespace p2auth::ppg

@@ -1,0 +1,66 @@
+#include "ppg/pulse_model.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace p2auth::ppg {
+
+namespace {
+
+double gaussian(double x, double center, double width) noexcept {
+  const double d = (x - center) / width;
+  return std::exp(-0.5 * d * d);
+}
+
+}  // namespace
+
+double beat_template(const CardiacProfile& cardiac, double phi) noexcept {
+  // Wrap phase into [0, 1).
+  phi -= std::floor(phi);
+  const double systolic =
+      cardiac.systolic_amp *
+      gaussian(phi, cardiac.systolic_center, cardiac.systolic_width);
+  const double dicrotic =
+      cardiac.dicrotic_amp *
+      gaussian(phi, cardiac.dicrotic_center, cardiac.dicrotic_width);
+  // Diastolic runoff: a decaying baseline over the beat keeps the template
+  // asymmetric like a real PPG pulse.
+  const double runoff = 0.15 * std::exp(-cardiac.diastolic_decay * phi);
+  return systolic + dicrotic + runoff;
+}
+
+std::vector<double> generate_cardiac(const CardiacProfile& cardiac,
+                                     std::size_t n, double rate_hz,
+                                     util::Rng& rng) {
+  if (rate_hz <= 0.0) {
+    throw std::invalid_argument("generate_cardiac: rate must be positive");
+  }
+  std::vector<double> out(n, 0.0);
+  const double dt = 1.0 / rate_hz;
+  const double base_period = 60.0 / cardiac.heart_rate_bpm;
+
+  double phase = rng.uniform();  // random beat phase at trace start
+  double beat_jitter = 1.0;
+  const double resp_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  double t = 0.0;
+  double last_phase = phase;
+  for (std::size_t i = 0; i < n; ++i, t += dt) {
+    // Respiratory sinus arrhythmia modulates the instantaneous rate, and
+    // per-beat jitter re-draws when we roll over a beat boundary.
+    const double rsa =
+        1.0 + cardiac.hrv_fraction *
+                  std::sin(2.0 * std::numbers::pi * cardiac.respiration_hz * t +
+                           resp_phase);
+    const double period = base_period * beat_jitter / rsa;
+    phase += dt / period;
+    if (std::floor(phase) > std::floor(last_phase)) {
+      beat_jitter = std::max(0.85, rng.normal(1.0, cardiac.hrv_fraction));
+    }
+    last_phase = phase;
+    out[i] = beat_template(cardiac, phase);
+  }
+  return out;
+}
+
+}  // namespace p2auth::ppg

@@ -1,0 +1,28 @@
+// Cardiac pulse-wave generator.
+//
+// Produces the heartbeat component of a PPG trace: a per-user beat
+// template (systolic peak + dicrotic wave on an exponential diastolic
+// tail) driven by a beat clock with heart-rate variability (respiratory
+// sinus arrhythmia + per-beat jitter).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ppg/profile.hpp"
+#include "util/rng.hpp"
+
+namespace p2auth::ppg {
+
+// Beat template value at phase phi in [0, 1).
+double beat_template(const CardiacProfile& cardiac, double phi) noexcept;
+
+// Generates `n` samples of the cardiac component at `rate_hz`.  `rng`
+// drives HRV; the same profile with different rng states yields the same
+// morphology with different beat timing, which is exactly the intra-user
+// variation real PPG shows.
+std::vector<double> generate_cardiac(const CardiacProfile& cardiac,
+                                     std::size_t n, double rate_hz,
+                                     util::Rng& rng);
+
+}  // namespace p2auth::ppg

@@ -1,0 +1,54 @@
+#include "ppg/sensor.hpp"
+
+#include <stdexcept>
+
+namespace p2auth::ppg {
+
+std::string ChannelConfig::label() const {
+  std::string s = "sensor";
+  s += std::to_string(sensor_site + 1);
+  s += (wavelength == Wavelength::kInfrared) ? "-ir" : "-red";
+  return s;
+}
+
+SensorConfig SensorConfig::prototype_wristband() {
+  SensorConfig cfg;
+  cfg.rate_hz = 100.0;
+  for (int site = 0; site < 2; ++site) {
+    for (const Wavelength w : {Wavelength::kInfrared, Wavelength::kRed}) {
+      ChannelConfig ch;
+      ch.wavelength = w;
+      ch.sensor_site = site;
+      // Red channels pick up more measurement noise (shallower penetration,
+      // more ambient contamination).
+      if (w == Wavelength::kRed) {
+        ch.noise.white_sigma = 0.24;
+        ch.noise.impulse_rate_hz = 0.6;
+      }
+      ch.coupling_index = cfg.channels.size();
+      cfg.channels.push_back(ch);
+    }
+  }
+  return cfg;
+}
+
+SensorConfig SensorConfig::with_channels(std::size_t n) {
+  SensorConfig cfg = prototype_wristband();
+  if (n == 0 || n > cfg.channels.size()) {
+    throw std::invalid_argument("SensorConfig::with_channels: 1..4");
+  }
+  cfg.channels.resize(n);
+  return cfg;
+}
+
+SensorConfig SensorConfig::single_channel(std::size_t index) {
+  SensorConfig cfg = prototype_wristband();
+  if (index >= cfg.channels.size()) {
+    throw std::invalid_argument("SensorConfig::single_channel: 0..3");
+  }
+  const ChannelConfig keep = cfg.channels[index];
+  cfg.channels.assign(1, keep);
+  return cfg;
+}
+
+}  // namespace p2auth::ppg

@@ -1,0 +1,45 @@
+// Sensor/channel configuration for the simulated wearable prototype.
+//
+// The paper's prototype carries two MAX30101 modules on the inner wrist,
+// each with red and infrared LEDs, i.e. up to four PPG channels sampled
+// at 100 Hz.  Channel ids here:
+//   0 = sensor 1, infrared     1 = sensor 1, red
+//   2 = sensor 2, infrared     3 = sensor 2, red
+// Infrared penetrates deeper (better artifact SNR); red is shallower and
+// noisier — the asymmetry behind the paper's Fig. 13b.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ppg/noise_model.hpp"
+
+namespace p2auth::ppg {
+
+enum class Wavelength { kInfrared, kRed };
+
+struct ChannelConfig {
+  Wavelength wavelength = Wavelength::kInfrared;
+  int sensor_site = 0;  // 0 = sensor 1, 1 = sensor 2
+  // Which per-user ChannelCoupling this physical channel maps to (its
+  // position in the full 4-channel prototype).  Keeps couplings stable
+  // when a configuration selects a channel subset.
+  std::size_t coupling_index = 0;
+  NoiseOptions noise;
+
+  std::string label() const;
+};
+
+struct SensorConfig {
+  double rate_hz = 100.0;  // per-channel PPG sampling rate (paper: 100 Hz)
+  std::vector<ChannelConfig> channels;
+
+  // The paper's 4-channel prototype.
+  static SensorConfig prototype_wristband();
+  // First `n` channels of the prototype (Fig. 13a sweep).
+  static SensorConfig with_channels(std::size_t n);
+  // Exactly one prototype channel (Fig. 13b per-channel comparison).
+  static SensorConfig single_channel(std::size_t index);
+};
+
+}  // namespace p2auth::ppg

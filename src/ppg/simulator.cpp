@@ -1,0 +1,126 @@
+#include "ppg/simulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ppg/artifact_model.hpp"
+#include "ppg/pulse_model.hpp"
+
+namespace p2auth::ppg {
+
+MultiChannelTrace simulate_entry(const UserProfile& user,
+                                 const keystroke::EntryRecord& entry,
+                                 const SensorConfig& sensors, util::Rng& rng,
+                                 const SimulationOptions& options) {
+  if (sensors.channels.empty()) {
+    throw std::invalid_argument("simulate_entry: no channels configured");
+  }
+  if (sensors.channels.size() > kMaxChannels) {
+    throw std::invalid_argument("simulate_entry: too many channels");
+  }
+  const double duration_s = keystroke::entry_duration_s(entry);
+  const auto n =
+      static_cast<std::size_t>(std::ceil(duration_s * sensors.rate_hz));
+
+  MultiChannelTrace trace;
+  trace.rate_hz = sensors.rate_hz;
+  trace.channels.resize(sensors.channels.size());
+
+  // Session (per-entry) variability: every time the watch is worn the
+  // sensor sits slightly differently, changing optical coupling and the
+  // press-to-artifact propagation.  This is the dominant source of
+  // intra-user variation in real wrist PPG and the reason short
+  // single-keystroke segments authenticate less reliably than the full
+  // four-keystroke waveform.
+  util::Rng session_rng = rng.fork("session");
+  // Back-of-wrist wearing (paper section VI): the sensors sit over bone
+  // and extensor tendons instead of the flexor muscle bed — weaker
+  // artifact pickup and much less repeatable placement.
+  const bool back_of_wrist =
+      options.wearing == WearingPosition::kBackOfWrist;
+  const double position_gain = back_of_wrist ? 0.55 : 1.0;
+  const double session_sigma = back_of_wrist ? 0.45 : 0.18;
+  double session_artifact_gain[kMaxChannels];
+  double session_cardiac_gain[kMaxChannels];
+  for (std::size_t c = 0; c < kMaxChannels; ++c) {
+    session_artifact_gain[c] =
+        position_gain * session_rng.lognormal(0.0, session_sigma);
+    session_cardiac_gain[c] = session_rng.lognormal(0.0, 0.12);
+  }
+  // Common wrist-pose latency offset applied to every keystroke of the
+  // entry.
+  const double session_latency_s = session_rng.uniform(-0.03, 0.03);
+
+  // The cardiac beat clock is shared across channels (one heart); each
+  // channel scales it by its coupling.  Artifact intra-trial variation is
+  // also shared: the physical keystroke is one event seen by all channels.
+  util::Rng cardiac_rng = rng.fork("cardiac");
+  const std::vector<double> cardiac =
+      generate_cardiac(user.cardiac, n, sensors.rate_hz, cardiac_rng);
+
+  // Draw the concrete per-keystroke artifact parameters once.
+  util::Rng artifact_rng = rng.fork("artifact");
+  std::vector<ArtifactParams> per_event;
+  per_event.reserve(entry.events.size());
+  for (const auto& e : entry.events) {
+    if (e.hand != keystroke::Hand::kWatchHand) {
+      per_event.emplace_back();  // placeholder, unused
+      continue;
+    }
+    const ArtifactParams base = artifact_params(user, e.digit);
+    per_event.push_back(perturb_params(base, user.stability, artifact_rng));
+  }
+
+  for (std::size_t c = 0; c < sensors.channels.size(); ++c) {
+    if (sensors.channels[c].coupling_index >= kMaxChannels) {
+      throw std::invalid_argument("simulate_entry: bad coupling index");
+    }
+    const std::size_t ci = sensors.channels[c].coupling_index;
+    const ChannelCoupling& coupling = user.coupling[ci];
+    std::vector<double>& ch = trace.channels[c];
+    ch.assign(n, 0.0);
+    const double cardiac_gain =
+        coupling.cardiac_gain * session_cardiac_gain[ci];
+    const double artifact_gain =
+        coupling.artifact_gain * session_artifact_gain[ci];
+    for (std::size_t i = 0; i < n; ++i) {
+      ch[i] = cardiac_gain * cardiac[i];
+    }
+    for (std::size_t e = 0; e < entry.events.size(); ++e) {
+      const auto& ev = entry.events[e];
+      if (ev.hand != keystroke::Hand::kWatchHand) continue;
+      render_artifact(ch, sensors.rate_hz, ev.true_time_s + session_latency_s,
+                      per_event[e], artifact_gain,
+                      coupling.artifact_delay_s);
+    }
+    if (options.activity == ActivityState::kWalking) {
+      // Gait artifact: arm swing at ~0.8-1.1 Hz with a strong second
+      // harmonic (each step), amplitude on the order of the keystroke
+      // artifacts themselves — this is what makes walking entries
+      // unusable for authentication.
+      util::Rng gait_rng = rng.fork(0x6a17ULL + c);
+      const double swing_hz = gait_rng.uniform(0.8, 1.1);
+      const double amp = gait_rng.uniform(2.0, 4.0);
+      const double phase1 = gait_rng.uniform(0.0, 6.28318530717958647692);
+      const double phase2 = gait_rng.uniform(0.0, 6.28318530717958647692);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) / sensors.rate_hz;
+        ch[i] += amp * std::sin(2.0 * 3.14159265358979323846 * swing_hz * t +
+                                phase1) +
+                 0.6 * amp *
+                     std::sin(2.0 * 3.14159265358979323846 * 2.0 * swing_hz *
+                                  t +
+                              phase2) +
+                 gait_rng.normal(0.0, 0.25 * amp);  // impact noise
+      }
+    }
+    if (options.noise_enabled) {
+      util::Rng noise_rng = rng.fork(0xC0FFEE00ULL + c);
+      add_all_noise(ch, sensors.rate_hz, sensors.channels[c].noise,
+                    noise_rng);
+    }
+  }
+  return trace;
+}
+
+}  // namespace p2auth::ppg

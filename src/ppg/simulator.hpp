@@ -1,0 +1,59 @@
+// Multi-channel PPG trace simulation for one PIN-entry session.
+//
+// Composes, per channel:
+//   cardiac pulse wave (per-user morphology, HRV)
+//   + keystroke artifacts (per-(user, key) templates, watch hand only)
+//   + baseline wander + white noise + impulsive glitches.
+//
+// The output is what the paper's wearable prototype streams to the host:
+// raw channel samples plus the smartphone's (coarse) keystroke log.
+#pragma once
+
+#include <vector>
+
+#include "keystroke/events.hpp"
+#include "ppg/profile.hpp"
+#include "ppg/sensor.hpp"
+#include "util/rng.hpp"
+
+namespace p2auth::ppg {
+
+struct MultiChannelTrace {
+  double rate_hz = 100.0;
+  // One series per configured channel, all the same length.
+  std::vector<std::vector<double>> channels;
+
+  std::size_t num_channels() const noexcept { return channels.size(); }
+  std::size_t length() const noexcept {
+    return channels.empty() ? 0 : channels.front().size();
+  }
+};
+
+// Watch wearing position (paper section VI, "Impact of watch wearing
+// habits"): keystrokes are most visible to sensors over the inner-wrist
+// flexor muscles; wearing the watch on the back of the wrist weakens the
+// coupling and makes it far less repeatable, degrading authentication.
+enum class WearingPosition { kInnerWrist, kBackOfWrist };
+
+// Gross body activity during the entry (paper section VI, "Impact of
+// moving hands"): authentication-grade entries happen while seated /
+// static; walking adds strong periodic gait artifacts across every
+// channel that swamp the keystroke signal — the reason the paper gates
+// authentication on (near-)static episodes.
+enum class ActivityState { kStatic, kWalking };
+
+struct SimulationOptions {
+  bool noise_enabled = true;
+  WearingPosition wearing = WearingPosition::kInnerWrist;
+  ActivityState activity = ActivityState::kStatic;
+};
+
+// Simulates the PPG channels for `entry` performed by `user` on the given
+// sensor configuration.  `rng` drives all stochastic components (HRV,
+// intra-trial artifact variation, noise).
+MultiChannelTrace simulate_entry(const UserProfile& user,
+                                 const keystroke::EntryRecord& entry,
+                                 const SensorConfig& sensors, util::Rng& rng,
+                                 const SimulationOptions& options = {});
+
+}  // namespace p2auth::ppg

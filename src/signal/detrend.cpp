@@ -1,0 +1,34 @@
+#include "signal/detrend.hpp"
+
+#include <stdexcept>
+
+#include "linalg/banded.hpp"
+
+namespace p2auth::signal {
+
+std::vector<double> smoothness_priors_trend(std::span<const double> y,
+                                            double lambda) {
+  if (lambda < 0.0) {
+    throw std::invalid_argument("detrend: lambda must be non-negative");
+  }
+  const std::size_t n = y.size();
+  if (n < 3) {
+    // Degenerate: the trend is the mean.
+    double m = 0.0;
+    for (const double v : y) m += v;
+    if (n > 0) m /= static_cast<double>(n);
+    return std::vector<double>(n, m);
+  }
+  const auto a = linalg::SymmetricBanded::smoothness_prior(n, lambda);
+  return linalg::BandedCholesky(a).solve(y);
+}
+
+std::vector<double> detrend_smoothness_priors(std::span<const double> y,
+                                              double lambda) {
+  const std::vector<double> trend = smoothness_priors_trend(y, lambda);
+  std::vector<double> out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) out[i] = y[i] - trend[i];
+  return out;
+}
+
+}  // namespace p2auth::signal

@@ -1,0 +1,33 @@
+// Smoothness-priors detrending (Tarvainen, Ranta-aho, Karjalainen 2002).
+//
+// Implements Eq. (2)-(3) of the paper:
+//   y_detrended = y - H theta = [I - (I + lambda^2 D2^T D2)^{-1}] y
+// where D2 is the second-difference operator.  The single regularisation
+// parameter lambda controls the cut-off of the implicit time-varying
+// high-pass filter: larger lambda removes slower trends only.
+//
+// The solve uses the pentadiagonal structure of D2^T D2 (banded Cholesky),
+// so detrending a trace is O(n).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace p2auth::signal {
+
+// Default lambda follows the HRV detrending literature (and behaves well
+// for 100 Hz PPG baseline wander).
+inline constexpr double kDefaultDetrendLambda = 50.0;
+
+// Returns the detrended signal.  Series shorter than 3 samples are
+// returned mean-centered (there is no curvature to regularise).
+std::vector<double> detrend_smoothness_priors(
+    std::span<const double> y, double lambda = kDefaultDetrendLambda);
+
+// Returns the estimated trend H*theta = (I + lambda^2 D2^T D2)^{-1} y
+// (useful for the preprocessing figure and for tests: signal = trend +
+// detrended exactly).
+std::vector<double> smoothness_priors_trend(
+    std::span<const double> y, double lambda = kDefaultDetrendLambda);
+
+}  // namespace p2auth::signal

@@ -1,0 +1,64 @@
+#include "signal/dtw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace p2auth::signal {
+
+double dtw_distance(std::span<const double> a, std::span<const double> b,
+                    const DtwOptions& options) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("dtw_distance: empty series");
+  }
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Two-row DP.
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> cur(m + 1, kInf);
+  prev[0] = 0.0;
+  // Effective band: at least |n - m| so a path exists.
+  std::size_t band = options.band;
+  if (band != 0) {
+    const std::size_t diff = n > m ? n - m : m - n;
+    band = std::max(band, diff);
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    std::size_t jlo = 1, jhi = m;
+    if (band != 0) {
+      // Map row i to the proportional column and clamp the band.
+      const auto center = static_cast<long long>(
+          std::llround(static_cast<double>(i) * static_cast<double>(m) /
+                       static_cast<double>(n)));
+      jlo = static_cast<std::size_t>(
+          std::max<long long>(1, center - static_cast<long long>(band)));
+      jhi = static_cast<std::size_t>(std::min<long long>(
+          static_cast<long long>(m), center + static_cast<long long>(band)));
+    }
+    for (std::size_t j = jlo; j <= jhi; ++j) {
+      const double d = a[i - 1] - b[j - 1];
+      const double cost = d * d;
+      const double best =
+          std::min({prev[j], prev[j - 1], cur[j - 1]});
+      cur[j] = cost + best;
+    }
+    std::swap(prev, cur);
+  }
+  const double total = prev[m];
+  if (!std::isfinite(total)) {
+    throw std::domain_error("dtw_distance: band excluded every path");
+  }
+  return std::sqrt(total);
+}
+
+double dtw_distance_normalized(std::span<const double> a,
+                               std::span<const double> b,
+                               const DtwOptions& options) {
+  return dtw_distance(a, b, options) /
+         static_cast<double>(a.size() + b.size());
+}
+
+}  // namespace p2auth::signal

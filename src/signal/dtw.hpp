@@ -1,0 +1,32 @@
+// Dynamic time warping distance.
+//
+// The manual-feature baseline reproduced from Shang & Wu (CNS 2019)
+// computes DTW between a probe waveform and enrolled templates; DTW's
+// O(n*m) cost is the source of that method's ~100x training-time
+// disadvantage in Table I.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+
+namespace p2auth::signal {
+
+struct DtwOptions {
+  // Sakoe-Chiba band half-width; 0 disables the constraint (full DP).
+  std::size_t band = 0;
+};
+
+// DTW distance with squared-difference local cost; returns
+// sqrt(accumulated cost).  Either input empty throws
+// std::invalid_argument.
+double dtw_distance(std::span<const double> a, std::span<const double> b,
+                    const DtwOptions& options = {});
+
+// Normalised DTW: dtw_distance / (len(a) + len(b)); removes the length
+// dependence so one threshold works across segment sizes.
+double dtw_distance_normalized(std::span<const double> a,
+                               std::span<const double> b,
+                               const DtwOptions& options = {});
+
+}  // namespace p2auth::signal

@@ -1,0 +1,70 @@
+#include "signal/energy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p2auth::signal {
+
+std::vector<double> short_time_energy(std::span<const double> x,
+                                      std::size_t window) {
+  if (window == 0) {
+    throw std::invalid_argument("short_time_energy: window must be >= 1");
+  }
+  const std::size_t n = x.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  const long long half = static_cast<long long>(window / 2);
+  // Prefix sums of squares for O(n) evaluation.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + x[i] * x[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    const long long lo =
+        std::max<long long>(0, static_cast<long long>(i) - half);
+    const long long hi = std::min<long long>(static_cast<long long>(n) - 1,
+                                             static_cast<long long>(i) + half);
+    out[i] = prefix[static_cast<std::size_t>(hi) + 1] -
+             prefix[static_cast<std::size_t>(lo)];
+  }
+  return out;
+}
+
+std::vector<bool> detect_keystrokes(std::span<const double> detrended,
+                                    std::span<const std::size_t> candidates,
+                                    const EnergyDetectorOptions& options) {
+  const std::size_t n = detrended.size();
+  for (const std::size_t c : candidates) {
+    if (c >= n) throw std::out_of_range("detect_keystrokes: candidate index");
+  }
+  const std::vector<double> energy =
+      short_time_energy(detrended, options.energy_window);
+  double mean_energy = 0.0;
+  for (const double e : energy) mean_energy += e;
+  if (!energy.empty()) mean_energy /= static_cast<double>(energy.size());
+  double threshold = options.threshold_fraction * mean_energy;
+  if (options.median_multiplier > 0.0 && !energy.empty()) {
+    std::vector<double> sorted = energy;
+    auto mid = sorted.begin() + static_cast<long long>(sorted.size() / 2);
+    std::nth_element(sorted.begin(), mid, sorted.end());
+    threshold = std::max(threshold, options.median_multiplier * *mid);
+  }
+
+  std::vector<bool> flags;
+  flags.reserve(candidates.size());
+  for (const std::size_t c : candidates) {
+    const std::size_t lo =
+        c >= options.search_half_width ? c - options.search_half_width : 0;
+    const std::size_t hi =
+        std::min(n - 1, c + options.search_half_width);
+    double peak = 0.0;
+    for (std::size_t i = lo; i <= hi; ++i) peak = std::max(peak, energy[i]);
+    flags.push_back(peak > threshold);
+  }
+  return flags;
+}
+
+std::size_t count_detected(const std::vector<bool>& flags) noexcept {
+  return static_cast<std::size_t>(
+      std::count(flags.begin(), flags.end(), true));
+}
+
+}  // namespace p2auth::signal

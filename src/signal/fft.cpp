@@ -1,0 +1,97 @@
+#include "signal/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace p2auth::signal {
+
+std::size_t next_power_of_two(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<std::complex<double>>& x) {
+  const std::size_t n = x.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = x[i + k];
+        const std::complex<double> v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> x) {
+  std::vector<std::complex<double>> c(next_power_of_two(x.size()));
+  for (std::size_t i = 0; i < x.size(); ++i) c[i] = x[i];
+  fft(c);
+  return c;
+}
+
+double PowerSpectrum::band_power(double lo_hz, double hi_hz) const {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < frequency_hz.size(); ++k) {
+    if (frequency_hz[k] >= lo_hz && frequency_hz[k] < hi_hz) {
+      sum += power[k];
+    }
+  }
+  return sum;
+}
+
+double PowerSpectrum::total_power() const {
+  double sum = 0.0;
+  for (const double p : power) sum += p;
+  return sum;
+}
+
+PowerSpectrum power_spectrum(std::span<const double> x, double rate_hz) {
+  if (x.empty()) throw std::invalid_argument("power_spectrum: empty input");
+  if (rate_hz <= 0.0) {
+    throw std::invalid_argument("power_spectrum: rate must be positive");
+  }
+  // Mean removal + Hann window.
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  std::vector<double> windowed(x.size());
+  const double scale =
+      2.0 * std::numbers::pi / static_cast<double>(x.size() - 1 ? x.size() - 1 : 1);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double hann = 0.5 * (1.0 - std::cos(scale * static_cast<double>(i)));
+    windowed[i] = (x[i] - mean) * hann;
+  }
+  const auto c = fft_real(windowed);
+  const std::size_t n = c.size();
+  PowerSpectrum spectrum;
+  const std::size_t bins = n / 2 + 1;
+  spectrum.frequency_hz.resize(bins);
+  spectrum.power.resize(bins);
+  for (std::size_t k = 0; k < bins; ++k) {
+    spectrum.frequency_hz[k] =
+        static_cast<double>(k) * rate_hz / static_cast<double>(n);
+    spectrum.power[k] = std::norm(c[k]) / static_cast<double>(n);
+  }
+  return spectrum;
+}
+
+}  // namespace p2auth::signal

@@ -1,0 +1,39 @@
+// Radix-2 FFT and power-spectrum estimation.
+//
+// Used by the activity detector (ppg/activity.hpp) to measure gait-band
+// power: walking puts strong 0.6-2.6 Hz components into the PPG that a
+// static wrist does not have.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace p2auth::signal {
+
+// In-place iterative Cooley-Tukey FFT.  `x.size()` must be a power of
+// two (throws std::invalid_argument otherwise).
+void fft(std::vector<std::complex<double>>& x);
+
+// Forward FFT of a real series, zero-padded to the next power of two.
+std::vector<std::complex<double>> fft_real(std::span<const double> x);
+
+// Smallest power of two >= n (n = 0 -> 1).
+std::size_t next_power_of_two(std::size_t n) noexcept;
+
+struct PowerSpectrum {
+  // bin k corresponds to frequency_hz[k]; only bins up to Nyquist.
+  std::vector<double> frequency_hz;
+  std::vector<double> power;
+
+  // Sum of power over [lo_hz, hi_hz).
+  double band_power(double lo_hz, double hi_hz) const;
+  double total_power() const;
+};
+
+// Welch-lite power spectrum: mean removal, Hann window, zero-padded FFT,
+// one segment (traces here are a few seconds).  Throws
+// std::invalid_argument on empty input or non-positive rate.
+PowerSpectrum power_spectrum(std::span<const double> x, double rate_hz);
+
+}  // namespace p2auth::signal

@@ -1,0 +1,40 @@
+// Time-domain filters used by the P2Auth preprocessing stage.
+//
+// * median_filter     — Noise Removal module (paper section IV-B 1.1)
+// * savitzky_golay    — smoothing before the fine-grained keystroke time
+//                       calibration (section IV-B 1.2)
+// * moving_average    — general utility / ablation comparisons
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace p2auth::signal {
+
+using Series = std::vector<double>;
+
+// Sliding-window median filter with edge replication.  `window` must be
+// odd and >= 1; violations throw std::invalid_argument.  Median filtering
+// is non-linear and preserves edges/detail while suppressing impulsive
+// sensor noise, which is why the paper uses it as the first stage.
+Series median_filter(std::span<const double> x, std::size_t window);
+
+// Centered moving average with edge replication; `window` must be odd.
+Series moving_average(std::span<const double> x, std::size_t window);
+
+// Savitzky-Golay smoothing: least-squares fit of a degree-`polyorder`
+// polynomial over a centered window, evaluated at the center.  Keeps local
+// wave shape (peak positions/heights) far better than a plain moving
+// average, which is exactly what the calibration step needs.  `window`
+// must be odd and > polyorder.
+Series savitzky_golay(std::span<const double> x, std::size_t window,
+                      int polyorder);
+
+// The SG convolution coefficients for the window center (exposed for
+// tests; sums to 1, reproduces polynomials up to `polyorder` exactly).
+Series savitzky_golay_coefficients(std::size_t window, int polyorder);
+
+// Removes the series mean (used when plotting paper-style waveforms).
+Series remove_mean(std::span<const double> x);
+
+}  // namespace p2auth::signal

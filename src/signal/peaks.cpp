@@ -1,0 +1,106 @@
+#include "signal/peaks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "signal/filters.hpp"
+
+namespace p2auth::signal {
+
+std::vector<std::size_t> local_extrema(std::span<const double> x,
+                                       std::size_t begin, std::size_t end) {
+  std::vector<std::size_t> out;
+  if (x.size() < 3) return out;
+  const std::size_t lo = std::max<std::size_t>(begin, 1);
+  const std::size_t hi = std::min(end, x.size() - 1);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const bool is_max = x[i] > x[i - 1] && x[i] > x[i + 1];
+    const bool is_min = x[i] < x[i - 1] && x[i] < x[i + 1];
+    if (is_max || is_min) out.push_back(i);
+  }
+  return out;
+}
+
+double calibration_objective(std::span<const double> y, std::size_t s,
+                             std::size_t objective_window) {
+  if (s >= y.size()) {
+    throw std::out_of_range("calibration_objective: index");
+  }
+  const long long half = static_cast<long long>(objective_window / 2);
+  const long long lo =
+      std::max<long long>(0, static_cast<long long>(s) - half);
+  const long long hi = std::min<long long>(
+      static_cast<long long>(y.size()) - 1, static_cast<long long>(s) + half);
+  double mean = 0.0;
+  for (long long i = lo; i <= hi; ++i) mean += y[static_cast<std::size_t>(i)];
+  mean /= static_cast<double>(hi - lo + 1);
+  return std::abs(y[s] - mean);
+}
+
+std::size_t calibrate_keystroke(std::span<const double> filtered,
+                                std::size_t coarse_index,
+                                const CalibrationOptions& options) {
+  if (coarse_index >= filtered.size()) {
+    throw std::out_of_range("calibrate_keystroke: coarse index");
+  }
+  const Series smooth =
+      savitzky_golay(filtered, options.sg_window, options.sg_polyorder);
+  const std::size_t lo = coarse_index >= options.search_half_width
+                             ? coarse_index - options.search_half_width
+                             : 0;
+  const std::size_t hi =
+      std::min(filtered.size(), coarse_index + options.search_half_width + 1);
+  const std::vector<std::size_t> candidates = local_extrema(smooth, lo, hi);
+  if (candidates.empty()) return coarse_index;
+  std::size_t best = candidates.front();
+  double best_value = -1.0;
+  for (const std::size_t s : candidates) {
+    const double v = calibration_objective(smooth, s, options.objective_window);
+    if (v > best_value) {
+      best_value = v;
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> calibrate_keystrokes(
+    std::span<const double> filtered,
+    std::span<const std::size_t> coarse_indices,
+    const CalibrationOptions& options) {
+  std::vector<std::size_t> out;
+  out.reserve(coarse_indices.size());
+  // Smooth once; calibrate each keystroke against the shared smoothed view.
+  const Series smooth =
+      savitzky_golay(filtered, options.sg_window, options.sg_polyorder);
+  for (const std::size_t coarse : coarse_indices) {
+    if (coarse >= filtered.size()) {
+      throw std::out_of_range("calibrate_keystrokes: coarse index");
+    }
+    const std::size_t lo = coarse >= options.search_half_width
+                               ? coarse - options.search_half_width
+                               : 0;
+    const std::size_t hi =
+        std::min(filtered.size(), coarse + options.search_half_width + 1);
+    const std::vector<std::size_t> candidates = local_extrema(smooth, lo, hi);
+    if (candidates.empty()) {
+      out.push_back(coarse);
+      continue;
+    }
+    std::size_t best = candidates.front();
+    double best_value = -1.0;
+    for (const std::size_t s : candidates) {
+      const double v =
+          calibration_objective(smooth, s, options.objective_window);
+      if (v > best_value) {
+        best_value = v;
+        best = s;
+      }
+    }
+    out.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace p2auth::signal

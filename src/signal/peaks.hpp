@@ -1,0 +1,55 @@
+// Extremum search and fine-grained keystroke time calibration
+// (paper section IV-B 1.2, Eq. (1)).
+//
+// The smartphone's recorded keystroke timestamps are offset by a varying
+// smartphone<->wearable communication delay.  Within a window around each
+// coarse timestamp, the true keystroke is the local extremum of the
+// SG-smoothed PPG that deviates the most from the window mean:
+//
+//   argmax_{s in S} | y_s - mean(window around s) |          (Eq. 1)
+//
+// where S is the candidate set of local extrema inside the search window.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace p2auth::signal {
+
+// Indices of strict local extrema (maxima and minima) of `x` in
+// [begin, end).  Plateau points are skipped.
+std::vector<std::size_t> local_extrema(std::span<const double> x,
+                                       std::size_t begin, std::size_t end);
+
+struct CalibrationOptions {
+  // Savitzky-Golay smoothing before extremum search.
+  std::size_t sg_window = 11;
+  int sg_polyorder = 3;
+  // Objective window size w in Eq. (1); paper: 30 samples at 100 Hz.
+  std::size_t objective_window = 30;
+  // Half-width of the search region around the coarse timestamp, sized to
+  // cover the worst-case communication delay.
+  std::size_t search_half_width = 30;
+};
+
+// The Eq. (1) objective for candidate index s: |y_s - mean of the
+// (objective_window+1)-sample window centered on s| (edge-truncated).
+double calibration_objective(std::span<const double> y, std::size_t s,
+                             std::size_t objective_window);
+
+// Calibrates one coarse keystroke index; returns the refined index.
+// Falls back to the coarse index if no extremum exists in the search
+// window (e.g. a constant signal).
+std::size_t calibrate_keystroke(std::span<const double> filtered,
+                                std::size_t coarse_index,
+                                const CalibrationOptions& options = {});
+
+// Calibrates a full set of coarse keystroke indices.  Indices outside the
+// series throw std::out_of_range.
+std::vector<std::size_t> calibrate_keystrokes(
+    std::span<const double> filtered,
+    std::span<const std::size_t> coarse_indices,
+    const CalibrationOptions& options = {});
+
+}  // namespace p2auth::signal

@@ -1,0 +1,44 @@
+#include "signal/resample.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p2auth::signal {
+
+std::vector<double> resample_linear(std::span<const double> x, double from_hz,
+                                    double to_hz) {
+  if (from_hz <= 0.0 || to_hz <= 0.0) {
+    throw std::invalid_argument("resample_linear: rates must be positive");
+  }
+  if (x.empty()) return {};
+  if (x.size() == 1) return {x[0]};
+  const double ratio = to_hz / from_hz;
+  const auto out_len = static_cast<std::size_t>(
+      std::max(1.0, std::round(static_cast<double>(x.size()) * ratio)));
+  std::vector<double> out(out_len);
+  const double scale =
+      static_cast<double>(x.size() - 1) / static_cast<double>(out_len - 1 ? out_len - 1 : 1);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    const double pos = static_cast<double>(i) * scale;
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const std::size_t hi = std::min(lo + 1, x.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = x[lo] * (1.0 - frac) + x[hi] * frac;
+  }
+  return out;
+}
+
+std::size_t map_index(std::size_t index, double from_hz, double to_hz,
+                      std::size_t output_length) {
+  if (from_hz <= 0.0 || to_hz <= 0.0) {
+    throw std::invalid_argument("map_index: rates must be positive");
+  }
+  if (output_length == 0) return 0;
+  const double mapped =
+      std::round(static_cast<double>(index) * to_hz / from_hz);
+  return std::min(output_length - 1,
+                  static_cast<std::size_t>(std::max(0.0, mapped)));
+}
+
+}  // namespace p2auth::signal

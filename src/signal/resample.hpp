@@ -1,0 +1,20 @@
+// Sampling-rate conversion for the Fig. 16/17 experiments.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace p2auth::signal {
+
+// Linear-interpolation resampling from `from_hz` to `to_hz`.  Rates must
+// be positive; an empty input yields an empty output.  The output length
+// is round(n * to_hz / from_hz), and endpoints are preserved.
+std::vector<double> resample_linear(std::span<const double> x, double from_hz,
+                                    double to_hz);
+
+// Maps a sample index from one rate to the nearest index at another rate
+// (used to translate keystroke indices after resampling traces).
+std::size_t map_index(std::size_t index, double from_hz, double to_hz,
+                      std::size_t output_length);
+
+}  // namespace p2auth::signal

@@ -1,0 +1,132 @@
+#include "signal/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p2auth::signal {
+
+SummaryStats summarize(std::span<const double> x) {
+  if (x.empty()) throw std::invalid_argument("summarize: empty series");
+  SummaryStats s;
+  const auto n = static_cast<double>(x.size());
+  s.min = x[0];
+  s.max = x[0];
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double v : x) {
+    sum += v;
+    sum_sq += v * v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / n;
+  s.range = s.max - s.min;
+  s.rms = std::sqrt(sum_sq / n);
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0, mad = 0.0;
+  for (const double v : x) {
+    const double d = v - s.mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+    mad += std::abs(d);
+  }
+  m2 /= n;
+  m3 /= n;
+  m4 /= n;
+  s.variance = m2;
+  s.stddev = std::sqrt(m2);
+  s.mean_abs_deviation = mad / n;
+  if (m2 > 1e-300) {
+    s.skewness = m3 / std::pow(m2, 1.5);
+    s.kurtosis = m4 / (m2 * m2) - 3.0;
+  }
+  return s;
+}
+
+std::size_t mean_crossings(std::span<const double> x) {
+  if (x.size() < 2) return 0;
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  std::size_t crossings = 0;
+  double prev = x[0] - mean;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    const double cur = x[i] - mean;
+    if ((prev < 0.0 && cur >= 0.0) || (prev >= 0.0 && cur < 0.0)) ++crossings;
+    prev = cur;
+  }
+  return crossings;
+}
+
+double pearson_correlation(std::span<const double> a,
+                           std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("pearson_correlation: size mismatch");
+  }
+  if (a.empty()) throw std::invalid_argument("pearson_correlation: empty");
+  const auto n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va < 1e-300 || vb < 1e-300) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+std::vector<double> autocorrelation(std::span<const double> x,
+                                    std::size_t k) {
+  if (x.empty()) throw std::invalid_argument("autocorrelation: empty");
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  double c0 = 0.0;
+  for (const double v : x) c0 += (v - mean) * (v - mean);
+  std::vector<double> out(k, 0.0);
+  if (c0 < 1e-300) return out;
+  for (std::size_t lag = 1; lag <= k; ++lag) {
+    if (lag >= x.size()) break;
+    double c = 0.0;
+    for (std::size_t i = 0; i + lag < x.size(); ++i) {
+      c += (x[i] - mean) * (x[i + lag] - mean);
+    }
+    out[lag - 1] = c / c0;
+  }
+  return out;
+}
+
+double proportion_positive(std::span<const double> x) noexcept {
+  if (x.empty()) return 0.0;
+  std::size_t pos = 0;
+  for (const double v : x) {
+    if (v > 0.0) ++pos;
+  }
+  return static_cast<double>(pos) / static_cast<double>(x.size());
+}
+
+double percentile(std::span<const double> x, double p) {
+  if (x.empty()) throw std::invalid_argument("percentile: empty");
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p out of range");
+  }
+  std::vector<double> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace p2auth::signal

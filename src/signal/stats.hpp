@@ -1,0 +1,47 @@
+// Summary statistics over series.
+//
+// Used both as generic utilities and as the hand-crafted feature set of
+// the manual-feature baseline (Shang & Wu, CNS 2019 style) that the paper
+// compares against in Fig. 11 / Table I.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace p2auth::signal {
+
+struct SummaryStats {
+  double mean = 0.0;
+  double variance = 0.0;  // population variance
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double range = 0.0;
+  double skewness = 0.0;
+  double kurtosis = 0.0;  // excess kurtosis
+  double rms = 0.0;
+  double mean_abs_deviation = 0.0;
+};
+
+// Computes all summary statistics in one pass family.  Empty input throws
+// std::invalid_argument.
+SummaryStats summarize(std::span<const double> x);
+
+// Number of mean-crossings (sign changes of x - mean).
+std::size_t mean_crossings(std::span<const double> x);
+
+// Pearson correlation of two equal-length series; constant series yield 0.
+double pearson_correlation(std::span<const double> a,
+                           std::span<const double> b);
+
+// First `k` autocorrelation coefficients (lag 1..k, normalised by lag-0).
+std::vector<double> autocorrelation(std::span<const double> x, std::size_t k);
+
+// Proportion of positive values — the PPV pooling statistic of Eq. (6).
+double proportion_positive(std::span<const double> x) noexcept;
+
+// Interpolated percentile (p in [0, 100]) of a copy of the data.
+double percentile(std::span<const double> x, double p);
+
+}  // namespace p2auth::signal

@@ -1,0 +1,89 @@
+#include "sim/attacks.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace p2auth::sim {
+
+keystroke::Pin random_pin(util::Rng& rng, std::size_t length) {
+  std::string digits;
+  digits.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    digits.push_back(static_cast<char>('0' + rng.uniform_int(10)));
+  }
+  return keystroke::Pin(digits);
+}
+
+Trial make_random_attack(const ppg::UserProfile& attacker,
+                         const TrialOptions& options, util::Rng& rng) {
+  util::Rng pin_rng = rng.fork("pin");
+  const keystroke::Pin pin = random_pin(pin_rng);
+  return make_trial(attacker, pin, options, rng);
+}
+
+Trial make_emulating_attack(const ppg::UserProfile& attacker,
+                            const ppg::UserProfile& victim,
+                            const keystroke::Pin& victim_pin,
+                            const TrialOptions& options,
+                            const EmulationOptions& emulation,
+                            util::Rng& rng) {
+  if (emulation.timing_fidelity < 0.0 || emulation.timing_fidelity > 1.0) {
+    throw std::invalid_argument(
+        "make_emulating_attack: timing_fidelity in [0, 1]");
+  }
+  // The attacker imitates the victim's observable behaviour (cadence) but
+  // keeps their own physiology: blend the timing profiles only.
+  ppg::UserProfile imitator = attacker;
+  const double f = emulation.timing_fidelity;
+  const keystroke::TimingProfile& vt = victim.timing;
+  keystroke::TimingProfile& at = imitator.timing;
+  at.mean_interval_s = (1.0 - f) * at.mean_interval_s + f * vt.mean_interval_s;
+  at.cadence_jitter = (1.0 - f) * at.cadence_jitter + f * vt.cadence_jitter;
+  at.keystroke_jitter_s =
+      (1.0 - f) * at.keystroke_jitter_s + f * vt.keystroke_jitter_s;
+  at.travel_s_per_key =
+      (1.0 - f) * at.travel_s_per_key + f * vt.travel_s_per_key;
+  return make_trial(imitator, victim_pin, options, rng);
+}
+
+std::vector<Trial> make_random_attacks(const Population& population,
+                                       std::size_t count,
+                                       const TrialOptions& options,
+                                       util::Rng& rng) {
+  if (population.attackers.empty()) {
+    throw std::invalid_argument("make_random_attacks: no attackers");
+  }
+  std::vector<Trial> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const ppg::UserProfile& attacker =
+        population.attackers[i % population.attackers.size()];
+    util::Rng trial_rng = rng.fork(0xa77acc00ULL + i);
+    out.push_back(make_random_attack(attacker, options, trial_rng));
+  }
+  return out;
+}
+
+std::vector<Trial> make_emulating_attacks(const Population& population,
+                                          const ppg::UserProfile& victim,
+                                          const keystroke::Pin& victim_pin,
+                                          std::size_t count,
+                                          const TrialOptions& options,
+                                          util::Rng& rng) {
+  if (population.attackers.empty()) {
+    throw std::invalid_argument("make_emulating_attacks: no attackers");
+  }
+  std::vector<Trial> out;
+  out.reserve(count);
+  const EmulationOptions emulation{};
+  for (std::size_t i = 0; i < count; ++i) {
+    const ppg::UserProfile& attacker =
+        population.attackers[i % population.attackers.size()];
+    util::Rng trial_rng = rng.fork(0xe41a7e00ULL + i);
+    out.push_back(make_emulating_attack(attacker, victim, victim_pin, options,
+                                        emulation, trial_rng));
+  }
+  return out;
+}
+
+}  // namespace p2auth::sim

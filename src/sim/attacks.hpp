@@ -1,0 +1,56 @@
+// Attack generators (paper section IV-D).
+//
+// Random attack (RA): the attacker knows nothing about the victim; they
+// type a random PIN on the victim's phone wearing the victim's watch.
+//
+// Emulating attack (EA): the attacker shoulder-surfed the victim's PIN and
+// keystroke rhythm; they type the correct PIN, imitating the victim's
+// cadence (their timing profile is blended toward the victim's), but the
+// PPG artifacts are necessarily the attacker's own — physiology cannot be
+// imitated, which is the second factor's whole point.
+#pragma once
+
+#include "sim/dataset.hpp"
+
+namespace p2auth::sim {
+
+// One random-attack trial: `attacker` types a uniformly random 4-digit
+// PIN.
+Trial make_random_attack(const ppg::UserProfile& attacker,
+                         const TrialOptions& options, util::Rng& rng);
+
+struct EmulationOptions {
+  // How closely the attacker matches the victim's cadence: 0 = not at all
+  // (their own timing), 1 = perfectly.  Shoulder-surfing gives good but
+  // imperfect imitation.
+  double timing_fidelity = 0.8;
+};
+
+// One emulating-attack trial: `attacker` types the victim's PIN with
+// imitated timing.
+Trial make_emulating_attack(const ppg::UserProfile& attacker,
+                            const ppg::UserProfile& victim,
+                            const keystroke::Pin& victim_pin,
+                            const TrialOptions& options,
+                            const EmulationOptions& emulation,
+                            util::Rng& rng);
+
+// A batch of `count` random attacks cycling over the attacker cohort
+// (paper: 150 random entries from 4 attackers).
+std::vector<Trial> make_random_attacks(const Population& population,
+                                       std::size_t count,
+                                       const TrialOptions& options,
+                                       util::Rng& rng);
+
+// A batch of emulating attacks against one victim.
+std::vector<Trial> make_emulating_attacks(const Population& population,
+                                          const ppg::UserProfile& victim,
+                                          const keystroke::Pin& victim_pin,
+                                          std::size_t count,
+                                          const TrialOptions& options,
+                                          util::Rng& rng);
+
+// Uniformly random 4-digit PIN.
+keystroke::Pin random_pin(util::Rng& rng, std::size_t length = 4);
+
+}  // namespace p2auth::sim

@@ -1,0 +1,64 @@
+#include "sim/dataset.hpp"
+
+#include <stdexcept>
+
+#include "keystroke/pinpad.hpp"
+
+namespace p2auth::sim {
+
+Trial make_trial(const ppg::UserProfile& subject, const keystroke::Pin& pin,
+                 const TrialOptions& options, util::Rng& rng) {
+  Trial trial;
+  trial.subject_id = subject.user_id;
+  util::Rng timing_rng = rng.fork("timing");
+  trial.entry = keystroke::generate_entry(pin, subject.timing,
+                                          options.input_case, timing_rng);
+  util::Rng trace_rng = rng.fork("trace");
+  ppg::SimulationOptions sim_options;
+  sim_options.wearing = options.wearing;
+  sim_options.activity = options.activity;
+  trial.trace = ppg::simulate_entry(subject, trial.entry, options.sensors,
+                                    trace_rng, sim_options);
+  if (options.with_accel) {
+    util::Rng accel_rng = rng.fork("accel");
+    trial.accel = ppg::simulate_accel(
+        subject, trial.entry, keystroke::entry_duration_s(trial.entry),
+        ppg::AccelOptions{}, accel_rng);
+  }
+  return trial;
+}
+
+std::vector<Trial> make_trials(const ppg::UserProfile& subject,
+                               const keystroke::Pin& pin, std::size_t reps,
+                               const TrialOptions& options, util::Rng& rng) {
+  std::vector<Trial> out;
+  out.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    util::Rng trial_rng = rng.fork(0x7101a1ULL + r);
+    out.push_back(make_trial(subject, pin, options, trial_rng));
+  }
+  return out;
+}
+
+std::vector<Trial> make_third_party_pool(const Population& population,
+                                         std::size_t count,
+                                         const TrialOptions& options,
+                                         util::Rng& rng) {
+  if (population.third_parties.empty()) {
+    throw std::invalid_argument("make_third_party_pool: no third parties");
+  }
+  const std::vector<keystroke::Pin>& pins = keystroke::paper_pins();
+  std::vector<Trial> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const ppg::UserProfile& donor =
+        population.third_parties[i % population.third_parties.size()];
+    const keystroke::Pin& pin =
+        pins[(i / population.third_parties.size()) % pins.size()];
+    util::Rng trial_rng = rng.fork(0x3d9a7ULL + i);
+    out.push_back(make_trial(donor, pin, options, trial_rng));
+  }
+  return out;
+}
+
+}  // namespace p2auth::sim

@@ -1,0 +1,54 @@
+// Dataset construction: trials, sessions and cohort datasets.
+//
+// A Trial is one PIN-entry attempt as the system sees it: the keystroke
+// log from the phone plus the raw multi-channel PPG trace from the
+// wearable (and optionally a simulated accelerometer trace for the
+// Fig. 12 comparison).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "keystroke/events.hpp"
+#include "keystroke/timing.hpp"
+#include "ppg/accel_model.hpp"
+#include "ppg/profile.hpp"
+#include "ppg/simulator.hpp"
+#include "sim/population.hpp"
+#include "util/rng.hpp"
+
+namespace p2auth::sim {
+
+struct Trial {
+  std::uint32_t subject_id = 0;  // who actually typed
+  keystroke::EntryRecord entry;
+  ppg::MultiChannelTrace trace;
+  std::optional<ppg::AccelTrace> accel;
+};
+
+struct TrialOptions {
+  ppg::SensorConfig sensors = ppg::SensorConfig::prototype_wristband();
+  keystroke::InputCase input_case = keystroke::InputCase::kOneHanded;
+  bool with_accel = false;
+  ppg::WearingPosition wearing = ppg::WearingPosition::kInnerWrist;
+  ppg::ActivityState activity = ppg::ActivityState::kStatic;
+};
+
+// Simulates one PIN entry by `subject`.
+Trial make_trial(const ppg::UserProfile& subject, const keystroke::Pin& pin,
+                 const TrialOptions& options, util::Rng& rng);
+
+// `reps` repetitions of the same PIN by the same subject (one session).
+std::vector<Trial> make_trials(const ppg::UserProfile& subject,
+                               const keystroke::Pin& pin, std::size_t reps,
+                               const TrialOptions& options, util::Rng& rng);
+
+// Third-party negative-data pool: `count` one-handed entries drawn from
+// the third-party cohort, cycling over the paper's PIN set so every digit
+// key is represented.
+std::vector<Trial> make_third_party_pool(const Population& population,
+                                         std::size_t count,
+                                         const TrialOptions& options,
+                                         util::Rng& rng);
+
+}  // namespace p2auth::sim

@@ -1,0 +1,28 @@
+#include "sim/population.hpp"
+
+namespace p2auth::sim {
+
+Population make_population(const PopulationConfig& config) {
+  Population pop;
+  util::Rng master(config.seed, 0x5eed5eed5eed5eedULL);
+  std::uint32_t next_id = 0;
+  util::Rng user_rng = master.fork("users");
+  for (std::size_t i = 0; i < config.num_users; ++i) {
+    pop.users.push_back(ppg::UserProfile::sample(next_id++, user_rng));
+  }
+  util::Rng attacker_rng = master.fork("attackers");
+  for (std::size_t i = 0; i < config.num_attackers; ++i) {
+    ppg::UserProfile p = ppg::UserProfile::sample(next_id++, attacker_rng);
+    p.name = "attacker" + std::to_string(i);
+    pop.attackers.push_back(std::move(p));
+  }
+  util::Rng third_rng = master.fork("third-parties");
+  for (std::size_t i = 0; i < config.num_third_parties; ++i) {
+    ppg::UserProfile p = ppg::UserProfile::sample(next_id++, third_rng);
+    p.name = "third" + std::to_string(i);
+    pop.third_parties.push_back(std::move(p));
+  }
+  return pop;
+}
+
+}  // namespace p2auth::sim

@@ -1,0 +1,37 @@
+// Study population generation.
+//
+// Mirrors the paper's experimental cohorts:
+//   * 15 legitimate volunteers (enrolled users),
+//   * 4 attackers (used for random and emulating attacks),
+//   * a pool of third-party users whose data seeds the negative class
+//     during enrollment (the paper stores third-party data on the phone
+//     and mixes ~100 samples into training).
+// All profiles are drawn deterministically from a master seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppg/profile.hpp"
+#include "util/rng.hpp"
+
+namespace p2auth::sim {
+
+struct PopulationConfig {
+  std::size_t num_users = 15;         // paper: 15 volunteers
+  std::size_t num_attackers = 4;      // paper: 4 attackers
+  std::size_t num_third_parties = 20; // donors of negative training data
+  std::uint64_t seed = 7;
+};
+
+struct Population {
+  std::vector<ppg::UserProfile> users;
+  std::vector<ppg::UserProfile> attackers;
+  std::vector<ppg::UserProfile> third_parties;
+};
+
+// Generates the full population.  User ids are globally unique across the
+// three cohorts.
+Population make_population(const PopulationConfig& config);
+
+}  // namespace p2auth::sim

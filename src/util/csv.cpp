@@ -1,0 +1,47 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2auth::util {
+
+std::string to_csv(const std::vector<std::string>& column_names,
+                   const std::vector<std::vector<double>>& columns) {
+  if (column_names.size() != columns.size()) {
+    throw std::invalid_argument("to_csv: name/column count mismatch");
+  }
+  std::size_t rows = 0;
+  for (const auto& c : columns) {
+    if (!columns.empty() && c.size() != columns.front().size()) {
+      throw std::invalid_argument("to_csv: ragged columns");
+    }
+    rows = c.size();
+  }
+  std::ostringstream oss;
+  for (std::size_t c = 0; c < column_names.size(); ++c) {
+    if (c) oss << ',';
+    oss << column_names[c];
+  }
+  oss << '\n';
+  oss.precision(10);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c) oss << ',';
+      oss << columns[c][r];
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+void write_csv(const std::string& path,
+               const std::vector<std::string>& column_names,
+               const std::vector<std::vector<double>>& columns) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path);
+  out << to_csv(column_names, columns);
+  if (!out) throw std::runtime_error("write_csv: write failed for " + path);
+}
+
+}  // namespace p2auth::util

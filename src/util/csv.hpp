@@ -1,0 +1,22 @@
+// Minimal CSV writing, used by benches to dump series that correspond to
+// the paper's waveform figures so they can be plotted externally.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace p2auth::util {
+
+// Writes named columns to `path` as RFC-4180-ish CSV (no quoting needed for
+// numeric data).  All columns must be the same length; throws
+// std::invalid_argument otherwise and std::runtime_error on I/O failure.
+void write_csv(const std::string& path,
+               const std::vector<std::string>& column_names,
+               const std::vector<std::vector<double>>& columns);
+
+// Serialises the columns as CSV text (used by write_csv and by tests).
+std::string to_csv(const std::vector<std::string>& column_names,
+                   const std::vector<std::vector<double>>& columns);
+
+}  // namespace p2auth::util

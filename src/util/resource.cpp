@@ -1,0 +1,29 @@
+#include "util/resource.hpp"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace p2auth::util {
+
+double peak_rss_mib() noexcept {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  // ru_maxrss is kilobytes on Linux.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+double current_rss_mib() noexcept {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return peak_rss_mib();
+  long pages_total = 0, pages_resident = 0;
+  const int matched = std::fscanf(f, "%ld %ld", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (matched != 2) return peak_rss_mib();
+  const long page_size = sysconf(_SC_PAGESIZE);
+  return static_cast<double>(pages_resident) *
+         static_cast<double>(page_size) / (1024.0 * 1024.0);
+}
+
+}  // namespace p2auth::util

@@ -1,0 +1,16 @@
+// Process resource introspection for the memory columns of Table I.
+#pragma once
+
+#include <cstddef>
+
+namespace p2auth::util {
+
+// Peak resident set size of the current process in MiB (ru_maxrss).
+// Returns 0.0 if the platform does not report it.
+double peak_rss_mib() noexcept;
+
+// Current resident set size in MiB, read from /proc/self/statm on Linux;
+// falls back to peak RSS elsewhere.
+double current_rss_mib() noexcept;
+
+}  // namespace p2auth::util

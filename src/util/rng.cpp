@@ -1,0 +1,99 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace p2auth::util {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) noexcept
+    : state_(0), inc_((stream << 1u) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Rng::next_u32() noexcept {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint32_t Rng::uniform_int(std::uint32_t n) noexcept {
+  // Lemire's nearly-divisionless method.
+  std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * n;
+  auto lo = static_cast<std::uint32_t>(m);
+  if (lo < n) {
+    const std::uint32_t threshold = (0u - n) % n;
+    while (lo < threshold) {
+      m = static_cast<std::uint64_t>(next_u32()) * n;
+      lo = static_cast<std::uint32_t>(m);
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 32);
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+Rng Rng::fork(std::uint64_t salt) noexcept {
+  const std::uint64_t seed = next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t stream = next_u64() ^ (salt + 0xbf58476d1ce4e5b9ULL);
+  return Rng(seed, stream);
+}
+
+Rng Rng::fork(std::string_view label) noexcept { return fork(fnv1a(label)); }
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) noexcept {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  shuffle(p);
+  return p;
+}
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace p2auth::util

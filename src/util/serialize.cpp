@@ -1,0 +1,140 @@
+#include "util/serialize.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace p2auth::util {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view tag, const char* what) {
+  throw std::runtime_error("serialize: " + std::string(what) + " at tag '" +
+                           std::string(tag) + "'");
+}
+
+}  // namespace
+
+void write_tag(std::ostream& os, std::string_view tag) { os << tag << ' '; }
+
+void write_u64(std::ostream& os, std::string_view tag, std::uint64_t v) {
+  write_tag(os, tag);
+  os << v << '\n';
+}
+
+void write_i64(std::ostream& os, std::string_view tag, std::int64_t v) {
+  write_tag(os, tag);
+  os << v << '\n';
+}
+
+void write_double(std::ostream& os, std::string_view tag, double v) {
+  write_tag(os, tag);
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v
+     << '\n';
+}
+
+void write_bool(std::ostream& os, std::string_view tag, bool v) {
+  write_tag(os, tag);
+  os << (v ? 1 : 0) << '\n';
+}
+
+void write_string(std::ostream& os, std::string_view tag,
+                  std::string_view v) {
+  write_tag(os, tag);
+  os << v.size();
+  if (!v.empty()) os << ' ' << v;
+  os << '\n';
+}
+
+void write_vector(std::ostream& os, std::string_view tag,
+                  std::span<const double> v) {
+  write_tag(os, tag);
+  os << v.size();
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const double x : v) os << ' ' << x;
+  os << '\n';
+}
+
+void write_int_vector(std::ostream& os, std::string_view tag,
+                      std::span<const int> v) {
+  write_tag(os, tag);
+  os << v.size();
+  for (const int x : v) os << ' ' << x;
+  os << '\n';
+}
+
+void expect_tag(std::istream& is, std::string_view tag) {
+  std::string got;
+  if (!(is >> got)) fail(tag, "unexpected end of stream");
+  if (got != tag) {
+    throw std::runtime_error("serialize: expected tag '" + std::string(tag) +
+                             "', found '" + got + "'");
+  }
+}
+
+std::uint64_t read_u64(std::istream& is, std::string_view tag) {
+  expect_tag(is, tag);
+  std::uint64_t v = 0;
+  if (!(is >> v)) fail(tag, "bad unsigned value");
+  return v;
+}
+
+std::int64_t read_i64(std::istream& is, std::string_view tag) {
+  expect_tag(is, tag);
+  std::int64_t v = 0;
+  if (!(is >> v)) fail(tag, "bad signed value");
+  return v;
+}
+
+double read_double(std::istream& is, std::string_view tag) {
+  expect_tag(is, tag);
+  double v = 0.0;
+  if (!(is >> v)) fail(tag, "bad double value");
+  return v;
+}
+
+bool read_bool(std::istream& is, std::string_view tag) {
+  expect_tag(is, tag);
+  int v = 0;
+  if (!(is >> v) || (v != 0 && v != 1)) fail(tag, "bad bool value");
+  return v == 1;
+}
+
+std::string read_string(std::istream& is, std::string_view tag) {
+  expect_tag(is, tag);
+  std::size_t n = 0;
+  if (!(is >> n)) fail(tag, "bad string length");
+  if (n == 0) return {};
+  is.get();  // the single separator space
+  std::string v(n, '\0');
+  if (!is.read(v.data(), static_cast<std::streamsize>(n))) {
+    fail(tag, "truncated string");
+  }
+  return v;
+}
+
+std::vector<double> read_vector(std::istream& is, std::string_view tag) {
+  expect_tag(is, tag);
+  std::size_t n = 0;
+  if (!(is >> n)) fail(tag, "bad vector length");
+  std::vector<double> v(n);
+  for (double& x : v) {
+    if (!(is >> x)) fail(tag, "truncated vector");
+  }
+  return v;
+}
+
+std::vector<int> read_int_vector(std::istream& is, std::string_view tag) {
+  expect_tag(is, tag);
+  std::size_t n = 0;
+  if (!(is >> n)) fail(tag, "bad vector length");
+  std::vector<int> v(n);
+  for (int& x : v) {
+    if (!(is >> x)) fail(tag, "truncated vector");
+  }
+  return v;
+}
+
+}  // namespace p2auth::util

@@ -1,0 +1,44 @@
+// Tagged text serialization helpers.
+//
+// Enrolled models must persist across reboots of the wearable/phone, so
+// the model classes expose save/load built on these primitives.  The
+// format is deliberately simple: whitespace-separated tokens, each field
+// preceded by a tag word, doubles at round-trip precision.  A mismatched
+// tag or malformed value throws std::runtime_error with the offending
+// tag in the message.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2auth::util {
+
+// ---- writing ----
+void write_tag(std::ostream& os, std::string_view tag);
+void write_u64(std::ostream& os, std::string_view tag, std::uint64_t v);
+void write_i64(std::ostream& os, std::string_view tag, std::int64_t v);
+void write_double(std::ostream& os, std::string_view tag, double v);
+void write_bool(std::ostream& os, std::string_view tag, bool v);
+// Strings are length-prefixed so empty strings round-trip.
+void write_string(std::ostream& os, std::string_view tag,
+                  std::string_view v);
+void write_vector(std::ostream& os, std::string_view tag,
+                  std::span<const double> v);
+void write_int_vector(std::ostream& os, std::string_view tag,
+                      std::span<const int> v);
+
+// ---- reading (each throws std::runtime_error on tag/format mismatch) ----
+void expect_tag(std::istream& is, std::string_view tag);
+std::uint64_t read_u64(std::istream& is, std::string_view tag);
+std::int64_t read_i64(std::istream& is, std::string_view tag);
+double read_double(std::istream& is, std::string_view tag);
+bool read_bool(std::istream& is, std::string_view tag);
+std::string read_string(std::istream& is, std::string_view tag);
+std::vector<double> read_vector(std::istream& is, std::string_view tag);
+std::vector<int> read_int_vector(std::istream& is, std::string_view tag);
+
+}  // namespace p2auth::util

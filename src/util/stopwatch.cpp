@@ -1,0 +1,18 @@
+#include "util/stopwatch.hpp"
+
+namespace p2auth::util {
+
+Stopwatch::Stopwatch() noexcept : start_(std::chrono::steady_clock::now()) {}
+
+void Stopwatch::restart() noexcept {
+  start_ = std::chrono::steady_clock::now();
+}
+
+double Stopwatch::seconds() const noexcept {
+  const auto d = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double>(d).count();
+}
+
+double Stopwatch::milliseconds() const noexcept { return seconds() * 1e3; }
+
+}  // namespace p2auth::util

@@ -1,0 +1,22 @@
+// Wall-clock timing for the overhead experiments (Table I).
+#pragma once
+
+#include <chrono>
+
+namespace p2auth::util {
+
+// Monotonic stopwatch.  Construction starts it; `seconds()` reads elapsed
+// time without stopping; `restart()` resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept;
+
+  void restart() noexcept;
+  double seconds() const noexcept;
+  double milliseconds() const noexcept;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace p2auth::util

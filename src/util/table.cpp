@@ -1,0 +1,83 @@
+#include "util/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2auth::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+Table& Table::begin_row() {
+  if (!rows_.empty() && rows_.back().size() != header_.size()) {
+    throw std::logic_error("Table: previous row incomplete");
+  }
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  if (rows_.empty()) throw std::logic_error("Table: cell before begin_row");
+  if (rows_.back().size() >= header_.size()) {
+    throw std::logic_error("Table: row overflow");
+  }
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+
+Table& Table::row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  begin_row();
+  rows_.back() = std::move(cells);
+  return *this;
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  if (!title.empty()) os << title << "\n";
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < r.size() ? r[c] : std::string{};
+      os << (c == 0 ? "| " : " | ") << std::left << std::setw(static_cast<int>(width[c])) << v;
+    }
+    os << " |\n";
+  };
+  emit_row(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << "\n";
+  for (const auto& r : rows_) emit_row(r);
+}
+
+std::string Table::to_string(const std::string& title) const {
+  std::ostringstream oss;
+  print(oss, title);
+  return oss.str();
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+}  // namespace p2auth::util

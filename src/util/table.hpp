@@ -1,0 +1,46 @@
+// ASCII table rendering for benchmark output.
+//
+// Every bench binary regenerates one of the paper's tables/figures as a
+// plain-text table; this helper keeps the formatting consistent.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace p2auth::util {
+
+// A simple column-aligned text table.  Cells are strings; numeric helpers
+// format with a fixed precision.  Rendering pads every column to its widest
+// cell and draws a header rule.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Starts a new row.  Cells are appended with `cell` until the row is
+  // full; starting the next row before that throws std::logic_error.
+  Table& begin_row();
+  Table& cell(std::string value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(long long value);
+  // Convenience: append an entire row at once.
+  Table& row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_columns() const noexcept { return header_.size(); }
+
+  // Renders to the stream.  `title` (if non-empty) is printed above.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  // Renders to a string (used by tests).
+  std::string to_string(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision (helper shared with Table::cell).
+std::string format_double(double value, int precision);
+
+}  // namespace p2auth::util

@@ -1,0 +1,231 @@
+#include "sim/attacks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace p2auth::sim {
+namespace {
+
+Population tiny_population() {
+  PopulationConfig cfg;
+  cfg.num_users = 2;
+  cfg.num_attackers = 3;
+  cfg.num_third_parties = 4;
+  cfg.seed = 21;
+  return make_population(cfg);
+}
+
+TEST(Population, CohortSizesAndUniqueIds) {
+  const Population pop = tiny_population();
+  EXPECT_EQ(pop.users.size(), 2u);
+  EXPECT_EQ(pop.attackers.size(), 3u);
+  EXPECT_EQ(pop.third_parties.size(), 4u);
+  std::set<std::uint32_t> ids;
+  for (const auto& u : pop.users) ids.insert(u.user_id);
+  for (const auto& u : pop.attackers) ids.insert(u.user_id);
+  for (const auto& u : pop.third_parties) ids.insert(u.user_id);
+  EXPECT_EQ(ids.size(), 9u);
+}
+
+TEST(Population, DeterministicForSeed) {
+  const Population a = tiny_population();
+  const Population b = tiny_population();
+  EXPECT_EQ(a.users[0].latent_seed, b.users[0].latent_seed);
+  EXPECT_EQ(a.attackers[1].cardiac.heart_rate_bpm,
+            b.attackers[1].cardiac.heart_rate_bpm);
+}
+
+TEST(RandomPin, ValidDigitsAndLength) {
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const keystroke::Pin pin = random_pin(rng);
+    EXPECT_EQ(pin.length(), 4u);
+    for (std::size_t j = 0; j < pin.length(); ++j) {
+      EXPECT_GE(pin.at(j), '0');
+      EXPECT_LE(pin.at(j), '9');
+    }
+  }
+  EXPECT_EQ(random_pin(rng, 6).length(), 6u);
+}
+
+TEST(RandomPin, VariesAcrossDraws) {
+  util::Rng rng(2);
+  std::set<std::string> pins;
+  for (int i = 0; i < 30; ++i) pins.insert(random_pin(rng).digits());
+  EXPECT_GT(pins.size(), 20u);
+}
+
+TEST(MakeTrial, SubjectAndShapeRecorded) {
+  const Population pop = tiny_population();
+  util::Rng rng(3);
+  TrialOptions options;
+  const Trial t =
+      make_trial(pop.users[0], keystroke::Pin("1628"), options, rng);
+  EXPECT_EQ(t.subject_id, pop.users[0].user_id);
+  EXPECT_EQ(t.entry.pin.digits(), "1628");
+  EXPECT_EQ(t.trace.num_channels(), 4u);
+  EXPECT_GT(t.trace.length(), 0u);
+  EXPECT_FALSE(t.accel.has_value());
+}
+
+TEST(MakeTrial, AccelOnRequest) {
+  const Population pop = tiny_population();
+  util::Rng rng(4);
+  TrialOptions options;
+  options.with_accel = true;
+  const Trial t =
+      make_trial(pop.users[0], keystroke::Pin("1628"), options, rng);
+  ASSERT_TRUE(t.accel.has_value());
+  EXPECT_GT(t.accel->length(), 0u);
+}
+
+TEST(MakeTrials, CountAndVariety) {
+  const Population pop = tiny_population();
+  util::Rng rng(5);
+  TrialOptions options;
+  const auto trials =
+      make_trials(pop.users[1], keystroke::Pin("3570"), 5, options, rng);
+  ASSERT_EQ(trials.size(), 5u);
+  // Different repetitions differ (timing jitter at minimum).
+  EXPECT_NE(trials[0].entry.events[0].true_time_s,
+            trials[1].entry.events[0].true_time_s);
+}
+
+TEST(ThirdPartyPool, CyclesDonorsAndPins) {
+  const Population pop = tiny_population();
+  util::Rng rng(6);
+  TrialOptions options;
+  const auto pool = make_third_party_pool(pop, 10, options, rng);
+  ASSERT_EQ(pool.size(), 10u);
+  std::set<std::uint32_t> donors;
+  for (const auto& t : pool) donors.insert(t.subject_id);
+  EXPECT_EQ(donors.size(), 4u);  // all third parties used
+  // No legitimate user's data in the pool.
+  for (const auto& t : pool) {
+    EXPECT_NE(t.subject_id, pop.users[0].user_id);
+    EXPECT_NE(t.subject_id, pop.users[1].user_id);
+  }
+}
+
+TEST(ThirdPartyPool, EmptyCohortThrows) {
+  Population pop = tiny_population();
+  pop.third_parties.clear();
+  util::Rng rng(7);
+  EXPECT_THROW(make_third_party_pool(pop, 5, TrialOptions{}, rng),
+               std::invalid_argument);
+}
+
+TEST(RandomAttack, UsesAttackerPhysiology) {
+  const Population pop = tiny_population();
+  util::Rng rng(8);
+  const Trial t = make_random_attack(pop.attackers[0], TrialOptions{}, rng);
+  EXPECT_EQ(t.subject_id, pop.attackers[0].user_id);
+  EXPECT_EQ(t.entry.pin.length(), 4u);
+}
+
+TEST(RandomAttacks, BatchCyclesAttackers) {
+  const Population pop = tiny_population();
+  util::Rng rng(9);
+  const auto attacks = make_random_attacks(pop, 9, TrialOptions{}, rng);
+  ASSERT_EQ(attacks.size(), 9u);
+  std::set<std::uint32_t> ids;
+  for (const auto& t : attacks) ids.insert(t.subject_id);
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(RandomAttacks, NoAttackersThrows) {
+  Population pop = tiny_population();
+  pop.attackers.clear();
+  util::Rng rng(10);
+  EXPECT_THROW(make_random_attacks(pop, 3, TrialOptions{}, rng),
+               std::invalid_argument);
+}
+
+TEST(EmulatingAttack, UsesVictimPinAndBlendsTiming) {
+  const Population pop = tiny_population();
+  util::Rng rng(11);
+  const keystroke::Pin pin("5094");
+  EmulationOptions emulation;
+  emulation.timing_fidelity = 1.0;  // perfect imitation
+  const Trial t = make_emulating_attack(pop.attackers[0], pop.users[0], pin,
+                                        TrialOptions{}, emulation, rng);
+  EXPECT_EQ(t.entry.pin, pin);
+  EXPECT_EQ(t.subject_id, pop.attackers[0].user_id);
+}
+
+TEST(EmulatingAttack, TimingBlendIsLinearInFidelity) {
+  const Population pop = tiny_population();
+  const ppg::UserProfile& attacker = pop.attackers[0];
+  const ppg::UserProfile& victim = pop.users[0];
+  // Only verifiable through the generated cadence statistics: with
+  // fidelity 1 the attacker's mean interval matches the victim's profile;
+  // with fidelity 0 it matches their own.
+  auto mean_interval = [&](double fidelity, std::uint64_t seed) {
+    EmulationOptions emulation;
+    emulation.timing_fidelity = fidelity;
+    double total = 0.0;
+    int count = 0;
+    for (int i = 0; i < 60; ++i) {
+      util::Rng r(seed + i);
+      const Trial t = make_emulating_attack(attacker, victim,
+                                            keystroke::Pin("1628"),
+                                            TrialOptions{}, emulation, r);
+      for (std::size_t k = 1; k < t.entry.events.size(); ++k) {
+        total += t.entry.events[k].true_time_s -
+                 t.entry.events[k - 1].true_time_s;
+        ++count;
+      }
+    }
+    return total / count;
+  };
+  // Reference: the victim's own generated cadence (includes travel time,
+  // unlike the raw profile mean).
+  double victim_total = 0.0;
+  int victim_count = 0;
+  for (int i = 0; i < 60; ++i) {
+    util::Rng r(300 + i);
+    const Trial t =
+        make_trial(victim, keystroke::Pin("1628"), TrialOptions{}, r);
+    for (std::size_t k = 1; k < t.entry.events.size(); ++k) {
+      victim_total += t.entry.events[k].true_time_s -
+                      t.entry.events[k - 1].true_time_s;
+      ++victim_count;
+    }
+  }
+  const double victim_mean = victim_total / victim_count;
+  const double own = mean_interval(0.0, 100);
+  const double imitated = mean_interval(1.0, 200);
+  // Perfect imitation reproduces the victim's cadence distribution; no
+  // imitation need not.
+  EXPECT_NEAR(imitated, victim_mean, 0.06);
+  // And imitation never moves the attacker *away* from the victim.
+  EXPECT_LE(std::abs(imitated - victim_mean),
+            std::abs(own - victim_mean) + 0.03);
+}
+
+TEST(EmulatingAttack, FidelityValidated) {
+  const Population pop = tiny_population();
+  util::Rng rng(12);
+  EmulationOptions bad;
+  bad.timing_fidelity = 1.5;
+  EXPECT_THROW(
+      make_emulating_attack(pop.attackers[0], pop.users[0],
+                            keystroke::Pin("1628"), TrialOptions{}, bad, rng),
+      std::invalid_argument);
+}
+
+TEST(EmulatingAttacks, BatchAgainstVictim) {
+  const Population pop = tiny_population();
+  util::Rng rng(13);
+  const auto attacks = make_emulating_attacks(
+      pop, pop.users[0], keystroke::Pin("1628"), 6, TrialOptions{}, rng);
+  ASSERT_EQ(attacks.size(), 6u);
+  for (const auto& t : attacks) {
+    EXPECT_EQ(t.entry.pin.digits(), "1628");
+  }
+}
+
+}  // namespace
+}  // namespace p2auth::sim

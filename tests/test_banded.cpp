@@ -1,0 +1,121 @@
+#include "linalg/banded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace p2auth::linalg {
+namespace {
+
+// Dense replica of the smoothness-prior matrix I + lambda^2 D2^T D2.
+Matrix dense_smoothness_prior(std::size_t n, double lambda) {
+  Matrix d2(n - 2, n);
+  for (std::size_t r = 0; r + 2 < n; ++r) {
+    d2(r, r) = 1.0;
+    d2(r, r + 1) = -2.0;
+    d2(r, r + 2) = 1.0;
+  }
+  Matrix a = d2.transposed().multiply(d2);
+  for (auto& v : a.data()) v *= lambda * lambda;
+  a.add_scaled_identity(1.0);
+  return a;
+}
+
+TEST(SymmetricBanded, AccessorsInsideAndOutsideBand) {
+  SymmetricBanded a(5, 1);
+  a.set(1, 2, 3.0);
+  EXPECT_EQ(a.at(1, 2), 3.0);
+  EXPECT_EQ(a.at(2, 1), 3.0);  // symmetric read
+  EXPECT_EQ(a.at(0, 4), 0.0);  // outside band reads 0
+  EXPECT_THROW(a.set(0, 4, 1.0), std::out_of_range);
+  EXPECT_THROW(a.add(0, 2, 1.0), std::out_of_range);
+}
+
+TEST(SymmetricBanded, BandwidthTooLargeThrows) {
+  EXPECT_THROW(SymmetricBanded(3, 3), std::invalid_argument);
+}
+
+TEST(SymmetricBanded, MultiplyMatchesDense) {
+  const std::size_t n = 12;
+  const double lambda = 4.0;
+  const auto banded = SymmetricBanded::smoothness_prior(n, lambda);
+  const Matrix dense = dense_smoothness_prior(n, lambda);
+  util::Rng rng(7);
+  Vector x(n);
+  for (double& v : x) v = rng.normal();
+  const Vector yb = banded.multiply(x);
+  const Vector yd = dense.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(yb[i], yd[i], 1e-10);
+}
+
+TEST(SymmetricBanded, SmoothnessPriorMatchesDenseEntries) {
+  const std::size_t n = 10;
+  const double lambda = 2.5;
+  const auto banded = SymmetricBanded::smoothness_prior(n, lambda);
+  const Matrix dense = dense_smoothness_prior(n, lambda);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(banded.at(i, j), dense(i, j), 1e-12)
+          << "entry (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(SymmetricBanded, SmoothnessPriorNeedsThreeSamples) {
+  EXPECT_THROW(SymmetricBanded::smoothness_prior(2, 1.0),
+               std::invalid_argument);
+}
+
+TEST(BandedCholesky, SolveMatchesDenseCholesky) {
+  const std::size_t n = 30;
+  const double lambda = 10.0;
+  const auto banded = SymmetricBanded::smoothness_prior(n, lambda);
+  const Matrix dense = dense_smoothness_prior(n, lambda);
+  util::Rng rng(8);
+  Vector b(n);
+  for (double& v : b) v = rng.normal();
+  const Vector xb = BandedCholesky(banded).solve(b);
+  const Vector xd = Cholesky(dense).solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xb[i], xd[i], 1e-9);
+}
+
+TEST(BandedCholesky, NonSpdThrows) {
+  SymmetricBanded a(4, 1);
+  for (std::size_t i = 0; i < 4; ++i) a.set(i, i, -1.0);
+  EXPECT_THROW(BandedCholesky{a}, std::domain_error);
+}
+
+TEST(BandedCholesky, SolveSizeMismatchThrows) {
+  const auto a = SymmetricBanded::smoothness_prior(5, 1.0);
+  const BandedCholesky chol(a);
+  EXPECT_THROW(chol.solve(Vector{1.0}), std::invalid_argument);
+}
+
+struct BandedCase {
+  std::size_t n;
+  double lambda;
+};
+
+class BandedSolveSweep : public ::testing::TestWithParam<BandedCase> {};
+
+TEST_P(BandedSolveSweep, ResidualIsTiny) {
+  const auto [n, lambda] = GetParam();
+  const auto a = SymmetricBanded::smoothness_prior(n, lambda);
+  util::Rng rng(n);
+  Vector b(n);
+  for (double& v : b) v = rng.normal();
+  const Vector x = BandedCholesky(a).solve(b);
+  const Vector ax = a.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BandedSolveSweep,
+    ::testing::Values(BandedCase{3, 1.0}, BandedCase{4, 50.0},
+                      BandedCase{10, 0.5}, BandedCase{100, 50.0},
+                      BandedCase{500, 300.0}, BandedCase{1000, 50.0}));
+
+}  // namespace
+}  // namespace p2auth::linalg

@@ -1,0 +1,110 @@
+#include "signal/detrend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace p2auth::signal {
+namespace {
+
+TEST(Detrend, TrendPlusDetrendedEqualsSignal) {
+  util::Rng rng(1);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = 0.01 * static_cast<double>(i) + rng.normal();
+  }
+  const auto trend = smoothness_priors_trend(y, 50.0);
+  const auto det = detrend_smoothness_priors(y, 50.0);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(trend[i] + det[i], y[i], 1e-10);
+  }
+}
+
+TEST(Detrend, RemovesSlowDriftKeepsFastComponent) {
+  const std::size_t n = 800;
+  const double rate = 100.0;
+  std::vector<double> slow(n), fast(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / rate;
+    slow[i] = 3.0 * std::sin(2.0 * std::numbers::pi * 0.05 * t);
+    fast[i] = 1.0 * std::sin(2.0 * std::numbers::pi * 4.0 * t);
+    y[i] = slow[i] + fast[i];
+  }
+  const auto det = detrend_smoothness_priors(y, 50.0);
+  // The detrended signal should track the fast component.
+  double err = 0.0, base = 0.0;
+  for (std::size_t i = 50; i + 50 < n; ++i) {
+    err += (det[i] - fast[i]) * (det[i] - fast[i]);
+    base += fast[i] * fast[i];
+  }
+  EXPECT_LT(err, 0.15 * base);
+}
+
+TEST(Detrend, ConstantSignalBecomesZero) {
+  const std::vector<double> y(50, 5.0);
+  for (const double v : detrend_smoothness_priors(y, 10.0)) {
+    EXPECT_NEAR(v, 0.0, 1e-9);
+  }
+}
+
+TEST(Detrend, LinearRampRemoved) {
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = 0.5 * static_cast<double>(i) - 10.0;
+  }
+  for (const double v : detrend_smoothness_priors(y, 20.0)) {
+    EXPECT_NEAR(v, 0.0, 1e-6);
+  }
+}
+
+TEST(Detrend, LambdaZeroRemovesEverything) {
+  // With lambda = 0 the "trend" equals the signal itself.
+  util::Rng rng(2);
+  std::vector<double> y(40);
+  for (double& v : y) v = rng.normal();
+  for (const double v : detrend_smoothness_priors(y, 0.0)) {
+    EXPECT_NEAR(v, 0.0, 1e-12);
+  }
+}
+
+TEST(Detrend, LargerLambdaRemovesLess) {
+  const std::size_t n = 600;
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / 100.0;
+    y[i] = std::sin(2.0 * std::numbers::pi * 0.5 * t);
+  }
+  auto energy = [](const std::vector<double>& v) {
+    double e = 0.0;
+    for (const double x : v) e += x * x;
+    return e;
+  };
+  const double residual_small = energy(detrend_smoothness_priors(y, 5.0));
+  const double residual_large = energy(detrend_smoothness_priors(y, 500.0));
+  // A mid-frequency component survives better under larger lambda.
+  EXPECT_GT(residual_large, residual_small);
+}
+
+TEST(Detrend, ShortSeriesReturnsMeanCentered) {
+  const std::vector<double> y = {2.0, 4.0};
+  const auto det = detrend_smoothness_priors(y, 10.0);
+  EXPECT_NEAR(det[0], -1.0, 1e-12);
+  EXPECT_NEAR(det[1], 1.0, 1e-12);
+  const auto trend = smoothness_priors_trend(y, 10.0);
+  EXPECT_NEAR(trend[0], 3.0, 1e-12);
+}
+
+TEST(Detrend, EmptyInputOk) {
+  EXPECT_TRUE(detrend_smoothness_priors(std::vector<double>{}, 10.0).empty());
+}
+
+TEST(Detrend, NegativeLambdaThrows) {
+  EXPECT_THROW(detrend_smoothness_priors(std::vector<double>(10, 0.0), -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2auth::signal

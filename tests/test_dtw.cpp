@@ -1,0 +1,149 @@
+#include "signal/dtw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace p2auth::signal {
+namespace {
+
+TEST(Dtw, IdenticalSeriesIsZero) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(dtw_distance(x, x), 0.0);
+}
+
+TEST(Dtw, SymmetricInArguments) {
+  const std::vector<double> a = {0.0, 1.0, 2.0, 1.0};
+  const std::vector<double> b = {0.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(dtw_distance(a, b), dtw_distance(b, a));
+}
+
+TEST(Dtw, ShiftedSeriesCheaperThanEuclidean) {
+  // A time-shifted copy: DTW warps over the shift; pointwise distance
+  // cannot.
+  const std::size_t n = 100;
+  std::vector<double> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = std::sin(0.2 * static_cast<double>(i));
+    b[i] = std::sin(0.2 * (static_cast<double>(i) - 5.0));
+  }
+  double euclid = 0.0;
+  for (std::size_t i = 0; i < n; ++i) euclid += (a[i] - b[i]) * (a[i] - b[i]);
+  EXPECT_LT(dtw_distance(a, b), std::sqrt(euclid) * 0.5);
+}
+
+TEST(Dtw, DifferentLengthsSupported) {
+  const std::vector<double> a = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> b = {0.0, 1.5, 3.0};
+  EXPECT_GE(dtw_distance(a, b), 0.0);
+}
+
+TEST(Dtw, EmptyThrows) {
+  EXPECT_THROW(dtw_distance(std::vector<double>{}, std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(dtw_distance(std::vector<double>{1.0}, std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(Dtw, SingleElementSeries) {
+  EXPECT_DOUBLE_EQ(dtw_distance(std::vector<double>{2.0},
+                                std::vector<double>{5.0}),
+                   3.0);
+}
+
+TEST(Dtw, BandedMatchesUnbandedForSmallShift) {
+  util::Rng rng(1);
+  std::vector<double> a(80), b(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    a[i] = std::sin(0.15 * static_cast<double>(i)) + rng.normal(0.0, 0.05);
+    b[i] = std::sin(0.15 * (static_cast<double>(i) - 3.0)) +
+           rng.normal(0.0, 0.05);
+  }
+  DtwOptions wide;
+  wide.band = 40;
+  const double unbanded = dtw_distance(a, b);
+  const double banded = dtw_distance(a, b, wide);
+  EXPECT_NEAR(banded, unbanded, 1e-9);
+}
+
+TEST(Dtw, BandIsExpandedToCoverLengthDifference) {
+  // Band 1 with length difference 5 would exclude every path if not
+  // expanded internally.
+  const std::vector<double> a(20, 1.0);
+  const std::vector<double> b(15, 1.0);
+  DtwOptions tight;
+  tight.band = 1;
+  EXPECT_NO_THROW(dtw_distance(a, b, tight));
+}
+
+TEST(Dtw, TighterBandNeverDecreasesCost) {
+  util::Rng rng(2);
+  std::vector<double> a(60), b(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    a[i] = rng.normal();
+    b[i] = rng.normal();
+  }
+  DtwOptions tight, loose;
+  tight.band = 3;
+  loose.band = 30;
+  EXPECT_GE(dtw_distance(a, b, tight), dtw_distance(a, b, loose) - 1e-9);
+}
+
+TEST(DtwNormalized, RemovesLengthDependence) {
+  const std::vector<double> short_a = {0.0, 1.0, 0.0, -1.0};
+  std::vector<double> long_a, long_b;
+  for (int rep = 0; rep < 8; ++rep) {
+    for (const double v : short_a) {
+      long_a.push_back(v);
+      long_b.push_back(v + 0.1);
+    }
+  }
+  std::vector<double> short_b;
+  for (const double v : short_a) short_b.push_back(v + 0.1);
+  const double n_short = dtw_distance_normalized(short_a, short_b);
+  const double n_long = dtw_distance_normalized(long_a, long_b);
+  // Same pointwise offset; normalisation keeps the scores comparable
+  // within a small factor (raw DTW would differ ~8x).
+  EXPECT_LT(n_long, n_short * 2.0);
+  EXPECT_GT(n_long, n_short * 0.2);
+}
+
+TEST(Dtw, TriangleLikeOrderingOnWarpedCopies) {
+  // A series, a mild warp of it, and an unrelated series: the warped copy
+  // must be far closer than the unrelated one.
+  const std::size_t n = 120;
+  std::vector<double> base(n), warped(n), other(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    base[i] = std::sin(0.1 * t);
+    warped[i] = std::sin(0.1 * (t + 3.0 * std::sin(0.02 * t)));
+    other[i] = std::cos(0.23 * t) + 0.4;
+  }
+  EXPECT_LT(dtw_distance(base, warped) * 3.0, dtw_distance(base, other));
+}
+
+TEST(Dtw, InsensitiveToConstantSeriesPair) {
+  const std::vector<double> a(30, 2.0), b(45, 2.0);
+  EXPECT_DOUBLE_EQ(dtw_distance(a, b), 0.0);
+}
+
+TEST(Dtw, MonotoneInNoise) {
+  util::Rng rng(3);
+  std::vector<double> base(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    base[i] = std::sin(0.1 * static_cast<double>(i));
+  }
+  double previous = 0.0;
+  for (const double sigma : {0.05, 0.2, 0.8}) {
+    std::vector<double> noisy = base;
+    for (double& v : noisy) v += rng.normal(0.0, sigma);
+    const double d = dtw_distance(base, noisy);
+    EXPECT_GT(d, previous);
+    previous = d;
+  }
+}
+
+}  // namespace
+}  // namespace p2auth::signal

@@ -1,0 +1,110 @@
+#include "linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace p2auth::linalg {
+namespace {
+
+Matrix random_symmetric(std::size_t n, util::Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = r; c < n; ++c) {
+      const double v = rng.normal();
+      a(r, c) = v;
+      a(c, r) = v;
+    }
+  }
+  return a;
+}
+
+TEST(Eigen, KnownTwoByTwo) {
+  const Matrix a = Matrix::from_rows({{2.0, 1.0}, {1.0, 2.0}});
+  const EigenDecomposition e = eigen_symmetric(a);
+  ASSERT_EQ(e.values.size(), 2u);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-10);
+}
+
+TEST(Eigen, DiagonalMatrix) {
+  const Matrix a = Matrix::from_rows(
+      {{5.0, 0.0, 0.0}, {0.0, -2.0, 0.0}, {0.0, 0.0, 1.0}});
+  const EigenDecomposition e = eigen_symmetric(a);
+  EXPECT_NEAR(e.values[0], -2.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+  EXPECT_NEAR(e.values[2], 5.0, 1e-12);
+}
+
+TEST(Eigen, ValuesSortedAscending) {
+  util::Rng rng(4);
+  const EigenDecomposition e = eigen_symmetric(random_symmetric(8, rng));
+  EXPECT_TRUE(std::is_sorted(e.values.begin(), e.values.end()));
+}
+
+TEST(Eigen, NotSquareThrows) {
+  EXPECT_THROW(eigen_symmetric(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Eigen, AsymmetricThrows) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {0.0, 1.0}});
+  EXPECT_THROW(eigen_symmetric(a), std::invalid_argument);
+}
+
+TEST(Eigen, TraceEqualsSumOfEigenvalues) {
+  util::Rng rng(5);
+  const Matrix a = random_symmetric(10, rng);
+  const EigenDecomposition e = eigen_symmetric(a);
+  double trace = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    trace += a(i, i);
+    sum += e.values[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+class EigenSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenSweep, ReconstructsMatrix) {
+  const std::size_t n = GetParam();
+  util::Rng rng(40 + n);
+  const Matrix a = random_symmetric(n, rng);
+  const EigenDecomposition e = eigen_symmetric(a);
+  // A = Q diag(values) Q^T
+  Matrix lambda_qt(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t c = 0; c < n; ++c) {
+      lambda_qt(k, c) = e.values[k] * e.vectors(c, k);
+    }
+  }
+  const Matrix reconstructed = e.vectors.multiply(lambda_qt);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      EXPECT_NEAR(reconstructed(r, c), a(r, c), 1e-8);
+    }
+  }
+}
+
+TEST_P(EigenSweep, VectorsAreOrthonormal) {
+  const std::size_t n = GetParam();
+  util::Rng rng(80 + n);
+  const EigenDecomposition e = eigen_symmetric(random_symmetric(n, rng));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double d = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        d += e.vectors(r, i) * e.vectors(r, j);
+      }
+      EXPECT_NEAR(d, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 12u, 30u));
+
+}  // namespace
+}  // namespace p2auth::linalg

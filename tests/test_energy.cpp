@@ -1,0 +1,153 @@
+#include "signal/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace p2auth::signal {
+namespace {
+
+TEST(ShortTimeEnergy, ConstantSignal) {
+  const std::vector<double> x(50, 2.0);
+  const auto e = short_time_energy(x, 5);
+  // Interior windows hold 5 samples of 4.0 energy each.
+  EXPECT_NEAR(e[25], 20.0, 1e-12);
+  // Edge windows are truncated.
+  EXPECT_NEAR(e[0], 12.0, 1e-12);  // 3 samples
+}
+
+TEST(ShortTimeEnergy, MatchesNaiveComputation) {
+  util::Rng rng(1);
+  std::vector<double> x(100);
+  for (double& v : x) v = rng.normal();
+  const std::size_t window = 7;
+  const auto e = short_time_energy(x, window);
+  const long long half = window / 2;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double naive = 0.0;
+    for (long long k = -half; k <= half; ++k) {
+      const long long idx = static_cast<long long>(i) + k;
+      if (idx < 0 || idx >= static_cast<long long>(x.size())) continue;
+      naive += x[idx] * x[idx];
+    }
+    EXPECT_NEAR(e[i], naive, 1e-9) << "index " << i;
+  }
+}
+
+TEST(ShortTimeEnergy, ZeroWindowThrows) {
+  EXPECT_THROW(short_time_energy(std::vector<double>{1.0}, 0),
+               std::invalid_argument);
+}
+
+TEST(ShortTimeEnergy, EmptyInput) {
+  EXPECT_TRUE(short_time_energy(std::vector<double>{}, 5).empty());
+}
+
+std::vector<double> burst_signal(std::size_t n,
+                                 const std::vector<std::size_t>& bursts,
+                                 double amplitude, util::Rng& rng) {
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.normal(0.0, 0.1);
+  for (const std::size_t b : bursts) {
+    for (std::size_t i = b; i < std::min(n, b + 15); ++i) {
+      x[i] += amplitude * std::sin(0.8 * static_cast<double>(i - b));
+    }
+  }
+  return x;
+}
+
+TEST(DetectKeystrokes, FindsBurstsAtCandidates) {
+  util::Rng rng(2);
+  const std::vector<std::size_t> bursts = {100, 220, 340, 460};
+  const auto x = burst_signal(600, bursts, 3.0, rng);
+  const auto flags = detect_keystrokes(x, bursts);
+  ASSERT_EQ(flags.size(), 4u);
+  for (const bool f : flags) EXPECT_TRUE(f);
+  EXPECT_EQ(count_detected(flags), 4u);
+}
+
+TEST(DetectKeystrokes, RejectsQuietCandidates) {
+  util::Rng rng(3);
+  const std::vector<std::size_t> bursts = {100, 400};
+  const auto x = burst_signal(600, bursts, 3.0, rng);
+  // Candidates: two real bursts, two quiet positions.
+  const std::vector<std::size_t> candidates = {100, 220, 400, 520};
+  const auto flags = detect_keystrokes(x, candidates);
+  EXPECT_TRUE(flags[0]);
+  EXPECT_FALSE(flags[1]);
+  EXPECT_TRUE(flags[2]);
+  EXPECT_FALSE(flags[3]);
+  EXPECT_EQ(count_detected(flags), 2u);
+}
+
+TEST(DetectKeystrokes, CandidateOutOfRangeThrows) {
+  const std::vector<double> x(100, 0.0);
+  const std::vector<std::size_t> candidates = {150};
+  EXPECT_THROW(detect_keystrokes(x, candidates), std::out_of_range);
+}
+
+TEST(DetectKeystrokes, NoCandidatesNoFlags) {
+  const std::vector<double> x(100, 1.0);
+  EXPECT_TRUE(detect_keystrokes(x, std::vector<std::size_t>{}).empty());
+}
+
+TEST(DetectKeystrokes, ThresholdFractionControlsSensitivity) {
+  util::Rng rng(4);
+  const std::vector<std::size_t> bursts = {100, 300};
+  const auto x = burst_signal(500, bursts, 1.0, rng);  // weak bursts
+  EnergyDetectorOptions loose;
+  loose.threshold_fraction = 0.1;
+  loose.median_multiplier = 0.0;  // pure mean rule
+  EnergyDetectorOptions strict = loose;
+  strict.threshold_fraction = 100.0;
+  const auto loose_flags = detect_keystrokes(x, bursts, loose);
+  const auto strict_flags = detect_keystrokes(x, bursts, strict);
+  EXPECT_GE(count_detected(loose_flags), count_detected(strict_flags));
+  EXPECT_EQ(count_detected(strict_flags), 0u);
+}
+
+TEST(DetectKeystrokes, MedianFloorSuppressesHeartbeatLevelPeaks) {
+  // A trace whose candidates sit on modest oscillation peaks: with only
+  // the mean rule and a sparse trace they pass; the median floor rejects
+  // them.  This is the two-handed false-positive scenario from the paper
+  // pipeline (see EnergyDetectorOptions::median_multiplier).
+  util::Rng rng(5);
+  std::vector<double> x(600);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(0.08 * static_cast<double>(i)) + rng.normal(0.0, 0.05);
+  }
+  const std::vector<std::size_t> candidates = {100, 300, 500};
+  EnergyDetectorOptions mean_only;
+  mean_only.threshold_fraction = 0.5;
+  mean_only.median_multiplier = 0.0;
+  EnergyDetectorOptions with_floor = mean_only;
+  with_floor.median_multiplier = 2.6;
+  EXPECT_GE(count_detected(detect_keystrokes(x, candidates, mean_only)),
+            count_detected(detect_keystrokes(x, candidates, with_floor)));
+}
+
+TEST(CountDetected, Counts) {
+  EXPECT_EQ(count_detected({true, false, true}), 2u);
+  EXPECT_EQ(count_detected({}), 0u);
+}
+
+// Property sweep: detection works across burst amplitudes well above the
+// noise floor and fails below it.
+class EnergyDetectionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EnergyDetectionSweep, StrongBurstsAlwaysDetected) {
+  const double amplitude = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(amplitude * 10));
+  const std::vector<std::size_t> bursts = {120, 260, 400};
+  const auto x = burst_signal(520, bursts, amplitude, rng);
+  const auto flags = detect_keystrokes(x, bursts);
+  EXPECT_EQ(count_detected(flags), 3u) << "amplitude " << amplitude;
+}
+
+INSTANTIATE_TEST_SUITE_P(Amplitudes, EnergyDetectionSweep,
+                         ::testing::Values(1.5, 2.0, 3.0, 5.0, 10.0));
+
+}  // namespace
+}  // namespace p2auth::signal

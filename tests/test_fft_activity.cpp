@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "keystroke/timing.hpp"
+#include "ppg/activity.hpp"
+#include "signal/fft.hpp"
+#include "util/rng.hpp"
+
+namespace p2auth {
+namespace {
+
+using signal::fft;
+using signal::fft_real;
+using signal::next_power_of_two;
+using signal::power_spectrum;
+
+TEST(Fft, NextPowerOfTwo) {
+  EXPECT_EQ(next_power_of_two(0), 1u);
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(2), 2u);
+  EXPECT_EQ(next_power_of_two(3), 4u);
+  EXPECT_EQ(next_power_of_two(1024), 1024u);
+  EXPECT_EQ(next_power_of_two(1025), 2048u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> x(6);
+  EXPECT_THROW(fft(x), std::invalid_argument);
+  std::vector<std::complex<double>> empty;
+  EXPECT_THROW(fft(empty), std::invalid_argument);
+}
+
+TEST(Fft, MatchesNaiveDftOnRandomInput) {
+  util::Rng rng(1);
+  const std::size_t n = 64;
+  std::vector<std::complex<double>> x(n);
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  auto fast = x;
+  fft(fast);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> naive(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      naive += x[t] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    EXPECT_NEAR(fast[k].real(), naive.real(), 1e-8) << "bin " << k;
+    EXPECT_NEAR(fast[k].imag(), naive.imag(), 1e-8) << "bin " << k;
+  }
+}
+
+TEST(Fft, SinePeaksAtItsBin) {
+  const std::size_t n = 256;
+  std::vector<double> x(n);
+  // Exactly 8 cycles in the window: energy lands in bin 8.
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 8.0 * static_cast<double>(i) /
+                    static_cast<double>(n));
+  }
+  const auto c = fft_real(x);
+  std::size_t best = 1;
+  for (std::size_t k = 1; k < n / 2; ++k) {
+    if (std::norm(c[k]) > std::norm(c[best])) best = k;
+  }
+  EXPECT_EQ(best, 8u);
+}
+
+TEST(Fft, ParsevalHolds) {
+  util::Rng rng(2);
+  const std::size_t n = 128;
+  std::vector<std::complex<double>> x(n);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = {rng.normal(), 0.0};
+    time_energy += std::norm(v);
+  }
+  auto f = x;
+  fft(f);
+  double freq_energy = 0.0;
+  for (const auto& v : f) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-8);
+}
+
+TEST(PowerSpectrum, PeaksAtSignalFrequency) {
+  const double rate = 100.0;
+  std::vector<double> x(800);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 4.0 * static_cast<double>(i) /
+                    rate);
+  }
+  const auto spectrum = power_spectrum(x, rate);
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < spectrum.power.size(); ++k) {
+    if (spectrum.power[k] > spectrum.power[best]) best = k;
+  }
+  EXPECT_NEAR(spectrum.frequency_hz[best], 4.0, 0.3);
+  // Band power concentrates around the tone.
+  EXPECT_GT(spectrum.band_power(3.0, 5.0),
+            5.0 * spectrum.band_power(8.0, 20.0));
+}
+
+TEST(PowerSpectrum, Validation) {
+  EXPECT_THROW(power_spectrum(std::vector<double>{}, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(power_spectrum(std::vector<double>{1.0}, 0.0),
+               std::invalid_argument);
+}
+
+// --- activity detection ---
+
+ppg::MultiChannelTrace entry_trace(ppg::ActivityState activity,
+                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  ppg::UserProfile user = ppg::UserProfile::sample(0, rng);
+  keystroke::TimingProfile timing;
+  util::Rng er = rng.fork("entry");
+  const auto entry = keystroke::generate_entry(
+      keystroke::Pin("1628"), timing, keystroke::InputCase::kOneHanded, er);
+  ppg::SimulationOptions options;
+  options.activity = activity;
+  util::Rng tr = rng.fork("trace");
+  return ppg::simulate_entry(user, entry,
+                             ppg::SensorConfig::prototype_wristband(), tr,
+                             options);
+}
+
+TEST(ActivityDetector, StaticEntriesClassifiedStatic) {
+  int correct = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto trace = entry_trace(ppg::ActivityState::kStatic, seed);
+    const auto report =
+        ppg::detect_activity(trace.channels[0], trace.rate_hz);
+    correct += report.state == ppg::ActivityState::kStatic ? 1 : 0;
+  }
+  EXPECT_GE(correct, 5);
+}
+
+TEST(ActivityDetector, WalkingEntriesClassifiedWalking) {
+  int correct = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto trace = entry_trace(ppg::ActivityState::kWalking, seed);
+    const auto report =
+        ppg::detect_activity(trace.channels[0], trace.rate_hz);
+    correct += report.state == ppg::ActivityState::kWalking ? 1 : 0;
+  }
+  EXPECT_GE(correct, 5);
+}
+
+TEST(ActivityDetector, ReportFieldsConsistent) {
+  const auto trace = entry_trace(ppg::ActivityState::kWalking, 9);
+  const auto report = ppg::detect_activity(trace.channels[0], trace.rate_hz);
+  EXPECT_GE(report.gait_band_power, 0.0);
+  EXPECT_GE(report.analysed_power, report.gait_band_power - 1e-9);
+  EXPECT_GE(report.gait_fraction, 0.0);
+  EXPECT_LE(report.gait_fraction, 1.0 + 1e-9);
+}
+
+TEST(ActivityDetector, Validation) {
+  EXPECT_THROW(ppg::detect_activity(std::vector<double>{}, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(ppg::detect_activity(std::vector<double>{1.0}, -1.0),
+               std::invalid_argument);
+  ppg::ActivityDetectorOptions bad;
+  bad.gait_hi_hz = bad.gait_lo_hz;
+  EXPECT_THROW(ppg::detect_activity(std::vector<double>{1.0}, 100.0, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2auth

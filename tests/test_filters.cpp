@@ -1,0 +1,169 @@
+#include "signal/filters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace p2auth::signal {
+namespace {
+
+TEST(MedianFilter, RemovesImpulse) {
+  Series x(21, 1.0);
+  x[10] = 100.0;  // impulsive glitch
+  const Series y = median_filter(x, 5);
+  for (const double v : y) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(MedianFilter, PreservesStepEdge) {
+  Series x(20, 0.0);
+  for (std::size_t i = 10; i < 20; ++i) x[i] = 1.0;
+  const Series y = median_filter(x, 3);
+  EXPECT_DOUBLE_EQ(y[5], 0.0);
+  EXPECT_DOUBLE_EQ(y[15], 1.0);
+  // The edge stays sharp (no intermediate smear values).
+  for (const double v : y) EXPECT_TRUE(v == 0.0 || v == 1.0);
+}
+
+TEST(MedianFilter, WindowOneIsIdentity) {
+  const Series x = {3.0, 1.0, 4.0, 1.0, 5.0};
+  EXPECT_EQ(median_filter(x, 1), x);
+}
+
+TEST(MedianFilter, EvenWindowThrows) {
+  EXPECT_THROW(median_filter(Series{1.0, 2.0}, 4), std::invalid_argument);
+  EXPECT_THROW(median_filter(Series{1.0, 2.0}, 0), std::invalid_argument);
+}
+
+TEST(MedianFilter, EmptyInput) {
+  EXPECT_TRUE(median_filter(Series{}, 3).empty());
+}
+
+TEST(MovingAverage, ConstantSignalUnchanged) {
+  const Series x(10, 2.5);
+  for (const double v : moving_average(x, 5)) EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(MovingAverage, AveragesWindow) {
+  const Series x = {0.0, 3.0, 0.0};
+  const Series y = moving_average(x, 3);
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+}
+
+TEST(MovingAverage, EvenWindowThrows) {
+  EXPECT_THROW(moving_average(Series{1.0}, 2), std::invalid_argument);
+}
+
+TEST(SavitzkyGolay, CoefficientsSumToOne) {
+  for (const int order : {1, 2, 3, 4}) {
+    const Series c = savitzky_golay_coefficients(11, order);
+    double sum = 0.0;
+    for (const double v : c) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-10) << "order " << order;
+  }
+}
+
+TEST(SavitzkyGolay, InvalidParamsThrow) {
+  EXPECT_THROW(savitzky_golay_coefficients(10, 2), std::invalid_argument);
+  EXPECT_THROW(savitzky_golay_coefficients(5, 5), std::invalid_argument);
+  EXPECT_THROW(savitzky_golay_coefficients(5, -1), std::invalid_argument);
+}
+
+TEST(SavitzkyGolay, SmoothsNoiseButKeepsShape) {
+  util::Rng rng(1);
+  const std::size_t n = 200;
+  Series clean(n), noisy(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    clean[i] = std::sin(0.05 * static_cast<double>(i));
+    noisy[i] = clean[i] + rng.normal(0.0, 0.2);
+  }
+  const Series smooth = savitzky_golay(noisy, 11, 3);
+  double err_noisy = 0.0, err_smooth = 0.0;
+  for (std::size_t i = 10; i + 10 < n; ++i) {
+    err_noisy += std::abs(noisy[i] - clean[i]);
+    err_smooth += std::abs(smooth[i] - clean[i]);
+  }
+  EXPECT_LT(err_smooth, 0.6 * err_noisy);
+}
+
+TEST(RemoveMean, ZeroMeanResult) {
+  const Series y = remove_mean(Series{1.0, 2.0, 3.0});
+  EXPECT_NEAR(y[0] + y[1] + y[2], 0.0, 1e-12);
+  EXPECT_NEAR(y[0], -1.0, 1e-12);
+}
+
+TEST(RemoveMean, EmptyOk) { EXPECT_TRUE(remove_mean(Series{}).empty()); }
+
+TEST(MedianFilter, IdempotentOnMonotoneData) {
+  Series x(30);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i) * 0.5;
+  }
+  // Median filtering a monotone series leaves the interior unchanged.
+  const Series y = median_filter(x, 5);
+  for (std::size_t i = 2; i + 2 < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(y[i], x[i]);
+  }
+}
+
+TEST(SavitzkyGolay, WindowLargerThanSeriesStillWorks) {
+  const Series x = {1.0, 2.0, 3.0};
+  // Edge replication makes this well-defined.
+  EXPECT_NO_THROW({
+    const Series y = savitzky_golay(x, 7, 2);
+    EXPECT_EQ(y.size(), 3u);
+  });
+}
+
+TEST(MovingAverage, ReducesVarianceOfNoise) {
+  util::Rng rng(9);
+  Series x(500);
+  for (double& v : x) v = rng.normal();
+  const Series y = moving_average(x, 9);
+  double var_x = 0.0, var_y = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    var_x += x[i] * x[i];
+    var_y += y[i] * y[i];
+  }
+  EXPECT_LT(var_y, 0.3 * var_x);
+}
+
+// Property: Savitzky-Golay of degree d reproduces degree-<=d polynomials
+// exactly (away from edges the replication padding distorts).
+struct SgCase {
+  std::size_t window;
+  int polyorder;
+  int poly_degree;
+};
+
+class SavitzkyGolaySweep : public ::testing::TestWithParam<SgCase> {};
+
+TEST_P(SavitzkyGolaySweep, ReproducesPolynomialExactly) {
+  const auto [window, polyorder, degree] = GetParam();
+  const std::size_t n = 60;
+  Series x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / 10.0 - 3.0;
+    double v = 0.0, pw = 1.0;
+    for (int d = 0; d <= degree; ++d) {
+      v += (d + 1) * 0.3 * pw;
+      pw *= t;
+    }
+    x[i] = v;
+  }
+  const Series y = savitzky_golay(x, window, polyorder);
+  const std::size_t half = window / 2;
+  for (std::size_t i = half; i + half < n; ++i) {
+    EXPECT_NEAR(y[i], x[i], 1e-8) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SavitzkyGolaySweep,
+    ::testing::Values(SgCase{5, 2, 1}, SgCase{5, 2, 2}, SgCase{7, 3, 3},
+                      SgCase{11, 3, 2}, SgCase{11, 3, 3}, SgCase{15, 4, 4},
+                      SgCase{21, 2, 2}));
+
+}  // namespace
+}  // namespace p2auth::signal

@@ -1,0 +1,146 @@
+#include "ppg/heart_rate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "keystroke/timing.hpp"
+#include "ppg/pulse_model.hpp"
+#include "ppg/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace p2auth::ppg {
+namespace {
+
+std::vector<double> cardiac_window(double bpm, double seconds,
+                                   double rate_hz, std::uint64_t seed,
+                                   double noise_sigma = 0.05) {
+  CardiacProfile cardiac;
+  cardiac.heart_rate_bpm = bpm;
+  cardiac.hrv_fraction = 0.02;
+  util::Rng rng(seed);
+  auto x = generate_cardiac(
+      cardiac, static_cast<std::size_t>(seconds * rate_hz), rate_hz, rng);
+  for (double& v : x) v += rng.normal(0.0, noise_sigma);
+  return x;
+}
+
+TEST(HeartRate, EstimatesKnownRate) {
+  for (const double bpm : {55.0, 72.0, 90.0}) {
+    const auto x = cardiac_window(bpm, 8.0, 100.0, 1);
+    const auto estimate = estimate_heart_rate(x, 100.0);
+    ASSERT_TRUE(estimate.has_value()) << bpm << " bpm";
+    EXPECT_NEAR(estimate->bpm, bpm, 0.08 * bpm) << bpm << " bpm";
+    EXPECT_GT(estimate->periodicity, 0.35);
+  }
+}
+
+TEST(HeartRate, WorksAtLowSamplingRate) {
+  const auto x = cardiac_window(66.0, 8.0, 25.0, 2);
+  const auto estimate = estimate_heart_rate(x, 25.0);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_NEAR(estimate->bpm, 66.0, 8.0);
+}
+
+TEST(HeartRate, RejectsPureNoise) {
+  util::Rng rng(3);
+  std::vector<double> x(800);
+  for (double& v : x) v = rng.normal();
+  const auto estimate = estimate_heart_rate(x, 100.0);
+  if (estimate.has_value()) {
+    // Occasionally noise autocorrelates; the confidence must stay low.
+    EXPECT_LT(estimate->periodicity, 0.6);
+  }
+}
+
+TEST(HeartRate, RejectsFlatline) {
+  const std::vector<double> x(800, 3.3);
+  EXPECT_FALSE(estimate_heart_rate(x, 100.0).has_value());
+}
+
+TEST(HeartRate, RejectsTooShortWindow) {
+  const auto x = cardiac_window(70.0, 0.5, 100.0, 4);
+  EXPECT_FALSE(estimate_heart_rate(x, 100.0).has_value());
+}
+
+TEST(HeartRate, ValidatesArguments) {
+  const std::vector<double> x(100, 0.0);
+  EXPECT_THROW(estimate_heart_rate(x, 0.0), std::invalid_argument);
+  EXPECT_THROW(estimate_heart_rate(std::vector<double>{}, 100.0),
+               std::invalid_argument);
+  HeartRateOptions bad;
+  bad.max_bpm = bad.min_bpm;
+  EXPECT_THROW(estimate_heart_rate(x, 100.0, bad), std::invalid_argument);
+}
+
+TEST(WearDetector, DetectsWornFromCardiacTrace) {
+  const auto x = cardiac_window(75.0, 20.0, 100.0, 5);
+  const WearReport report = detect_wear(x, 100.0);
+  EXPECT_TRUE(report.worn);
+  EXPECT_NEAR(report.median_bpm, 75.0, 8.0);
+  EXPECT_GT(report.windows_with_rhythm, report.windows_total / 2);
+}
+
+TEST(WearDetector, RejectsOffWristNoise) {
+  util::Rng rng(6);
+  std::vector<double> x(2000);
+  for (double& v : x) v = rng.normal(0.0, 0.02);  // sensor facing air
+  const WearReport report = detect_wear(x, 100.0);
+  EXPECT_FALSE(report.worn);
+}
+
+TEST(WearDetector, RejectsFlatline) {
+  const std::vector<double> x(2000, 1.0);
+  EXPECT_FALSE(detect_wear(x, 100.0).worn);
+}
+
+TEST(WearDetector, TooShortTraceNotWorn) {
+  const auto x = cardiac_window(70.0, 1.0, 100.0, 7);
+  EXPECT_FALSE(detect_wear(x, 100.0).worn);
+}
+
+TEST(WearDetector, WornDuringSimulatedPinEntry) {
+  // The full simulated entry (heartbeat + artifacts + noise) still shows
+  // a wearable rhythm: keystroke artifacts are transient.
+  util::Rng rng(8);
+  UserProfile user = UserProfile::sample(0, rng);
+  keystroke::TimingProfile timing;
+  util::Rng er(9);
+  const auto entry = keystroke::generate_entry(
+      keystroke::Pin("1628"), timing, keystroke::InputCase::kOneHanded, er);
+  util::Rng tr(10);
+  const auto trace =
+      simulate_entry(user, entry, SensorConfig::prototype_wristband(), tr);
+  WearDetectorOptions options;
+  options.min_rhythm_fraction = 0.4;  // artifacts mask some windows
+  const WearReport report =
+      detect_wear(trace.channels[0], trace.rate_hz, options);
+  EXPECT_TRUE(report.worn);
+}
+
+TEST(WearDetector, ValidatesArguments) {
+  const std::vector<double> x(100, 0.0);
+  EXPECT_THROW(detect_wear(x, -1.0), std::invalid_argument);
+  WearDetectorOptions bad;
+  bad.hop_s = 0.0;
+  EXPECT_THROW(detect_wear(x, 100.0, bad), std::invalid_argument);
+}
+
+class HeartRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HeartRateSweep, AccurateAcrossPhysiologicalRange) {
+  const double bpm = GetParam();
+  const auto x = cardiac_window(bpm, 10.0, 100.0,
+                                static_cast<std::uint64_t>(bpm));
+  const auto estimate = estimate_heart_rate(x, 100.0);
+  ASSERT_TRUE(estimate.has_value()) << bpm;
+  // The estimator may lock onto a harmonic for very regular templates;
+  // accept the fundamental only.
+  EXPECT_NEAR(estimate->bpm, bpm, 0.1 * bpm) << bpm;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, HeartRateSweep,
+                         ::testing::Values(48.0, 60.0, 75.0, 95.0, 110.0));
+
+}  // namespace
+}  // namespace p2auth::ppg

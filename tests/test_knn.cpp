@@ -1,0 +1,82 @@
+#include "ml/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace p2auth::ml {
+namespace {
+
+// Two Gaussian blobs around (0,...,0) and (4,...,4).
+void make_blobs(std::size_t per_class, std::size_t dims, util::Rng& rng,
+                linalg::Matrix& x, std::vector<double>& y) {
+  x = linalg::Matrix(2 * per_class, dims);
+  y.assign(2 * per_class, -1.0);
+  for (std::size_t i = 0; i < 2 * per_class; ++i) {
+    const bool positive = i < per_class;
+    y[i] = positive ? 1.0 : -1.0;
+    for (std::size_t j = 0; j < dims; ++j) {
+      x(i, j) = rng.normal() + (positive ? 4.0 : 0.0);
+    }
+  }
+}
+
+TEST(Knn, ClassifiesBlobs) {
+  util::Rng rng(1);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_blobs(20, 5, rng, x, y);
+  KnnClassifier knn;
+  knn.fit(x, y);
+  linalg::Vector pos(5, 4.0), neg(5, 0.0);
+  EXPECT_EQ(knn.predict(pos), 1);
+  EXPECT_EQ(knn.predict(neg), -1);
+}
+
+TEST(Knn, ScoreIsNeighbourFraction) {
+  linalg::Matrix x = linalg::Matrix::from_rows(
+      {{0.0}, {0.1}, {10.0}});
+  KnnClassifier knn(KnnOptions{3});
+  knn.fit(x, {1.0, 1.0, -1.0});
+  EXPECT_NEAR(knn.score(linalg::Vector{0.05}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Knn, TieBreaksTowardReject) {
+  linalg::Matrix x = linalg::Matrix::from_rows({{0.0}, {1.0}});
+  KnnClassifier knn(KnnOptions{2});
+  knn.fit(x, {1.0, -1.0});
+  // One neighbour per class: score 0.5, not > 0.5 -> reject.
+  EXPECT_EQ(knn.predict(linalg::Vector{0.5}), -1);
+}
+
+TEST(Knn, KOneUsesNearestOnly) {
+  linalg::Matrix x = linalg::Matrix::from_rows({{0.0}, {10.0}});
+  KnnClassifier knn(KnnOptions{1});
+  knn.fit(x, {1.0, -1.0});
+  EXPECT_EQ(knn.predict(linalg::Vector{2.0}), 1);
+  EXPECT_EQ(knn.predict(linalg::Vector{8.0}), -1);
+}
+
+TEST(Knn, KLargerThanDatasetIsClamped) {
+  linalg::Matrix x = linalg::Matrix::from_rows({{0.0}, {1.0}, {2.0}});
+  KnnClassifier knn(KnnOptions{10});
+  knn.fit(x, {1.0, 1.0, 1.0});
+  EXPECT_EQ(knn.predict(linalg::Vector{0.0}), 1);
+}
+
+TEST(Knn, Errors) {
+  EXPECT_THROW(KnnClassifier(KnnOptions{0}), std::invalid_argument);
+  KnnClassifier knn;
+  EXPECT_FALSE(knn.trained());
+  EXPECT_THROW(knn.predict(linalg::Vector{1.0}), std::logic_error);
+  linalg::Matrix x = linalg::Matrix::from_rows({{0.0}});
+  EXPECT_THROW(knn.fit(x, {0.5}), std::invalid_argument);
+  EXPECT_THROW(knn.fit(x, {1.0, -1.0}), std::invalid_argument);
+  EXPECT_THROW(knn.fit(linalg::Matrix(), {}), std::invalid_argument);
+  linalg::Matrix ok = linalg::Matrix::from_rows({{0.0, 1.0}});
+  knn.fit(ok, {1.0});
+  EXPECT_THROW(knn.predict(linalg::Vector{1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2auth::ml

@@ -1,0 +1,126 @@
+#include "ml/manual_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace p2auth::ml {
+namespace {
+
+// A user's "waveform": sine of user-specific frequency plus noise.
+std::vector<Series> user_waveform(double freq, std::uint64_t seed,
+                                  std::size_t channels = 2,
+                                  std::size_t n = 120) {
+  util::Rng rng(seed);
+  std::vector<Series> out(channels, Series(n));
+  for (std::size_t c = 0; c < channels; ++c) {
+    const double phase = 0.3 * static_cast<double>(c);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[c][i] = std::sin(freq * static_cast<double>(i) + phase) +
+                  rng.normal(0.0, 0.08);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<Series>> enrollment(double freq, int count,
+                                            std::uint64_t seed) {
+  std::vector<std::vector<Series>> out;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(user_waveform(freq, seed + i));
+  }
+  return out;
+}
+
+TEST(ManualFeatures, FixedSizeAndFinite) {
+  util::Rng rng(1);
+  Series x(100);
+  for (double& v : x) v = rng.normal();
+  const auto f = manual_features(x);
+  EXPECT_EQ(f.size(), 20u);  // 9 stats + crossings + 8 autocorr + 2 pct
+  for (const double v : f) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(ManualFeatures, EmptyThrows) {
+  EXPECT_THROW(manual_features(Series{}), std::invalid_argument);
+}
+
+TEST(ManualFeatures, DifferentSignalsDifferentFeatures) {
+  Series a(100, 1.0), b(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    b[i] = std::sin(0.3 * static_cast<double>(i));
+  }
+  EXPECT_NE(manual_features(a), manual_features(b));
+}
+
+TEST(ManualBaseline, AcceptsSameUserRejectsDifferent) {
+  ManualBaseline model;
+  model.fit(enrollment(0.20, 8, 100));
+  // Probes from the same generator: small normalised distance.
+  int accepted_same = 0;
+  for (int i = 0; i < 6; ++i) {
+    accepted_same += model.accept(user_waveform(0.20, 500 + i)) ? 1 : 0;
+  }
+  EXPECT_GE(accepted_same, 5);
+  // A user with a very different waveform shape: rejected.
+  int accepted_other = 0;
+  for (int i = 0; i < 6; ++i) {
+    accepted_other += model.accept(user_waveform(0.55, 700 + i)) ? 1 : 0;
+  }
+  EXPECT_LE(accepted_other, 1);
+}
+
+TEST(ManualBaseline, DistanceOrdersByDissimilarity) {
+  ManualBaseline model;
+  model.fit(enrollment(0.20, 6, 200));
+  const double same = model.distance(user_waveform(0.20, 300));
+  const double near = model.distance(user_waveform(0.26, 301));
+  const double far = model.distance(user_waveform(0.60, 302));
+  EXPECT_LT(same, far);
+  EXPECT_LT(near, far);
+}
+
+TEST(ManualBaseline, IntraClassScalePositive) {
+  ManualBaseline model;
+  model.fit(enrollment(0.3, 4, 400));
+  EXPECT_GT(model.intra_class_scale(), 0.0);
+}
+
+TEST(ManualBaseline, TauControlsStrictness) {
+  ManualBaselineOptions strict;
+  strict.tau = 0.5;
+  ManualBaselineOptions loose;
+  loose.tau = 50.0;
+  ManualBaseline strict_model(strict), loose_model(loose);
+  const auto data = enrollment(0.2, 6, 500);
+  strict_model.fit(data);
+  loose_model.fit(data);
+  const auto probe = user_waveform(0.4, 600);
+  EXPECT_TRUE(loose_model.accept(probe));
+  // The same probe is farther than 0.5x intra-class scale.
+  EXPECT_GE(strict_model.distance(probe), loose_model.distance(probe));
+}
+
+TEST(ManualBaseline, ErrorsOnBadUse) {
+  ManualBaselineOptions bad;
+  bad.tau = 0.0;
+  EXPECT_THROW(ManualBaseline{bad}, std::invalid_argument);
+
+  ManualBaseline model;
+  EXPECT_THROW(model.fit({user_waveform(0.2, 1)}), std::invalid_argument);
+  EXPECT_FALSE(model.trained());
+  EXPECT_THROW(model.distance(user_waveform(0.2, 2)), std::logic_error);
+
+  std::vector<std::vector<Series>> ragged = {user_waveform(0.2, 3, 2),
+                                             user_waveform(0.2, 4, 3)};
+  EXPECT_THROW(model.fit(ragged), std::invalid_argument);
+
+  model.fit(enrollment(0.2, 3, 700));
+  EXPECT_THROW(model.distance(user_waveform(0.2, 5, 3)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2auth::ml

@@ -1,0 +1,147 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace p2auth::linalg {
+namespace {
+
+TEST(Matrix, ZeroInitialised) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 2, 7.0);
+  EXPECT_EQ(m(1, 1), 7.0);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_EQ(i(0, 0), 1.0);
+  EXPECT_EQ(i(0, 1), 0.0);
+  EXPECT_EQ(i(2, 2), 1.0);
+}
+
+TEST(Matrix, FromRowsAndRagged) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(Matrix::from_rows({{1.0}, {2.0, 3.0}}),
+               std::invalid_argument);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, Multiply) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const Matrix b = Matrix::from_rows({{5.0, 6.0}, {7.0, 8.0}});
+  const Matrix c = a.multiply(b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3), b(2, 2);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyVector) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const Vector y = a.multiply(Vector{1.0, 1.0});
+  EXPECT_EQ(y[0], 3.0);
+  EXPECT_EQ(y[1], 7.0);
+  EXPECT_THROW(a.multiply(Vector{1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyTransposed) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const Vector y = a.multiply_transposed(Vector{1.0, 1.0});
+  EXPECT_EQ(y[0], 4.0);
+  EXPECT_EQ(y[1], 6.0);
+}
+
+TEST(Matrix, GramRowsIsSymmetricAndCorrect) {
+  const Matrix a = Matrix::from_rows({{1.0, 0.0, 2.0}, {0.0, 3.0, 1.0}});
+  const Matrix g = a.gram_rows();
+  EXPECT_EQ(g.rows(), 2u);
+  EXPECT_EQ(g(0, 0), 5.0);
+  EXPECT_EQ(g(0, 1), 2.0);
+  EXPECT_EQ(g(1, 0), 2.0);
+  EXPECT_EQ(g(1, 1), 10.0);
+}
+
+TEST(Matrix, GramColsMatchesTransposeProduct) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  const Matrix g = a.gram_cols();
+  const Matrix ref = a.transposed().multiply(a);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(g(r, c), ref(r, c));
+    }
+  }
+}
+
+TEST(Matrix, AddScaledIdentity) {
+  Matrix m(2, 2);
+  m.add_scaled_identity(3.0);
+  EXPECT_EQ(m(0, 0), 3.0);
+  EXPECT_EQ(m(0, 1), 0.0);
+  Matrix rect(2, 3);
+  EXPECT_THROW(rect.add_scaled_identity(1.0), std::invalid_argument);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix m = Matrix::from_rows({{3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(VectorOps, DotAndErrors) {
+  EXPECT_DOUBLE_EQ(dot(Vector{1.0, 2.0}, Vector{3.0, 4.0}), 11.0);
+  EXPECT_THROW(dot(Vector{1.0}, Vector{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(VectorOps, Norm2) {
+  EXPECT_DOUBLE_EQ(norm2(Vector{3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm2(Vector{}), 0.0);
+}
+
+TEST(VectorOps, Axpy) {
+  Vector y = {1.0, 1.0};
+  axpy(2.0, Vector{1.0, 2.0}, y);
+  EXPECT_EQ(y[0], 3.0);
+  EXPECT_EQ(y[1], 5.0);
+  Vector small = {1.0};
+  EXPECT_THROW(axpy(1.0, Vector{1.0, 2.0}, small), std::invalid_argument);
+}
+
+TEST(VectorOps, AddSubtractScale) {
+  const Vector a = {1.0, 2.0}, b = {3.0, 5.0};
+  EXPECT_EQ(add(a, b)[1], 7.0);
+  EXPECT_EQ(subtract(b, a)[0], 2.0);
+  EXPECT_EQ(scale(a, 3.0)[1], 6.0);
+  EXPECT_THROW(add(a, Vector{1.0}), std::invalid_argument);
+  EXPECT_THROW(subtract(a, Vector{1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, RowSpanIsMutable) {
+  Matrix m(2, 2);
+  auto row = m.row(1);
+  row[0] = 9.0;
+  EXPECT_EQ(m(1, 0), 9.0);
+}
+
+}  // namespace
+}  // namespace p2auth::linalg

@@ -1,0 +1,60 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2auth::core {
+namespace {
+
+TEST(OutcomeTally, RatesAndMerge) {
+  OutcomeTally t;
+  EXPECT_EQ(t.acceptance_rate(), 0.0);
+  EXPECT_EQ(t.rejection_rate(), 1.0);
+  t.add(true);
+  t.add(true);
+  t.add(false);
+  EXPECT_NEAR(t.acceptance_rate(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(t.rejection_rate(), 1.0 / 3.0, 1e-12);
+
+  OutcomeTally other;
+  other.add(false);
+  t.merge(other);
+  EXPECT_EQ(t.total, 4u);
+  EXPECT_EQ(t.accepted, 2u);
+}
+
+TEST(AuthMetrics, AccuracyAndTrr) {
+  AuthMetrics m;
+  m.legitimate.add(true);
+  m.legitimate.add(false);
+  m.random_attack.add(false);
+  m.random_attack.add(false);
+  m.emulating_attack.add(true);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(m.frr(), 0.5);
+  EXPECT_DOUBLE_EQ(m.trr_random(), 1.0);
+  EXPECT_DOUBLE_EQ(m.trr_emulating(), 0.0);
+  // FAR pools both attack types: 1 accept of 3 attacks.
+  EXPECT_NEAR(m.far(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(AuthMetrics, Merge) {
+  AuthMetrics a, b;
+  a.legitimate.add(true);
+  b.legitimate.add(false);
+  b.random_attack.add(true);
+  a.merge(b);
+  EXPECT_EQ(a.legitimate.total, 2u);
+  EXPECT_EQ(a.random_attack.total, 1u);
+  EXPECT_DOUBLE_EQ(a.accuracy(), 0.5);
+}
+
+TEST(MeanStddev, Basics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0, 3.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace p2auth::core

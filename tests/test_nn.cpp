@@ -1,0 +1,321 @@
+#include "ml/nn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace p2auth::ml::nn {
+namespace {
+
+Vector random_vector(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Vector x(n);
+  for (double& v : x) v = rng.normal();
+  return x;
+}
+
+// Numerical gradient check of dLoss/dInput for a layer, using
+// L = sum(out * g) for a fixed random g so dL/dout = g.
+void check_input_gradient(Layer& layer, const Vector& x,
+                          std::uint64_t seed, double tolerance = 1e-5) {
+  Vector out = layer.forward(x);
+  const Vector g = random_vector(out.size(), seed);
+  const Vector grad_in = layer.backward(g);
+  ASSERT_EQ(grad_in.size(), x.size());
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < x.size(); i += std::max<std::size_t>(1, x.size() / 24)) {
+    Vector xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const Vector op = layer.forward(xp);
+    const Vector om = layer.forward(xm);
+    double lp = 0.0, lm = 0.0;
+    for (std::size_t k = 0; k < op.size(); ++k) {
+      lp += op[k] * g[k];
+      lm += om[k] * g[k];
+    }
+    const double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(grad_in[i], numeric, tolerance) << "input index " << i;
+  }
+}
+
+// Numerical gradient check of parameter gradients.
+void check_param_gradients(Layer& layer, const Vector& x,
+                           std::uint64_t seed, double tolerance = 1e-5) {
+  Vector out = layer.forward(x);
+  const Vector g = random_vector(out.size(), seed);
+  for (Param* p : layer.params()) p->zero_grad();
+  (void)layer.backward(g);
+  const double eps = 1e-6;
+  for (Param* p : layer.params()) {
+    for (std::size_t i = 0; i < p->value.size();
+         i += std::max<std::size_t>(1, p->value.size() / 16)) {
+      const double saved = p->value[i];
+      p->value[i] = saved + eps;
+      const Vector op = layer.forward(x);
+      p->value[i] = saved - eps;
+      const Vector om = layer.forward(x);
+      p->value[i] = saved;
+      double lp = 0.0, lm = 0.0;
+      for (std::size_t k = 0; k < op.size(); ++k) {
+        lp += op[k] * g[k];
+        lm += om[k] * g[k];
+      }
+      const double numeric = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(p->grad[i], numeric, tolerance) << "param index " << i;
+    }
+  }
+}
+
+TEST(Dense, ForwardComputesAffineMap) {
+  util::Rng rng(1);
+  Dense dense(2, 1, rng);
+  dense.params()[0]->value = {2.0, 3.0};  // W
+  dense.params()[1]->value = {0.5};       // b
+  const Vector y = dense.forward(Vector{1.0, 2.0});
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_DOUBLE_EQ(y[0], 2.0 + 6.0 + 0.5);
+}
+
+TEST(Dense, GradientsMatchNumeric) {
+  util::Rng rng(2);
+  Dense dense(5, 3, rng);
+  const Vector x = random_vector(5, 3);
+  check_input_gradient(dense, x, 4);
+  check_param_gradients(dense, x, 5);
+}
+
+TEST(Dense, InputSizeMismatchThrows) {
+  util::Rng rng(6);
+  Dense dense(4, 2, rng);
+  EXPECT_THROW(dense.forward(Vector{1.0}), std::invalid_argument);
+}
+
+TEST(Relu, ForwardAndGradient) {
+  Relu relu;
+  const Vector y = relu.forward(Vector{-1.0, 0.5});
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.5);
+  const Vector g = relu.backward(Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(g[0], 0.0);
+  EXPECT_DOUBLE_EQ(g[1], 1.0);
+}
+
+TEST(Tanh, GradientMatchesNumeric) {
+  Tanh tanh_layer;
+  const Vector x = random_vector(6, 7);
+  check_input_gradient(tanh_layer, x, 8);
+}
+
+TEST(Conv1d, GradientsMatchNumeric) {
+  util::Rng rng(9);
+  Conv1d conv(2, 3, 5, rng);
+  const Vector x = random_vector(2 * 20, 10);  // 2 channels x 20 steps
+  check_input_gradient(conv, x, 11);
+  check_param_gradients(conv, x, 12);
+}
+
+TEST(Conv1d, PreservesTimeLength) {
+  util::Rng rng(13);
+  Conv1d conv(1, 4, 3, rng);
+  const Vector y = conv.forward(random_vector(30, 14));
+  EXPECT_EQ(y.size(), 4u * 30u);
+}
+
+TEST(Conv1d, EvenKernelThrows) {
+  util::Rng rng(15);
+  EXPECT_THROW(Conv1d(1, 1, 4, rng), std::invalid_argument);
+}
+
+TEST(Conv1d, IndivisibleInputThrows) {
+  util::Rng rng(16);
+  Conv1d conv(2, 1, 3, rng);
+  EXPECT_THROW(conv.forward(Vector(7, 0.0)), std::invalid_argument);
+}
+
+TEST(ResidualBlock, GradientsMatchNumeric) {
+  util::Rng rng(17);
+  ResidualBlock block(2, 3, rng);
+  const Vector x = random_vector(2 * 12, 18);
+  check_input_gradient(block, x, 19, 1e-4);
+  check_param_gradients(block, x, 20, 1e-4);
+}
+
+TEST(ResidualBlock, IdentityPathPreserved) {
+  util::Rng rng(21);
+  ResidualBlock block(1, 3, rng);
+  // Zero both conv kernels: output must equal input.
+  for (Param* p : block.params()) {
+    std::fill(p->value.begin(), p->value.end(), 0.0);
+  }
+  const Vector x = random_vector(10, 22);
+  const Vector y = block.forward(x);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(GlobalAvgPool, AveragesPerChannel) {
+  GlobalAvgPool pool(2);
+  const Vector y = pool.forward(Vector{1.0, 3.0, 10.0, 20.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(GlobalAvgPool, GradientMatchesNumeric) {
+  GlobalAvgPool pool(3);
+  const Vector x = random_vector(3 * 8, 23);
+  check_input_gradient(pool, x, 24);
+}
+
+TEST(ElmanRnn, GradientsMatchNumeric) {
+  util::Rng rng(25);
+  ElmanRnn rnn(2, 4, rng);
+  const Vector x = random_vector(2 * 10, 26);
+  check_input_gradient(rnn, x, 27, 1e-4);
+  check_param_gradients(rnn, x, 28, 1e-4);
+}
+
+TEST(ElmanRnn, OutputIsHiddenSize) {
+  util::Rng rng(29);
+  ElmanRnn rnn(1, 6, rng);
+  EXPECT_EQ(rnn.forward(random_vector(15, 30)).size(), 6u);
+}
+
+TEST(BinaryNet, LearnsLinearlySeparableProblem) {
+  util::Rng rng(31);
+  auto net = make_fnn(4, 16, rng);
+  std::vector<Vector> inputs;
+  std::vector<double> labels;
+  util::Rng data_rng(32);
+  for (int i = 0; i < 60; ++i) {
+    const bool positive = i % 2 == 0;
+    Vector x(4);
+    for (double& v : x) v = data_rng.normal() + (positive ? 1.5 : -1.5);
+    inputs.push_back(x);
+    labels.push_back(positive ? 1.0 : -1.0);
+  }
+  TrainOptions options;
+  options.epochs = 60;
+  util::Rng train_rng(33);
+  net->fit(inputs, labels, options, train_rng);
+  int correct = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    correct += net->predict(inputs[i]) == (labels[i] > 0 ? 1 : -1) ? 1 : 0;
+  }
+  EXPECT_GE(correct, 55);
+}
+
+TEST(BinaryNet, ClassBalancingHelpsMinorityClass) {
+  // 5 positives vs 50 negatives, moderately separated.
+  util::Rng data_rng(34);
+  std::vector<Vector> inputs;
+  std::vector<double> labels;
+  for (int i = 0; i < 55; ++i) {
+    const bool positive = i < 5;
+    Vector x(3);
+    for (double& v : x) v = data_rng.normal() + (positive ? 2.0 : -0.5);
+    inputs.push_back(x);
+    labels.push_back(positive ? 1.0 : -1.0);
+  }
+  TrainOptions balanced;
+  balanced.epochs = 80;
+  TrainOptions unbalanced = balanced;
+  unbalanced.class_balanced = false;
+  auto count_positive_hits = [&](bool use_balance) {
+    util::Rng rng(35);
+    auto net = make_fnn(3, 8, rng);
+    util::Rng train_rng(36);
+    net->fit(inputs, labels, use_balance ? balanced : unbalanced, train_rng);
+    int hits = 0;
+    for (int i = 0; i < 5; ++i) hits += net->predict(inputs[i]) == 1;
+    return hits;
+  };
+  EXPECT_GE(count_positive_hits(true), count_positive_hits(false));
+  EXPECT_GE(count_positive_hits(true), 4);
+}
+
+TEST(BinaryNet, ResnetAndRnnTrainSmoke) {
+  util::Rng rng(37);
+  auto resnet = make_resnet1d(1, 4, rng);
+  auto rnn = make_rnn_fnn(1, 6, rng);
+  std::vector<Vector> inputs;
+  std::vector<double> labels;
+  util::Rng data_rng(38);
+  for (int i = 0; i < 20; ++i) {
+    const bool positive = i % 2 == 0;
+    Vector x(32);
+    for (std::size_t t = 0; t < 32; ++t) {
+      x[t] = data_rng.normal(0.0, 0.2) +
+             (positive ? std::sin(0.4 * static_cast<double>(t)) : 0.0);
+    }
+    inputs.push_back(x);
+    labels.push_back(positive ? 1.0 : -1.0);
+  }
+  TrainOptions options;
+  options.epochs = 25;
+  util::Rng t1(39), t2(40);
+  resnet->fit(inputs, labels, options, t1);
+  rnn->fit(inputs, labels, options, t2);
+  int resnet_correct = 0, rnn_correct = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    resnet_correct += resnet->predict(inputs[i]) == (labels[i] > 0 ? 1 : -1);
+    rnn_correct += rnn->predict(inputs[i]) == (labels[i] > 0 ? 1 : -1);
+  }
+  EXPECT_GE(resnet_correct, 16);
+  EXPECT_GE(rnn_correct, 14);
+}
+
+TEST(BinaryNet, Errors) {
+  EXPECT_THROW(BinaryNet({}), std::invalid_argument);
+  util::Rng rng(41);
+  auto net = make_fnn(3, 4, rng);
+  TrainOptions options;
+  util::Rng train_rng(42);
+  EXPECT_THROW(net->fit({}, std::vector<double>{}, options, train_rng),
+               std::invalid_argument);
+  EXPECT_THROW(net->fit({Vector(3, 0.0)}, std::vector<double>{0.5}, options,
+                        train_rng),
+               std::invalid_argument);
+}
+
+TEST(Param, AdamConvergesOnQuadratic) {
+  // Minimise f(w) = 0.5 * (w - 3)^2 by gradient steps: Adam must converge
+  // near the optimum.
+  Param p(1);
+  p.value = {0.0};
+  for (int t = 1; t <= 800; ++t) {
+    p.zero_grad();
+    p.grad[0] = p.value[0] - 3.0;
+    p.adam_step(0.05, 0.9, 0.999, 1e-8, t);
+  }
+  EXPECT_NEAR(p.value[0], 3.0, 0.1);
+}
+
+TEST(Tanh, OutputBounded) {
+  Tanh layer;
+  const Vector y = layer.forward(Vector{-100.0, 0.0, 100.0});
+  EXPECT_NEAR(y[0], -1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_NEAR(y[2], 1.0, 1e-9);
+}
+
+TEST(BinaryNet, LogitIsDeterministic) {
+  util::Rng rng(50);
+  auto net = make_fnn(5, 8, rng);
+  const Vector x = random_vector(5, 51);
+  EXPECT_DOUBLE_EQ(net->logit(x), net->logit(x));
+}
+
+TEST(Param, AdamStepMovesAgainstGradient) {
+  Param p(2);
+  p.value = {1.0, -1.0};
+  p.grad = {1.0, -1.0};
+  p.adam_step(0.1, 0.9, 0.999, 1e-8, 1);
+  EXPECT_LT(p.value[0], 1.0);
+  EXPECT_GT(p.value[1], -1.0);
+}
+
+}  // namespace
+}  // namespace p2auth::ml::nn

@@ -1,0 +1,128 @@
+#include "signal/peaks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace p2auth::signal {
+namespace {
+
+TEST(LocalExtrema, FindsPeaksAndTroughs) {
+  // x = [0, 1, 0, -1, 0, 2, 0]: max at 1, min at 3, max at 5.
+  const std::vector<double> x = {0.0, 1.0, 0.0, -1.0, 0.0, 2.0, 0.0};
+  const auto e = local_extrema(x, 0, x.size());
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e[0], 1u);
+  EXPECT_EQ(e[1], 3u);
+  EXPECT_EQ(e[2], 5u);
+}
+
+TEST(LocalExtrema, RespectsRange) {
+  const std::vector<double> x = {0.0, 1.0, 0.0, -1.0, 0.0, 2.0, 0.0};
+  const auto e = local_extrema(x, 2, 5);
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e[0], 3u);
+}
+
+TEST(LocalExtrema, ConstantSignalHasNone) {
+  const std::vector<double> x(20, 1.0);
+  EXPECT_TRUE(local_extrema(x, 0, x.size()).empty());
+}
+
+TEST(LocalExtrema, TooShortSeries) {
+  EXPECT_TRUE(local_extrema(std::vector<double>{1.0, 2.0}, 0, 2).empty());
+}
+
+TEST(CalibrationObjective, MeasuresDeviationFromWindowMean) {
+  std::vector<double> y(61, 1.0);
+  y[30] = 5.0;
+  // objective_window = 30 -> half-width 15 -> 31 points centered at 30.
+  const double obj = calibration_objective(y, 30, 30);
+  EXPECT_NEAR(obj, 5.0 - 35.0 / 31.0, 1e-9);
+  EXPECT_LT(calibration_objective(y, 10, 30), obj);
+}
+
+TEST(CalibrationObjective, OutOfRangeThrows) {
+  EXPECT_THROW(calibration_objective(std::vector<double>{1.0}, 5, 10),
+               std::out_of_range);
+}
+
+// Synthetic "keystroke": smooth bump that deviates far from the local
+// mean, placed off the coarse index.
+std::vector<double> bump_signal(std::size_t n, std::size_t center,
+                                util::Rng& rng) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 0.3 * std::sin(0.07 * static_cast<double>(i)) +
+           rng.normal(0.0, 0.05);
+    const double d = (static_cast<double>(i) - static_cast<double>(center)) / 4.0;
+    x[i] += 4.0 * std::exp(-0.5 * d * d);
+  }
+  return x;
+}
+
+TEST(CalibrateKeystroke, MovesCoarseIndexOntoBump) {
+  util::Rng rng(1);
+  const std::size_t true_peak = 150;
+  const auto x = bump_signal(300, true_peak, rng);
+  const std::size_t coarse = 170;  // communication delay offset
+  const std::size_t calibrated = calibrate_keystroke(x, coarse);
+  EXPECT_NEAR(static_cast<double>(calibrated),
+              static_cast<double>(true_peak), 4.0);
+}
+
+TEST(CalibrateKeystroke, CoarseOutOfRangeThrows) {
+  const std::vector<double> x(100, 0.0);
+  EXPECT_THROW(calibrate_keystroke(x, 200), std::out_of_range);
+}
+
+TEST(CalibrateKeystroke, ConstantSignalFallsBackToCoarse) {
+  const std::vector<double> x(200, 1.0);
+  EXPECT_EQ(calibrate_keystroke(x, 80), 80u);
+}
+
+TEST(CalibrateKeystrokes, BatchMatchesSingle) {
+  util::Rng rng(2);
+  auto x = bump_signal(500, 120, rng);
+  {
+    util::Rng rng2(3);
+    const auto x2 = bump_signal(500, 350, rng2);
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] += x2[i] - 0.0;
+  }
+  const std::vector<std::size_t> coarse = {135, 365};
+  const auto batch = calibrate_keystrokes(x, coarse);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], calibrate_keystroke(x, 135));
+  EXPECT_EQ(batch[1], calibrate_keystroke(x, 365));
+}
+
+TEST(CalibrateKeystrokes, IndexOutOfRangeThrows) {
+  const std::vector<double> x(100, 0.0);
+  const std::vector<std::size_t> coarse = {150};
+  EXPECT_THROW(calibrate_keystrokes(x, coarse), std::out_of_range);
+}
+
+// Property: calibration recovers the bump within tolerance for a range of
+// delays inside the search window.
+class CalibrationDelaySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CalibrationDelaySweep, RecoversBumpDespiteDelay) {
+  const int delay = GetParam();
+  util::Rng rng(50 + delay);
+  const std::size_t true_peak = 200;
+  const auto x = bump_signal(400, true_peak, rng);
+  const auto coarse = static_cast<std::size_t>(
+      static_cast<int>(true_peak) + delay);
+  const std::size_t calibrated = calibrate_keystroke(x, coarse);
+  EXPECT_NEAR(static_cast<double>(calibrated),
+              static_cast<double>(true_peak), 4.0)
+      << "delay " << delay;
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, CalibrationDelaySweep,
+                         ::testing::Values(-25, -10, 0, 5, 15, 25));
+
+}  // namespace
+}  // namespace p2auth::signal

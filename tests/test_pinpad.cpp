@@ -1,0 +1,85 @@
+#include "keystroke/pinpad.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace p2auth::keystroke {
+namespace {
+
+TEST(KeyPosition, StandardLayout) {
+  EXPECT_EQ(key_position('1').x, 0.0);
+  EXPECT_EQ(key_position('1').y, 0.0);
+  EXPECT_EQ(key_position('3').x, 2.0);
+  EXPECT_EQ(key_position('5').x, 1.0);
+  EXPECT_EQ(key_position('5').y, 1.0);
+  EXPECT_EQ(key_position('9').x, 2.0);
+  EXPECT_EQ(key_position('9').y, 2.0);
+  EXPECT_EQ(key_position('0').x, 1.0);
+  EXPECT_EQ(key_position('0').y, 3.0);
+}
+
+TEST(KeyPosition, NonDigitThrows) {
+  EXPECT_THROW(key_position('a'), std::invalid_argument);
+  EXPECT_THROW(key_position('#'), std::invalid_argument);
+}
+
+TEST(KeyIndex, IdentityForDigits) {
+  for (char d = '0'; d <= '9'; ++d) {
+    EXPECT_EQ(key_index(d), static_cast<std::size_t>(d - '0'));
+  }
+  EXPECT_THROW(key_index('x'), std::invalid_argument);
+}
+
+TEST(Pin, ParsesDigits) {
+  const Pin pin("1628");
+  EXPECT_EQ(pin.length(), 4u);
+  EXPECT_EQ(pin.at(0), '1');
+  EXPECT_EQ(pin.at(3), '8');
+  EXPECT_EQ(pin.digits(), "1628");
+  EXPECT_FALSE(pin.empty());
+}
+
+TEST(Pin, EmptyAllowedForNoPinMode) {
+  const Pin pin;
+  EXPECT_TRUE(pin.empty());
+  EXPECT_EQ(pin.length(), 0u);
+}
+
+TEST(Pin, NonDigitThrows) {
+  EXPECT_THROW(Pin("12a8"), std::invalid_argument);
+  EXPECT_THROW(Pin("12 8"), std::invalid_argument);
+}
+
+TEST(Pin, Equality) {
+  EXPECT_EQ(Pin("1234"), Pin("1234"));
+  EXPECT_NE(Pin("1234"), Pin("1235"));
+}
+
+TEST(PaperPins, FiveCoveringPins) {
+  const auto& pins = paper_pins();
+  ASSERT_EQ(pins.size(), 5u);
+  EXPECT_EQ(pins[0], Pin("1628"));
+  // Together the paper's five PINs cover all ten digit keys exactly twice.
+  std::multiset<char> digits;
+  for (const auto& p : pins) {
+    for (std::size_t i = 0; i < p.length(); ++i) digits.insert(p.at(i));
+  }
+  for (char d = '0'; d <= '9'; ++d) {
+    EXPECT_EQ(digits.count(d), 2u) << "digit " << d;
+  }
+}
+
+TEST(KeyTravelDistance, KnownDistances) {
+  EXPECT_DOUBLE_EQ(key_travel_distance('1', '1'), 0.0);
+  EXPECT_DOUBLE_EQ(key_travel_distance('1', '3'), 2.0);
+  EXPECT_DOUBLE_EQ(key_travel_distance('1', '5'), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(key_travel_distance('2', '0'), 3.0);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(key_travel_distance('7', '3'),
+                   key_travel_distance('3', '7'));
+}
+
+}  // namespace
+}  // namespace p2auth::keystroke

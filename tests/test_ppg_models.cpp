@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppg/accel_model.hpp"
+#include "ppg/artifact_model.hpp"
+#include "ppg/noise_model.hpp"
+#include "ppg/profile.hpp"
+#include "ppg/pulse_model.hpp"
+#include "signal/stats.hpp"
+
+namespace p2auth::ppg {
+namespace {
+
+UserProfile make_user(std::uint32_t id, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return UserProfile::sample(id, rng);
+}
+
+TEST(UserProfile, SampledParametersInPhysiologicalRanges) {
+  util::Rng rng(1);
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    const UserProfile u = UserProfile::sample(i, rng);
+    EXPECT_GE(u.cardiac.heart_rate_bpm, 58.0);
+    EXPECT_LE(u.cardiac.heart_rate_bpm, 92.0);
+    EXPECT_GT(u.stability, 0.0);
+    EXPECT_LE(u.stability, 1.0);
+    EXPECT_GT(u.hand.amplitude_scale, 0.0);
+    EXPECT_GE(u.hand.osc_freq_hz, 2.0);
+    EXPECT_LE(u.hand.osc_freq_hz, 7.5);
+  }
+}
+
+TEST(UserProfile, DistinctUsersHaveDistinctLatents) {
+  util::Rng rng(2);
+  const UserProfile a = UserProfile::sample(0, rng);
+  const UserProfile b = UserProfile::sample(1, rng);
+  EXPECT_NE(a.latent_seed, b.latent_seed);
+  EXPECT_NE(a.hand.amplitude_scale, b.hand.amplitude_scale);
+}
+
+TEST(BeatTemplate, PhaseWrapsAndIsPeriodic) {
+  const CardiacProfile c;
+  EXPECT_NEAR(beat_template(c, 0.25), beat_template(c, 1.25), 1e-12);
+  EXPECT_NEAR(beat_template(c, -0.75), beat_template(c, 0.25), 1e-12);
+}
+
+TEST(BeatTemplate, SystolicPeakDominates) {
+  const CardiacProfile c;
+  const double at_systole = beat_template(c, c.systolic_center);
+  const double at_diastole = beat_template(c, 0.9);
+  EXPECT_GT(at_systole, at_diastole * 2.0);
+}
+
+TEST(GenerateCardiac, BeatRateMatchesProfile) {
+  CardiacProfile c;
+  c.heart_rate_bpm = 60.0;  // 1 beat per second
+  c.hrv_fraction = 0.0;
+  util::Rng rng(3);
+  const auto x = generate_cardiac(c, 1000, 100.0, rng);
+  // Count systolic peaks via mean crossings of the mean-removed signal:
+  // each beat crosses twice.
+  const std::size_t crossings = signal::mean_crossings(x);
+  const double beats = static_cast<double>(crossings) / 2.0;
+  EXPECT_NEAR(beats, 10.0, 3.0);
+}
+
+TEST(GenerateCardiac, BadRateThrows) {
+  const CardiacProfile c;
+  util::Rng rng(4);
+  EXPECT_THROW(generate_cardiac(c, 10, 0.0, rng), std::invalid_argument);
+}
+
+TEST(ArtifactParams, DeterministicPerUserAndKey) {
+  const UserProfile u = make_user(0, 5);
+  const ArtifactParams a = artifact_params(u, '3');
+  const ArtifactParams b = artifact_params(u, '3');
+  EXPECT_EQ(a.amplitude, b.amplitude);
+  EXPECT_EQ(a.latency_s, b.latency_s);
+  EXPECT_EQ(a.osc_freq_hz, b.osc_freq_hz);
+}
+
+TEST(ArtifactParams, DiffersAcrossKeys) {
+  const UserProfile u = make_user(0, 6);
+  const ArtifactParams a = artifact_params(u, '1');
+  const ArtifactParams b = artifact_params(u, '9');
+  EXPECT_NE(a.amplitude, b.amplitude);
+}
+
+TEST(ArtifactParams, DiffersAcrossUsers) {
+  const UserProfile u1 = make_user(0, 7);
+  const UserProfile u2 = make_user(1, 8);
+  const ArtifactParams a = artifact_params(u1, '5');
+  const ArtifactParams b = artifact_params(u2, '5');
+  EXPECT_NE(a.amplitude, b.amplitude);
+  EXPECT_NE(a.osc_phase, b.osc_phase);
+}
+
+TEST(ArtifactParams, TimeConstantsClamped) {
+  util::Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    const UserProfile u = UserProfile::sample(i, rng);
+    for (char k = '0'; k <= '9'; ++k) {
+      const ArtifactParams p = artifact_params(u, k);
+      EXPECT_GE(p.latency_s, 0.01);
+      EXPECT_LE(p.latency_s, 0.15);
+      EXPECT_GE(p.rise_s, 0.02);
+      EXPECT_LE(p.rise_s, 0.15);
+      EXPECT_GE(p.osc_freq_hz, 1.5);
+      EXPECT_LE(p.osc_freq_hz, 9.0);
+      EXPECT_TRUE(p.sign == 1.0 || p.sign == -1.0);
+    }
+  }
+}
+
+TEST(PerturbParams, StabilityOneKeepsParamsClose) {
+  const UserProfile u = make_user(0, 10);
+  const ArtifactParams base = artifact_params(u, '2');
+  util::Rng rng(11);
+  const ArtifactParams p = perturb_params(base, 1.0, rng);
+  EXPECT_NEAR(p.amplitude, base.amplitude, 0.35 * base.amplitude);
+  EXPECT_NEAR(p.latency_s, base.latency_s, 0.02);
+}
+
+TEST(PerturbParams, LowStabilityVariesMore) {
+  const UserProfile u = make_user(0, 12);
+  const ArtifactParams base = artifact_params(u, '2');
+  auto spread = [&](double stability, std::uint64_t seed) {
+    util::Rng rng(seed);
+    double var = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      const ArtifactParams p = perturb_params(base, stability, rng);
+      var += (p.amplitude - base.amplitude) * (p.amplitude - base.amplitude);
+    }
+    return var;
+  };
+  EXPECT_GT(spread(0.5, 13), spread(0.95, 13) * 2.0);
+}
+
+TEST(PerturbParams, BadStabilityThrows) {
+  const ArtifactParams base;
+  util::Rng rng(14);
+  EXPECT_THROW(perturb_params(base, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(perturb_params(base, 1.5, rng), std::invalid_argument);
+}
+
+TEST(ArtifactValue, ZeroBeforeLatencyDecaysAfter) {
+  ArtifactParams p;
+  p.latency_s = 0.05;
+  EXPECT_DOUBLE_EQ(artifact_value(p, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(artifact_value(p, 0.04), 0.0);
+  EXPECT_NE(artifact_value(p, 0.15), 0.0);
+  // Far after the press the artifact has decayed to ~nothing.
+  EXPECT_NEAR(artifact_value(p, 5.0), 0.0, 1e-3);
+}
+
+TEST(RenderArtifact, AddsOnlyWithinSpan) {
+  ArtifactParams p;
+  std::vector<double> trace(1000, 0.0);
+  render_artifact(trace, 100.0, 3.0, p, 1.0, 0.0);
+  // Before the press: untouched.
+  for (std::size_t i = 0; i < 299; ++i) EXPECT_EQ(trace[i], 0.0);
+  // Something was added after.
+  double energy = 0.0;
+  for (std::size_t i = 300; i < 500; ++i) energy += trace[i] * trace[i];
+  EXPECT_GT(energy, 0.0);
+  // Beyond the 1.05 s render span: untouched.
+  for (std::size_t i = 410; i < 1000; ++i) {
+    EXPECT_EQ(trace[i], 0.0);
+  }
+}
+
+TEST(RenderArtifact, GainScalesLinearly) {
+  ArtifactParams p;
+  std::vector<double> a(500, 0.0), b(500, 0.0);
+  render_artifact(a, 100.0, 1.0, p, 1.0, 0.0);
+  render_artifact(b, 100.0, 1.0, p, 2.0, 0.0);
+  for (std::size_t i = 0; i < 500; ++i) EXPECT_NEAR(b[i], 2.0 * a[i], 1e-12);
+}
+
+TEST(RenderArtifact, BadRateThrows) {
+  ArtifactParams p;
+  std::vector<double> trace(10, 0.0);
+  EXPECT_THROW(render_artifact(trace, 0.0, 0.0, p, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(NoiseModel, WhiteNoiseHasConfiguredSigma) {
+  NoiseOptions options;
+  options.white_sigma = 0.3;
+  std::vector<double> x(20000, 0.0);
+  util::Rng rng(15);
+  add_white_noise(x, options, rng);
+  const auto s = signal::summarize(x);
+  EXPECT_NEAR(s.stddev, 0.3, 0.02);
+  EXPECT_NEAR(s.mean, 0.0, 0.02);
+}
+
+TEST(NoiseModel, ImpulseCountMatchesRate) {
+  NoiseOptions options;
+  options.impulse_rate_hz = 2.0;
+  options.impulse_amplitude = 10.0;
+  std::vector<double> x(10000, 0.0);  // 100 s at 100 Hz
+  util::Rng rng(16);
+  add_impulse_noise(x, 100.0, options, rng);
+  std::size_t impulses = 0;
+  for (const double v : x) {
+    if (std::abs(v) > 4.0) ++impulses;
+  }
+  EXPECT_NEAR(static_cast<double>(impulses), 200.0, 60.0);
+}
+
+TEST(NoiseModel, BaselineWanderIsSlowAndBounded) {
+  NoiseOptions options;
+  std::vector<double> x(6000, 0.0);
+  util::Rng rng(17);
+  add_baseline_wander(x, 100.0, options, rng);
+  const auto s = signal::summarize(x);
+  EXPECT_LT(s.range, 20.0);
+  EXPECT_GT(s.stddev, 0.01);
+  // Slow: adjacent samples nearly equal.
+  double max_step = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    max_step = std::max(max_step, std::abs(x[i] - x[i - 1]));
+  }
+  EXPECT_LT(max_step, 0.4);
+}
+
+TEST(NoiseModel, BadRateThrows) {
+  NoiseOptions options;
+  std::vector<double> x(10, 0.0);
+  util::Rng rng(18);
+  EXPECT_THROW(add_baseline_wander(x, 0.0, options, rng),
+               std::invalid_argument);
+  EXPECT_THROW(add_impulse_noise(x, -5.0, options, rng),
+               std::invalid_argument);
+}
+
+TEST(AccelModel, GravityMagnitudeNearOneG) {
+  const UserProfile u = make_user(0, 19);
+  keystroke::EntryRecord entry;
+  entry.pin = keystroke::Pin("5");
+  keystroke::KeystrokeEvent e;
+  e.digit = '5';
+  e.true_time_s = 1.0;
+  e.hand = keystroke::Hand::kWatchHand;
+  entry.events = {e};
+  util::Rng rng(20);
+  const AccelTrace trace = simulate_accel(u, entry, 3.0, AccelOptions{}, rng);
+  EXPECT_EQ(trace.length(), static_cast<std::size_t>(3.0 * 75.0));
+  const auto mag = trace.magnitude_minus_gravity();
+  const auto s = signal::summarize(mag);
+  EXPECT_NEAR(s.mean, 0.0, 0.05);  // |a| ~ 1 g at rest
+}
+
+TEST(AccelModel, KeystrokeBumpSmallComparedToGravity) {
+  const UserProfile u = make_user(0, 21);
+  keystroke::EntryRecord entry;
+  entry.pin = keystroke::Pin("5");
+  keystroke::KeystrokeEvent e;
+  e.digit = '5';
+  e.true_time_s = 1.0;
+  e.hand = keystroke::Hand::kWatchHand;
+  entry.events = {e};
+  util::Rng rng(22);
+  AccelOptions options;
+  options.noise_sigma = 0.0;
+  const AccelTrace trace = simulate_accel(u, entry, 3.0, options, rng);
+  const auto mag = trace.magnitude_minus_gravity();
+  double peak = 0.0;
+  for (const double v : mag) peak = std::max(peak, std::abs(v));
+  EXPECT_LT(peak, 0.2);  // far below 1 g: the wrist barely moves
+  EXPECT_GT(peak, 0.0);  // but not zero: there is some signal (Fig. 12)
+}
+
+TEST(AccelModel, BadArgsThrow) {
+  const UserProfile u = make_user(0, 23);
+  keystroke::EntryRecord entry;
+  util::Rng rng(24);
+  AccelOptions bad;
+  bad.rate_hz = 0.0;
+  EXPECT_THROW(simulate_accel(u, entry, 1.0, bad, rng),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_accel(u, entry, 0.0, AccelOptions{}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2auth::ppg

@@ -1,0 +1,212 @@
+#include "core/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/dataset.hpp"
+
+namespace p2auth::core {
+namespace {
+
+sim::Population small_population(std::uint64_t seed = 11) {
+  sim::PopulationConfig cfg;
+  cfg.num_users = 3;
+  cfg.seed = seed;
+  return sim::make_population(cfg);
+}
+
+Observation make_observation(const ppg::UserProfile& user,
+                             keystroke::InputCase input_case,
+                             std::uint64_t seed, double rate_hz = 100.0) {
+  util::Rng rng(seed);
+  sim::TrialOptions options;
+  options.input_case = input_case;
+  options.sensors.rate_hz = rate_hz;
+  sim::Trial t =
+      sim::make_trial(user, keystroke::Pin("1628"), options, rng);
+  return Observation{std::move(t.entry), std::move(t.trace)};
+}
+
+TEST(ClassifyCase, MapsCounts) {
+  EXPECT_EQ(classify_case(4), DetectedCase::kOneHanded);
+  EXPECT_EQ(classify_case(3), DetectedCase::kTwoHandedThree);
+  EXPECT_EQ(classify_case(2), DetectedCase::kTwoHandedTwo);
+  EXPECT_EQ(classify_case(1), DetectedCase::kRejected);
+  EXPECT_EQ(classify_case(0), DetectedCase::kRejected);
+  EXPECT_EQ(classify_case(9), DetectedCase::kRejected);
+}
+
+TEST(ToString, AllCasesNamed) {
+  EXPECT_EQ(to_string(DetectedCase::kOneHanded), "one-handed");
+  EXPECT_EQ(to_string(DetectedCase::kTwoHandedThree), "two-handed-3");
+  EXPECT_EQ(to_string(DetectedCase::kTwoHandedTwo), "two-handed-2");
+  EXPECT_EQ(to_string(DetectedCase::kRejected), "rejected");
+}
+
+TEST(Preprocess, OutputShapesConsistent) {
+  const auto pop = small_population();
+  const Observation obs =
+      make_observation(pop.users[0], keystroke::InputCase::kOneHanded, 1);
+  const PreprocessedEntry pre = preprocess_entry(obs);
+  EXPECT_EQ(pre.filtered.size(), obs.trace.num_channels());
+  EXPECT_EQ(pre.filtered[0].size(), obs.trace.length());
+  EXPECT_EQ(pre.detrended_reference.size(), obs.trace.length());
+  EXPECT_EQ(pre.short_time_energy.size(), obs.trace.length());
+  EXPECT_EQ(pre.recorded_indices.size(), 4u);
+  EXPECT_EQ(pre.calibrated_indices.size(), 4u);
+  EXPECT_EQ(pre.keystroke_present.size(), 4u);
+}
+
+TEST(Preprocess, EmptyTraceThrows) {
+  Observation obs;
+  EXPECT_THROW(preprocess_entry(obs), std::invalid_argument);
+}
+
+TEST(Preprocess, BadReferenceChannelThrows) {
+  const auto pop = small_population();
+  const Observation obs =
+      make_observation(pop.users[0], keystroke::InputCase::kOneHanded, 2);
+  PreprocessOptions options;
+  options.reference_channel = 10;
+  EXPECT_THROW(preprocess_entry(obs, options), std::invalid_argument);
+}
+
+struct CaseParam {
+  keystroke::InputCase input_case;
+  DetectedCase expected;
+  // Minimum exact-hit percentage over the sweep.  The detector is
+  // statistical: one-handed entries are the easiest (every keystroke has
+  // an artifact); two-handed-2 is the hardest (residual artifact tails
+  // near other-hand positions occasionally pass the threshold).
+  int min_hit_percent;
+};
+
+class CaseIdentificationSweep
+    : public ::testing::TestWithParam<CaseParam> {};
+
+TEST_P(CaseIdentificationSweep, DetectsTypingCaseAcrossUsersAndSeeds) {
+  const auto [input_case, expected, min_hit_percent] = GetParam();
+  const auto pop = small_population();
+  std::size_t correct = 0, total = 0;
+  for (const auto& user : pop.users) {
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      const Observation obs =
+          make_observation(user, input_case, 100 + seed);
+      const PreprocessedEntry pre = preprocess_entry(obs);
+      correct += (pre.detected_case == expected) ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_GE(correct * 100,
+            total * static_cast<std::size_t>(min_hit_percent))
+      << "case " << to_string(expected) << ": " << correct << "/" << total;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CaseIdentificationSweep,
+    ::testing::Values(
+        CaseParam{keystroke::InputCase::kOneHanded,
+                  DetectedCase::kOneHanded, 70},
+        CaseParam{keystroke::InputCase::kTwoHandedThree,
+                  DetectedCase::kTwoHandedThree, 60},
+        CaseParam{keystroke::InputCase::kTwoHandedTwo,
+                  DetectedCase::kTwoHandedTwo, 45}));
+
+TEST(Preprocess, CalibrationJitterBelowRecordedJitter) {
+  const auto pop = small_population();
+  std::vector<double> rec_offsets, cal_offsets;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    util::Rng rng(400 + seed);
+    sim::TrialOptions options;
+    const sim::Trial t = sim::make_trial(pop.users[0],
+                                         keystroke::Pin("1628"),
+                                         options, rng);
+    const Observation obs{t.entry, t.trace};
+    const PreprocessedEntry pre = preprocess_entry(obs);
+    for (std::size_t i = 0; i < 4; ++i) {
+      const double true_idx = t.entry.events[i].true_time_s * pre.rate_hz;
+      rec_offsets.push_back(static_cast<double>(pre.recorded_indices[i]) -
+                            true_idx);
+      cal_offsets.push_back(static_cast<double>(pre.calibrated_indices[i]) -
+                            true_idx);
+    }
+  }
+  auto jitter = [](const std::vector<double>& v) {
+    double m = 0.0;
+    for (const double x : v) m += x;
+    m /= static_cast<double>(v.size());
+    double s = 0.0;
+    for (const double x : v) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(v.size()));
+  };
+  EXPECT_LT(jitter(cal_offsets), jitter(rec_offsets));
+}
+
+TEST(Preprocess, WorksAtLowSamplingRates) {
+  const auto pop = small_population();
+  for (const double rate : {30.0, 50.0, 75.0}) {
+    const Observation obs = make_observation(
+        pop.users[1], keystroke::InputCase::kOneHanded, 77, rate);
+    const PreprocessedEntry pre = preprocess_entry(obs);
+    EXPECT_EQ(pre.rate_hz, rate);
+    EXPECT_EQ(pre.keystroke_present.size(), 4u);
+    // Indices stay in range.
+    for (const std::size_t idx : pre.calibrated_indices) {
+      EXPECT_LT(idx, obs.trace.length());
+    }
+  }
+}
+
+TEST(Preprocess, CalibrationAblationUsesRecordedIndices) {
+  const auto pop = small_population();
+  const Observation obs =
+      make_observation(pop.users[0], keystroke::InputCase::kOneHanded, 9);
+  PreprocessOptions options;
+  options.calibrate = false;
+  const PreprocessedEntry pre = preprocess_entry(obs, options);
+  EXPECT_EQ(pre.calibrated_indices, pre.recorded_indices);
+}
+
+TEST(Preprocess, DetrendAblationSkipsDetrending) {
+  const auto pop = small_population();
+  const Observation obs =
+      make_observation(pop.users[0], keystroke::InputCase::kOneHanded, 10);
+  PreprocessOptions options;
+  options.detrend_before_energy = false;
+  const PreprocessedEntry raw = preprocess_entry(obs, options);
+  const PreprocessedEntry detrended = preprocess_entry(obs);
+  // Without detrending the energy reference equals the filtered channel.
+  EXPECT_EQ(raw.detrended_reference, raw.filtered[0]);
+  EXPECT_NE(detrended.detrended_reference, detrended.filtered[0]);
+}
+
+TEST(Preprocess, ShortTimeEnergyStoredForFigure) {
+  const auto pop = small_population();
+  const Observation obs =
+      make_observation(pop.users[1], keystroke::InputCase::kOneHanded, 11);
+  const PreprocessedEntry pre = preprocess_entry(obs);
+  // Energy is non-negative and peaks somewhere (artifacts exist).
+  double peak = 0.0;
+  for (const double e : pre.short_time_energy) {
+    EXPECT_GE(e, 0.0);
+    peak = std::max(peak, e);
+  }
+  EXPECT_GT(peak, 0.0);
+}
+
+TEST(Preprocess, MedianFilterAppliedToEveryChannel) {
+  const auto pop = small_population();
+  Observation obs =
+      make_observation(pop.users[2], keystroke::InputCase::kOneHanded, 5);
+  // Inject a large impulse into every channel; preprocessing must remove
+  // it from the filtered output.
+  for (auto& ch : obs.trace.channels) ch[200] += 500.0;
+  const PreprocessedEntry pre = preprocess_entry(obs);
+  for (const auto& ch : pre.filtered) {
+    EXPECT_LT(std::abs(ch[200]), 100.0);
+  }
+}
+
+}  // namespace
+}  // namespace p2auth::core

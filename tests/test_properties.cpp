@@ -1,0 +1,183 @@
+// Randomized cross-module invariant tests: sweep random (but seeded)
+// configurations through the full pipeline and assert properties that
+// must hold for EVERY input — no crashes, deterministic decisions,
+// shape consistency, and factor ordering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/authenticator.hpp"
+#include "core/enrollment.hpp"
+#include "core/preprocess.hpp"
+#include "sim/attacks.hpp"
+#include "sim/dataset.hpp"
+
+namespace p2auth::core {
+namespace {
+
+// One shared enrolled user (enrollment is the expensive part).
+struct Enrolled {
+  sim::Population population;
+  keystroke::Pin pin{"5094"};
+  EnrolledUser user;
+
+  Enrolled() {
+    sim::PopulationConfig cfg;
+    cfg.num_users = 2;
+    cfg.seed = 2024;
+    population = sim::make_population(cfg);
+    util::Rng rng(2025);
+    sim::TrialOptions options;
+    std::vector<Observation> pos, neg;
+    util::Rng er = rng.fork("enroll");
+    for (sim::Trial& t :
+         sim::make_trials(population.users[0], pin, 6, options, er)) {
+      pos.push_back({std::move(t.entry), std::move(t.trace)});
+    }
+    util::Rng pr = rng.fork("pool");
+    for (sim::Trial& t :
+         sim::make_third_party_pool(population, 30, options, pr)) {
+      neg.push_back({std::move(t.entry), std::move(t.trace)});
+    }
+    EnrollmentConfig config;
+    config.rocket.num_features = 2000;
+    config.privacy_boost = true;
+    user = enroll_user(pin, pos, neg, config);
+  }
+};
+
+const Enrolled& fixture() {
+  static const Enrolled instance;
+  return instance;
+}
+
+// Draws a random-but-seeded observation: random subject (user/attacker/
+// third party), random input case, random PIN (sometimes the right one),
+// random channel count and rate.
+Observation random_observation(std::uint64_t seed) {
+  const Enrolled& f = fixture();
+  util::Rng rng(seed);
+  sim::TrialOptions options;
+  const std::uint32_t case_pick = rng.uniform_int(3);
+  options.input_case =
+      case_pick == 0   ? keystroke::InputCase::kOneHanded
+      : case_pick == 1 ? keystroke::InputCase::kTwoHandedThree
+                       : keystroke::InputCase::kTwoHandedTwo;
+  const double rates[] = {30.0, 50.0, 75.0, 100.0};
+  options.sensors =
+      ppg::SensorConfig::with_channels(1 + rng.uniform_int(4));
+  options.sensors.rate_hz = rates[rng.uniform_int(4)];
+  if (rng.uniform() < 0.2) {
+    options.wearing = ppg::WearingPosition::kBackOfWrist;
+  }
+  if (rng.uniform() < 0.2) {
+    options.activity = ppg::ActivityState::kWalking;
+  }
+  const ppg::UserProfile* subject = &f.population.users[0];
+  const std::uint32_t who = rng.uniform_int(4);
+  if (who == 1) subject = &f.population.users[1];
+  if (who == 2) {
+    subject = &f.population.attackers[rng.uniform_int(
+        static_cast<std::uint32_t>(f.population.attackers.size()))];
+  }
+  if (who == 3) {
+    subject = &f.population.third_parties[rng.uniform_int(
+        static_cast<std::uint32_t>(f.population.third_parties.size()))];
+  }
+  keystroke::Pin pin = f.pin;
+  if (rng.uniform() < 0.5) {
+    util::Rng pr = rng.fork("pin");
+    pin = sim::random_pin(pr);
+  }
+  util::Rng tr = rng.fork("trial");
+  sim::Trial t = sim::make_trial(*subject, pin, options, tr);
+  return {std::move(t.entry), std::move(t.trace)};
+}
+
+class PipelineInvariantSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineInvariantSweep, PreprocessShapesAlwaysConsistent) {
+  const Observation obs = random_observation(GetParam());
+  // The enrolled user's models expect 4 channels; preprocessing itself
+  // must handle any channel count without crashing.
+  const PreprocessedEntry pre = preprocess_entry(obs);
+  EXPECT_EQ(pre.filtered.size(), obs.trace.num_channels());
+  EXPECT_EQ(pre.recorded_indices.size(), obs.entry.events.size());
+  EXPECT_EQ(pre.calibrated_indices.size(), obs.entry.events.size());
+  EXPECT_EQ(pre.keystroke_present.size(), obs.entry.events.size());
+  for (const std::size_t idx : pre.calibrated_indices) {
+    EXPECT_LT(idx, obs.trace.length());
+  }
+  for (const double v : pre.detrended_reference) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  // Case classification agrees with the flag count.
+  EXPECT_EQ(pre.detected_case,
+            classify_case(signal::count_detected(pre.keystroke_present)));
+}
+
+TEST_P(PipelineInvariantSweep, AuthenticationIsDeterministicAndSane) {
+  const Observation obs = random_observation(GetParam());
+  // The enrolled models fix channel count and sampling rate (segment
+  // lengths are rate-dependent); mismatches are contract violations
+  // covered by test_robustness.
+  if (obs.trace.num_channels() != 4 || obs.trace.rate_hz != 100.0) return;
+  const AuthResult a = authenticate(fixture().user, obs);
+  const AuthResult b = authenticate(fixture().user, obs);
+  // Determinism: same observation, same decision and score.
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.detected_case, b.detected_case);
+  EXPECT_EQ(a.votes, b.votes);
+  EXPECT_DOUBLE_EQ(a.waveform_score, b.waveform_score);
+  // Sanity: acceptance requires a correct PIN (this user has one) and a
+  // non-rejected case.
+  if (a.accepted) {
+    EXPECT_TRUE(a.pin_ok);
+    EXPECT_NE(a.detected_case, DetectedCase::kRejected);
+  }
+  // Votes only exist for vote-based paths, and each is +-1.
+  for (const int v : a.votes) {
+    EXPECT_TRUE(v == 1 || v == -1);
+  }
+  EXPECT_FALSE(a.reason.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineInvariantSweep,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(PipelineInvariants, WrongPinNeverAuthenticates) {
+  // Sweep many wrong PINs: factor 1 must hold unconditionally.
+  const Enrolled& f = fixture();
+  util::Rng rng(777);
+  sim::TrialOptions options;
+  for (int i = 0; i < 10; ++i) {
+    util::Rng pr = rng.fork(1000 + i);
+    keystroke::Pin wrong = sim::random_pin(pr);
+    if (wrong == f.pin) continue;
+    util::Rng tr = rng.fork(2000 + i);
+    sim::Trial t = sim::make_trial(f.population.users[0], wrong, options, tr);
+    const AuthResult r =
+        authenticate(f.user, {std::move(t.entry), std::move(t.trace)});
+    EXPECT_FALSE(r.accepted);
+    EXPECT_EQ(r.reason, "wrong PIN");
+  }
+}
+
+TEST(PipelineInvariants, BoostScoreMatchesAcceptDecision) {
+  const Enrolled& f = fixture();
+  util::Rng rng(888);
+  sim::TrialOptions options;
+  for (int i = 0; i < 6; ++i) {
+    util::Rng tr = rng.fork(i);
+    sim::Trial t = sim::make_trial(f.population.users[0], f.pin, options, tr);
+    const AuthResult r =
+        authenticate(f.user, {std::move(t.entry), std::move(t.trace)});
+    if (r.detected_case == DetectedCase::kOneHanded) {
+      EXPECT_EQ(r.accepted, r.waveform_score >= 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace p2auth::core

@@ -1,0 +1,109 @@
+#include "signal/resample.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace p2auth::signal {
+namespace {
+
+TEST(Resample, SameRateIsIdentity) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(resample_linear(x, 100.0, 100.0), x);
+}
+
+TEST(Resample, EndpointsPreserved) {
+  const std::vector<double> x = {5.0, 1.0, -2.0, 7.0, 3.0};
+  const auto y = resample_linear(x, 100.0, 37.0);
+  ASSERT_FALSE(y.empty());
+  EXPECT_DOUBLE_EQ(y.front(), 5.0);
+  EXPECT_DOUBLE_EQ(y.back(), 3.0);
+}
+
+TEST(Resample, OutputLengthScales) {
+  const std::vector<double> x(100, 0.0);
+  EXPECT_EQ(resample_linear(x, 100.0, 50.0).size(), 50u);
+  EXPECT_EQ(resample_linear(x, 100.0, 200.0).size(), 200u);
+  EXPECT_EQ(resample_linear(x, 100.0, 30.0).size(), 30u);
+}
+
+TEST(Resample, LinearSignalReproducedExactly) {
+  std::vector<double> x(50);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 2.0 * static_cast<double>(i) + 1.0;
+  }
+  const auto y = resample_linear(x, 100.0, 73.0);
+  // A linear function is invariant under linear interpolation; check the
+  // resampled points lie on the same line.
+  const double scale = static_cast<double>(x.size() - 1) /
+                       static_cast<double>(y.size() - 1);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double t = static_cast<double>(i) * scale;
+    EXPECT_NEAR(y[i], 2.0 * t + 1.0, 1e-9);
+  }
+}
+
+TEST(Resample, SineShapePreservedAtHalfRate) {
+  const std::size_t n = 400;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * 3.14159265358979 * 2.0 * i / 100.0);  // 2 Hz
+  }
+  const auto y = resample_linear(x, 100.0, 50.0);
+  // Compare against the sine at the exact mapped source position
+  // (endpoint-preserving resampling has a slightly non-uniform step).
+  const double scale = static_cast<double>(x.size() - 1) /
+                       static_cast<double>(y.size() - 1);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double t = static_cast<double>(i) * scale / 100.0;
+    EXPECT_NEAR(y[i], std::sin(2.0 * 3.14159265358979 * 2.0 * t), 0.03);
+  }
+}
+
+TEST(Resample, EmptyAndSingle) {
+  EXPECT_TRUE(resample_linear(std::vector<double>{}, 10.0, 20.0).empty());
+  const auto y = resample_linear(std::vector<double>{4.2}, 10.0, 20.0);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_DOUBLE_EQ(y[0], 4.2);
+}
+
+TEST(Resample, BadRatesThrow) {
+  const std::vector<double> x = {1.0, 2.0};
+  EXPECT_THROW(resample_linear(x, 0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(resample_linear(x, 10.0, -1.0), std::invalid_argument);
+}
+
+TEST(MapIndex, ScalesAndClamps) {
+  EXPECT_EQ(map_index(100, 100.0, 50.0, 1000), 50u);
+  EXPECT_EQ(map_index(10, 100.0, 200.0, 1000), 20u);
+  EXPECT_EQ(map_index(999, 100.0, 100.0, 100), 99u);  // clamped
+  EXPECT_EQ(map_index(5, 100.0, 100.0, 0), 0u);
+}
+
+TEST(MapIndex, BadRatesThrow) {
+  EXPECT_THROW(map_index(1, 0.0, 1.0, 10), std::invalid_argument);
+}
+
+class ResampleRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(ResampleRoundTrip, DownThenUpApproximatesSmoothSignal) {
+  const double rate = GetParam();
+  const std::size_t n = 600;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / 100.0;
+    x[i] = std::sin(2.0 * 3.14159265358979 * 1.5 * t);
+  }
+  const auto down = resample_linear(x, 100.0, rate);
+  const auto up = resample_linear(down, rate, 100.0);
+  ASSERT_EQ(up.size(), n);
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) err += std::abs(up[i] - x[i]);
+  EXPECT_LT(err / n, 0.05) << "rate " << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ResampleRoundTrip,
+                         ::testing::Values(30.0, 50.0, 75.0, 90.0));
+
+}  // namespace
+}  // namespace p2auth::signal

@@ -1,0 +1,196 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace p2auth::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.next_u32() == b.next_u32()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DifferentStreamsDiffer) {
+  Rng a(7, 1), b(7, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.next_u32() == b.next_u32()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_int(17), 17u);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(7);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntApproximatelyUniform) {
+  Rng rng(8);
+  int counts[8] = {};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(8)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 8.0, 0.05 * n / 8.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaling) {
+  Rng rng(10);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sq += (v - 5.0) * (v - 5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / n), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+  }
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(12);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(1);  // same salt, later state -> still different
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u32() == b.next_u32());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkByLabelDeterministic) {
+  Rng p1(13), p2(13);
+  Rng a = p1.fork("alpha");
+  Rng b = p2.fork("alpha");
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, ForkDifferentLabelsDiffer) {
+  Rng p(14);
+  Rng a = p.fork("alpha");
+  Rng b = p.fork("beta");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u32() == b.next_u32());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(15);
+  const auto p = rng.permutation(100);
+  ASSERT_EQ(p.size(), 100u);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, PermutationEmptyAndSingle) {
+  Rng rng(16);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  const auto p = rng.permutation(1);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 0u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Fnv1a, KnownValues) {
+  // FNV-1a 64-bit of the empty string is the offset basis.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_EQ(fnv1a("p2auth"), fnv1a("p2auth"));
+}
+
+// Property sweep: uniform_int is unbiased-ish for varied n.
+class RngUniformIntSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RngUniformIntSweep, MeanMatchesHalfRange) {
+  const std::uint32_t n = GetParam();
+  Rng rng(1000 + n);
+  const int draws = 40000;
+  double sum = 0.0;
+  for (int i = 0; i < draws; ++i) sum += rng.uniform_int(n);
+  const double expected = (n - 1) / 2.0;
+  EXPECT_NEAR(sum / draws, expected, 0.04 * n + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, RngUniformIntSweep,
+                         ::testing::Values(2u, 3u, 7u, 10u, 100u, 1000u));
+
+}  // namespace
+}  // namespace p2auth::util

@@ -1,0 +1,135 @@
+#include "core/roc.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace p2auth::core {
+namespace {
+
+TEST(Roc, PerfectSeparationHasAucOneEerZero) {
+  const std::vector<double> genuine = {1.0, 2.0, 3.0};
+  const std::vector<double> impostor = {-3.0, -2.0, -1.0};
+  const RocCurve roc = compute_roc(genuine, impostor);
+  EXPECT_NEAR(roc.auc(), 1.0, 1e-9);
+  EXPECT_NEAR(roc.eer(), 0.0, 1e-9);
+  // The EER threshold separates the classes.
+  const double t = roc.eer_threshold();
+  EXPECT_GT(t, -1.0);
+  EXPECT_LE(t, 1.0);
+}
+
+TEST(Roc, IdenticalDistributionsNearChance) {
+  util::Rng rng(1);
+  std::vector<double> genuine(2000), impostor(2000);
+  for (double& v : genuine) v = rng.normal();
+  for (double& v : impostor) v = rng.normal();
+  const RocCurve roc = compute_roc(genuine, impostor);
+  EXPECT_NEAR(roc.auc(), 0.5, 0.03);
+  EXPECT_NEAR(roc.eer(), 0.5, 0.03);
+}
+
+TEST(Roc, PartialOverlapBetweenExtremes) {
+  util::Rng rng(2);
+  std::vector<double> genuine(3000), impostor(3000);
+  for (double& v : genuine) v = rng.normal(1.5, 1.0);
+  for (double& v : impostor) v = rng.normal(0.0, 1.0);
+  const RocCurve roc = compute_roc(genuine, impostor);
+  EXPECT_GT(roc.auc(), 0.75);
+  EXPECT_LT(roc.auc(), 0.95);
+  // d' = 1.5 implies EER = Phi(-d'/2) ~ 0.2266.
+  EXPECT_NEAR(roc.eer(), 0.2266, 0.03);
+}
+
+TEST(Roc, CurveIsMonotone) {
+  util::Rng rng(3);
+  std::vector<double> genuine(200), impostor(300);
+  for (double& v : genuine) v = rng.normal(1.0, 1.0);
+  for (double& v : impostor) v = rng.normal(0.0, 1.0);
+  const RocCurve roc = compute_roc(genuine, impostor);
+  for (std::size_t i = 1; i < roc.points.size(); ++i) {
+    EXPECT_GE(roc.points[i].false_accept_rate,
+              roc.points[i - 1].false_accept_rate - 1e-12);
+    EXPECT_GE(roc.points[i].true_accept_rate,
+              roc.points[i - 1].true_accept_rate - 1e-12);
+    EXPECT_LE(roc.points[i].threshold, roc.points[i - 1].threshold);
+  }
+  EXPECT_DOUBLE_EQ(roc.points.front().false_accept_rate, 0.0);
+  EXPECT_DOUBLE_EQ(roc.points.back().true_accept_rate, 1.0);
+}
+
+TEST(Roc, EmptyInputThrows) {
+  EXPECT_THROW(compute_roc({}, std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(compute_roc(std::vector<double>{1.0}, {}),
+               std::invalid_argument);
+}
+
+TEST(Roc, TiedScoresHandled) {
+  const std::vector<double> genuine = {1.0, 1.0, 1.0};
+  const std::vector<double> impostor = {1.0, 0.0};
+  const RocCurve roc = compute_roc(genuine, impostor);
+  EXPECT_GT(roc.auc(), 0.0);
+  EXPECT_LE(roc.auc(), 1.0);
+}
+
+TEST(DPrime, KnownSeparation) {
+  util::Rng rng(4);
+  std::vector<double> genuine(20000), impostor(20000);
+  for (double& v : genuine) v = rng.normal(2.0, 1.0);
+  for (double& v : impostor) v = rng.normal(0.0, 1.0);
+  EXPECT_NEAR(d_prime(genuine, impostor), 2.0, 0.06);
+}
+
+TEST(DPrime, ZeroForIdenticalMeans) {
+  const std::vector<double> a = {0.0, 1.0, 2.0};
+  EXPECT_NEAR(d_prime(a, a), 0.0, 1e-12);
+}
+
+TEST(DPrime, ConstantScoresDegenerate) {
+  const std::vector<double> genuine = {1.0, 1.0};
+  const std::vector<double> impostor = {0.0, 0.0};
+  EXPECT_GT(d_prime(genuine, impostor), 1e6);
+}
+
+TEST(DPrime, EmptyThrows) {
+  EXPECT_THROW(d_prime({}, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Roc, EerThresholdBalancesErrorRates) {
+  util::Rng rng(5);
+  std::vector<double> genuine(4000), impostor(4000);
+  for (double& v : genuine) v = rng.normal(1.2, 1.0);
+  for (double& v : impostor) v = rng.normal(0.0, 1.0);
+  const RocCurve roc = compute_roc(genuine, impostor);
+  const double t = roc.eer_threshold();
+  std::size_t frr_n = 0, far_n = 0;
+  for (const double g : genuine) frr_n += (g < t) ? 1 : 0;
+  for (const double i : impostor) far_n += (i >= t) ? 1 : 0;
+  const double frr = static_cast<double>(frr_n) / genuine.size();
+  const double far = static_cast<double>(far_n) / impostor.size();
+  EXPECT_NEAR(frr, far, 0.03);
+  EXPECT_NEAR(0.5 * (frr + far), roc.eer(), 0.02);
+}
+
+class RocSeparationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RocSeparationSweep, AucGrowsWithSeparation) {
+  const double separation = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(separation * 100) + 7);
+  std::vector<double> genuine(1500), impostor(1500);
+  for (double& v : genuine) v = rng.normal(separation, 1.0);
+  for (double& v : impostor) v = rng.normal(0.0, 1.0);
+  const RocCurve roc = compute_roc(genuine, impostor);
+  // Theoretical AUC for equal-variance Gaussians: Phi(separation/sqrt(2)).
+  const double expected = 0.5 * (1.0 + std::erf(separation / 2.0));
+  EXPECT_NEAR(roc.auc(), expected, 0.035) << "separation " << separation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Separations, RocSeparationSweep,
+                         ::testing::Values(0.5, 1.0, 1.5, 2.0, 3.0));
+
+}  // namespace
+}  // namespace p2auth::core

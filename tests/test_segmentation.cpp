@@ -1,0 +1,132 @@
+#include "core/segmentation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2auth::core {
+namespace {
+
+std::vector<Series> ramp_channels(std::size_t channels, std::size_t n) {
+  std::vector<Series> out(channels, Series(n));
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[c][i] = static_cast<double>(i) + 1000.0 * static_cast<double>(c);
+    }
+  }
+  return out;
+}
+
+TEST(SegmentLength, PaperGeometryAt100Hz) {
+  // 0.3 s before + 0.6 s after = 0.9 s = 90 samples (paper's window 90).
+  EXPECT_EQ(segment_length(100.0), 90u);
+  EXPECT_EQ(segment_length(50.0), 45u);
+  EXPECT_EQ(segment_length(30.0), 27u);
+}
+
+TEST(FullWaveformLength, SpansConfiguredSeconds) {
+  EXPECT_EQ(full_waveform_length(100.0), 600u);
+  SegmentationOptions options;
+  options.full_span_s = 4.0;
+  EXPECT_EQ(full_waveform_length(50.0, options), 200u);
+}
+
+TEST(ExtractSegment, CorrectWindowPlacement) {
+  const auto channels = ramp_channels(2, 1000);
+  const auto segment = extract_segment(channels, 500, 100.0);
+  ASSERT_EQ(segment.size(), 2u);
+  ASSERT_EQ(segment[0].size(), 90u);
+  // Window starts 0.3 s (30 samples) before the center index.
+  EXPECT_DOUBLE_EQ(segment[0][0], 470.0);
+  EXPECT_DOUBLE_EQ(segment[0][89], 559.0);
+  EXPECT_DOUBLE_EQ(segment[1][0], 1470.0);
+}
+
+TEST(ExtractSegment, ZeroPadsAtLeadingEdge) {
+  const auto channels = ramp_channels(1, 1000);
+  const auto segment = extract_segment(channels, 10, 100.0);
+  ASSERT_EQ(segment[0].size(), 90u);
+  // First 20 samples fall before index 0 -> zero padded.
+  EXPECT_DOUBLE_EQ(segment[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(segment[0][19], 0.0);
+  EXPECT_DOUBLE_EQ(segment[0][20], 0.0);  // index 0 of the ramp
+  EXPECT_DOUBLE_EQ(segment[0][21], 1.0);
+}
+
+TEST(ExtractSegment, ZeroPadsAtTrailingEdge) {
+  const auto channels = ramp_channels(1, 100);
+  const auto segment = extract_segment(channels, 95, 100.0);
+  ASSERT_EQ(segment[0].size(), 90u);
+  EXPECT_DOUBLE_EQ(segment[0][0], 65.0);
+  // Samples beyond the trace end are zero.
+  EXPECT_DOUBLE_EQ(segment[0][89], 0.0);
+}
+
+TEST(ExtractSegment, Errors) {
+  EXPECT_THROW(extract_segment({}, 0, 100.0), std::invalid_argument);
+  EXPECT_THROW(extract_segment(ramp_channels(1, 100), 0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(ExtractFullWaveform, AnchoredWithLead) {
+  const auto channels = ramp_channels(1, 2000);
+  const auto full = extract_full_waveform(channels, 100, 100.0);
+  ASSERT_EQ(full[0].size(), 600u);
+  // Starts full_lead_s = 0.5 s (50 samples) before the anchor.
+  EXPECT_DOUBLE_EQ(full[0][0], 50.0);
+  EXPECT_DOUBLE_EQ(full[0][599], 649.0);
+}
+
+TEST(ExtractFullWaveform, Errors) {
+  EXPECT_THROW(extract_full_waveform({}, 0, 100.0), std::invalid_argument);
+  EXPECT_THROW(extract_full_waveform(ramp_channels(1, 10), 0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(FuseSegments, AdditiveFusionPerChannel) {
+  std::vector<std::vector<Series>> segments = {
+      {{1.0, 2.0}, {10.0, 20.0}},
+      {{3.0, 4.0}, {30.0, 40.0}},
+      {{5.0, 6.0}, {50.0, 60.0}},
+  };
+  const auto fused = fuse_segments(segments);
+  ASSERT_EQ(fused.size(), 2u);
+  EXPECT_DOUBLE_EQ(fused[0][0], 9.0);
+  EXPECT_DOUBLE_EQ(fused[0][1], 12.0);
+  EXPECT_DOUBLE_EQ(fused[1][0], 90.0);
+  EXPECT_DOUBLE_EQ(fused[1][1], 120.0);
+}
+
+TEST(FuseSegments, SingleSegmentIsIdentity) {
+  std::vector<std::vector<Series>> segments = {{{1.5, 2.5}}};
+  const auto fused = fuse_segments(segments);
+  EXPECT_DOUBLE_EQ(fused[0][0], 1.5);
+  EXPECT_DOUBLE_EQ(fused[0][1], 2.5);
+}
+
+TEST(FuseSegments, Errors) {
+  EXPECT_THROW(fuse_segments({}), std::invalid_argument);
+  std::vector<std::vector<Series>> empty_segment = {{}};
+  EXPECT_THROW(fuse_segments(empty_segment), std::invalid_argument);
+  std::vector<std::vector<Series>> channel_mismatch = {
+      {{1.0}}, {{1.0}, {2.0}}};
+  EXPECT_THROW(fuse_segments(channel_mismatch), std::invalid_argument);
+  std::vector<std::vector<Series>> length_mismatch = {
+      {{1.0, 2.0}}, {{1.0}}};
+  EXPECT_THROW(fuse_segments(length_mismatch), std::invalid_argument);
+}
+
+class SegmentRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SegmentRateSweep, SegmentAndFullLengthsScaleWithRate) {
+  const double rate = GetParam();
+  const auto channels = ramp_channels(1, 4000);
+  const auto segment = extract_segment(channels, 2000, rate);
+  EXPECT_EQ(segment[0].size(), segment_length(rate));
+  const auto full = extract_full_waveform(channels, 2000, rate);
+  EXPECT_EQ(full[0].size(), full_waveform_length(rate));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SegmentRateSweep,
+                         ::testing::Values(30.0, 50.0, 75.0, 100.0, 200.0));
+
+}  // namespace
+}  // namespace p2auth::core

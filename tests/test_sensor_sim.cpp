@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "keystroke/timing.hpp"
+#include "ppg/sensor.hpp"
+#include "ppg/simulator.hpp"
+#include "signal/stats.hpp"
+
+namespace p2auth::ppg {
+namespace {
+
+UserProfile make_user(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return UserProfile::sample(0, rng);
+}
+
+keystroke::EntryRecord make_entry(std::uint64_t seed,
+                                  keystroke::InputCase input_case =
+                                      keystroke::InputCase::kOneHanded) {
+  util::Rng rng(seed);
+  const keystroke::TimingProfile profile;
+  return keystroke::generate_entry(keystroke::Pin("1628"), profile,
+                                   input_case, rng);
+}
+
+TEST(SensorConfig, PrototypeHasFourLabelledChannels) {
+  const SensorConfig cfg = SensorConfig::prototype_wristband();
+  ASSERT_EQ(cfg.channels.size(), 4u);
+  EXPECT_EQ(cfg.rate_hz, 100.0);
+  EXPECT_EQ(cfg.channels[0].label(), "sensor1-ir");
+  EXPECT_EQ(cfg.channels[1].label(), "sensor1-red");
+  EXPECT_EQ(cfg.channels[2].label(), "sensor2-ir");
+  EXPECT_EQ(cfg.channels[3].label(), "sensor2-red");
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(cfg.channels[c].coupling_index, c);
+  }
+}
+
+TEST(SensorConfig, RedChannelsNoisier) {
+  const SensorConfig cfg = SensorConfig::prototype_wristband();
+  EXPECT_GT(cfg.channels[1].noise.white_sigma,
+            cfg.channels[0].noise.white_sigma);
+}
+
+TEST(SensorConfig, WithChannelsPrefix) {
+  const SensorConfig cfg = SensorConfig::with_channels(2);
+  ASSERT_EQ(cfg.channels.size(), 2u);
+  EXPECT_EQ(cfg.channels[1].label(), "sensor1-red");
+  EXPECT_THROW(SensorConfig::with_channels(0), std::invalid_argument);
+  EXPECT_THROW(SensorConfig::with_channels(5), std::invalid_argument);
+}
+
+TEST(SensorConfig, SingleChannelKeepsCouplingIndex) {
+  const SensorConfig cfg = SensorConfig::single_channel(3);
+  ASSERT_EQ(cfg.channels.size(), 1u);
+  EXPECT_EQ(cfg.channels[0].coupling_index, 3u);
+  EXPECT_EQ(cfg.channels[0].label(), "sensor2-red");
+  EXPECT_THROW(SensorConfig::single_channel(4), std::invalid_argument);
+}
+
+TEST(Simulator, TraceShapeMatchesConfig) {
+  const UserProfile u = make_user(1);
+  const auto entry = make_entry(2);
+  util::Rng rng(3);
+  const MultiChannelTrace trace =
+      simulate_entry(u, entry, SensorConfig::prototype_wristband(), rng);
+  EXPECT_EQ(trace.num_channels(), 4u);
+  EXPECT_EQ(trace.rate_hz, 100.0);
+  const auto expected = static_cast<std::size_t>(
+      std::ceil(keystroke::entry_duration_s(entry) * 100.0));
+  for (const auto& ch : trace.channels) EXPECT_EQ(ch.size(), expected);
+}
+
+TEST(Simulator, DeterministicGivenSameRngState) {
+  const UserProfile u = make_user(4);
+  const auto entry = make_entry(5);
+  util::Rng r1(6), r2(6);
+  const auto t1 = simulate_entry(u, entry,
+                                 SensorConfig::prototype_wristband(), r1);
+  const auto t2 = simulate_entry(u, entry,
+                                 SensorConfig::prototype_wristband(), r2);
+  ASSERT_EQ(t1.length(), t2.length());
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t i = 0; i < t1.length(); ++i) {
+      ASSERT_EQ(t1.channels[c][i], t2.channels[c][i]);
+    }
+  }
+}
+
+TEST(Simulator, DifferentRngStatesDiffer) {
+  const UserProfile u = make_user(7);
+  const auto entry = make_entry(8);
+  util::Rng r1(9), r2(10);
+  const auto t1 = simulate_entry(u, entry,
+                                 SensorConfig::prototype_wristband(), r1);
+  const auto t2 = simulate_entry(u, entry,
+                                 SensorConfig::prototype_wristband(), r2);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < t1.length(); ++i) {
+    diff += std::abs(t1.channels[0][i] - t2.channels[0][i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Simulator, NoChannelsThrows) {
+  const UserProfile u = make_user(11);
+  const auto entry = make_entry(12);
+  util::Rng rng(13);
+  SensorConfig empty;
+  empty.channels.clear();
+  EXPECT_THROW(simulate_entry(u, entry, empty, rng), std::invalid_argument);
+}
+
+TEST(Simulator, ArtifactEnergyOnlyNearWatchHandKeystrokes) {
+  const UserProfile u = make_user(14);
+  const auto entry = make_entry(15, keystroke::InputCase::kTwoHandedTwo);
+  util::Rng rng(16);
+  SimulationOptions options;
+  options.noise_enabled = false;  // isolate cardiac + artifacts
+  const auto trace = simulate_entry(
+      u, entry, SensorConfig::prototype_wristband(), rng, options);
+  // Energy in a +-0.5 s window around each keystroke.
+  auto window_energy = [&](double t) {
+    const auto lo = static_cast<std::size_t>(std::max(0.0, (t - 0.1) * 100.0));
+    const auto hi = std::min(trace.length(),
+                             static_cast<std::size_t>((t + 0.6) * 100.0));
+    double e = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double v = trace.channels[0][i];
+      e += v * v;
+    }
+    return e / static_cast<double>(hi - lo);
+  };
+  double watch_min = 1e18, other_max = 0.0;
+  for (const auto& ev : entry.events) {
+    const double e = window_energy(ev.true_time_s);
+    if (ev.hand == keystroke::Hand::kWatchHand) {
+      watch_min = std::min(watch_min, e);
+    } else {
+      other_max = std::max(other_max, e);
+    }
+  }
+  // Watch-hand keystrokes must carry clearly more energy than other-hand
+  // ones (whose windows hold only the heartbeat).
+  EXPECT_GT(watch_min, other_max);
+}
+
+TEST(Simulator, NoiseDisabledGivesCleanerTrace) {
+  const UserProfile u = make_user(17);
+  const auto entry = make_entry(18);
+  util::Rng r1(19), r2(19);
+  SimulationOptions clean;
+  clean.noise_enabled = false;
+  const auto noisy = simulate_entry(u, entry,
+                                    SensorConfig::prototype_wristband(), r1);
+  const auto quiet = simulate_entry(
+      u, entry, SensorConfig::prototype_wristband(), r2, clean);
+  const auto sn = signal::summarize(noisy.channels[0]);
+  const auto sq = signal::summarize(quiet.channels[0]);
+  EXPECT_GT(sn.range, sq.range);
+}
+
+TEST(Simulator, BackOfWristWeakensArtifacts) {
+  const UserProfile u = make_user(30);
+  const auto entry = make_entry(31);
+  SimulationOptions inner, back;
+  inner.noise_enabled = false;
+  back.noise_enabled = false;
+  back.wearing = WearingPosition::kBackOfWrist;
+  // Average artifact energy over several sessions (per-session gain is
+  // random either way).
+  auto mean_energy = [&](const SimulationOptions& options) {
+    double total = 0.0;
+    for (std::uint64_t s = 0; s < 8; ++s) {
+      util::Rng rng(100 + s);
+      const auto trace = simulate_entry(
+          u, entry, SensorConfig::prototype_wristband(), rng, options);
+      for (const double v : trace.channels[0]) total += v * v;
+    }
+    return total;
+  };
+  EXPECT_LT(mean_energy(back), 0.8 * mean_energy(inner));
+}
+
+TEST(Simulator, WalkingAddsStrongGaitComponent) {
+  const UserProfile u = make_user(40);
+  const auto entry = make_entry(41);
+  SimulationOptions quiet, walking;
+  quiet.noise_enabled = false;
+  walking.noise_enabled = false;
+  walking.activity = ActivityState::kWalking;
+  util::Rng r1(42), r2(42);
+  const auto still = simulate_entry(
+      u, entry, SensorConfig::prototype_wristband(), r1, quiet);
+  const auto moving = simulate_entry(
+      u, entry, SensorConfig::prototype_wristband(), r2, walking);
+  double still_energy = 0.0, moving_energy = 0.0;
+  for (const double v : still.channels[0]) still_energy += v * v;
+  for (const double v : moving.channels[0]) moving_energy += v * v;
+  EXPECT_GT(moving_energy, 2.0 * still_energy);
+}
+
+TEST(Simulator, LowerRateProducesProportionallyFewerSamples) {
+  const UserProfile u = make_user(20);
+  const auto entry = make_entry(21);
+  util::Rng r1(22), r2(22);
+  SensorConfig fast = SensorConfig::prototype_wristband();
+  SensorConfig slow = SensorConfig::prototype_wristband();
+  slow.rate_hz = 25.0;
+  const auto tf = simulate_entry(u, entry, fast, r1);
+  const auto ts = simulate_entry(u, entry, slow, r2);
+  EXPECT_NEAR(static_cast<double>(tf.length()) / 4.0,
+              static_cast<double>(ts.length()), 2.0);
+}
+
+}  // namespace
+}  // namespace p2auth::ppg

@@ -1,0 +1,187 @@
+#include "core/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/authenticator.hpp"
+#include "sim/attacks.hpp"
+#include "sim/dataset.hpp"
+#include "util/serialize.hpp"
+
+namespace p2auth::core {
+namespace {
+
+// One enrolled user + a few probe observations, built once (enrollment is
+// the expensive part).
+struct Enrolled {
+  sim::Population population;
+  keystroke::Pin pin{"1628"};
+  EnrolledUser user;
+  std::vector<Observation> probes;
+
+  Enrolled() {
+    sim::PopulationConfig cfg;
+    cfg.num_users = 1;
+    cfg.seed = 505;
+    population = sim::make_population(cfg);
+    util::Rng rng(606);
+    sim::TrialOptions options;
+    std::vector<Observation> pos, neg;
+    util::Rng er = rng.fork("enroll");
+    for (sim::Trial& t :
+         sim::make_trials(population.users[0], pin, 6, options, er)) {
+      pos.push_back({std::move(t.entry), std::move(t.trace)});
+    }
+    util::Rng pr = rng.fork("pool");
+    for (sim::Trial& t :
+         sim::make_third_party_pool(population, 30, options, pr)) {
+      neg.push_back({std::move(t.entry), std::move(t.trace)});
+    }
+    EnrollmentConfig config;
+    config.privacy_boost = true;
+    config.rocket.num_features = 2000;
+    user = enroll_user(pin, pos, neg, config);
+    util::Rng tr = rng.fork("probes");
+    for (int i = 0; i < 4; ++i) {
+      util::Rng r = tr.fork(i);
+      sim::Trial t = sim::make_trial(population.users[0], pin, options, r);
+      probes.push_back({std::move(t.entry), std::move(t.trace)});
+    }
+  }
+};
+
+const Enrolled& fixture() {
+  static const Enrolled instance;
+  return instance;
+}
+
+TEST(Serialization, WaveformModelRoundTripPreservesDecisions) {
+  const Enrolled& f = fixture();
+  std::stringstream ss;
+  save_waveform_model(*f.user.full_model, ss);
+  const WaveformModel restored = load_waveform_model(ss);
+  // The restored model must produce bit-identical decision values.
+  for (const auto& obs : f.probes) {
+    const auto pre = preprocess_entry(obs);
+    std::size_t first = pre.calibrated_indices.front();
+    const auto full =
+        extract_full_waveform(pre.filtered, first, pre.rate_hz);
+    EXPECT_DOUBLE_EQ(f.user.full_model->decision(full),
+                     restored.decision(full));
+  }
+  EXPECT_DOUBLE_EQ(restored.threshold(), f.user.full_model->threshold());
+}
+
+TEST(Serialization, EnrolledUserRoundTripPreservesAuthDecisions) {
+  const Enrolled& f = fixture();
+  std::stringstream ss;
+  save_enrolled_user(f.user, ss);
+  const EnrolledUser restored = load_enrolled_user(ss);
+  EXPECT_EQ(restored.pin, f.user.pin);
+  EXPECT_EQ(restored.privacy_boost, f.user.privacy_boost);
+  EXPECT_EQ(restored.stats.key_models_trained,
+            f.user.stats.key_models_trained);
+  for (char d = '0'; d <= '9'; ++d) {
+    EXPECT_EQ(restored.has_key_model(d), f.user.has_key_model(d));
+  }
+  AuthOptions auth;
+  for (const auto& obs : f.probes) {
+    const AuthResult a = authenticate(f.user, obs, auth);
+    const AuthResult b = authenticate(restored, obs, auth);
+    EXPECT_EQ(a.accepted, b.accepted);
+    EXPECT_EQ(a.detected_case, b.detected_case);
+    EXPECT_DOUBLE_EQ(a.waveform_score, b.waveform_score);
+  }
+}
+
+TEST(Serialization, FileRoundTrip) {
+  const Enrolled& f = fixture();
+  const std::string path = "/tmp/p2auth_test_user.model";
+  save_enrolled_user_file(f.user, path);
+  const EnrolledUser restored = load_enrolled_user_file(path);
+  EXPECT_EQ(restored.pin, f.user.pin);
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, FileErrorsThrow) {
+  const Enrolled& f = fixture();
+  EXPECT_THROW(save_enrolled_user_file(f.user, "/no-such-dir/x.model"),
+               std::runtime_error);
+  EXPECT_THROW(load_enrolled_user_file("/no-such-file.model"),
+               std::runtime_error);
+}
+
+TEST(Serialization, CorruptedStreamThrows) {
+  const Enrolled& f = fixture();
+  std::stringstream ss;
+  save_enrolled_user(f.user, ss);
+  std::string text = ss.str();
+  // Truncate in the middle.
+  std::istringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_THROW(load_enrolled_user(truncated), std::runtime_error);
+  // Corrupt the magic tag.
+  std::string bad = text;
+  bad.replace(0, 6, "broken");
+  std::istringstream wrong(bad);
+  EXPECT_THROW(load_enrolled_user(wrong), std::runtime_error);
+}
+
+TEST(Serialization, UntrainedModelRefusesToSave) {
+  WaveformModel empty;
+  std::stringstream ss;
+  EXPECT_THROW(save_waveform_model(empty, ss), std::logic_error);
+}
+
+TEST(Serialization, LoadedModelRefusesQualityEstimate) {
+  // The LOO diagnostics are fit-time-only; a restored model must not
+  // silently report a stale/absent quality estimate.
+  const Enrolled& f = fixture();
+  std::stringstream ss;
+  save_waveform_model(*f.user.full_model, ss);
+  const WaveformModel restored = load_waveform_model(ss);
+  EXPECT_THROW((void)restored.estimate_quality(), std::logic_error);
+}
+
+TEST(SerializeHelpers, ScalarsRoundTrip) {
+  std::stringstream ss;
+  util::write_u64(ss, "u", 123456789012345ULL);
+  util::write_i64(ss, "i", -42);
+  util::write_double(ss, "d", 3.141592653589793);
+  util::write_bool(ss, "b", true);
+  util::write_string(ss, "s", "hello world");
+  util::write_string(ss, "empty", "");
+  EXPECT_EQ(util::read_u64(ss, "u"), 123456789012345ULL);
+  EXPECT_EQ(util::read_i64(ss, "i"), -42);
+  EXPECT_DOUBLE_EQ(util::read_double(ss, "d"), 3.141592653589793);
+  EXPECT_TRUE(util::read_bool(ss, "b"));
+  EXPECT_EQ(util::read_string(ss, "s"), "hello world");
+  EXPECT_EQ(util::read_string(ss, "empty"), "");
+}
+
+TEST(SerializeHelpers, VectorsRoundTripAtFullPrecision) {
+  std::stringstream ss;
+  const std::vector<double> v = {1.0 / 3.0, -2.718281828459045, 1e-300};
+  util::write_vector(ss, "v", v);
+  const std::vector<int> iv = {1, -2, 3};
+  util::write_int_vector(ss, "iv", iv);
+  const auto rv = util::read_vector(ss, "v");
+  ASSERT_EQ(rv.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_DOUBLE_EQ(rv[i], v[i]);
+  EXPECT_EQ(util::read_int_vector(ss, "iv"), iv);
+}
+
+TEST(SerializeHelpers, WrongTagThrows) {
+  std::stringstream ss;
+  util::write_u64(ss, "alpha", 1);
+  EXPECT_THROW(util::read_u64(ss, "beta"), std::runtime_error);
+}
+
+TEST(SerializeHelpers, TruncatedValueThrows) {
+  std::istringstream ss("v 5 1.0 2.0");
+  EXPECT_THROW(util::read_vector(ss, "v"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace p2auth::core

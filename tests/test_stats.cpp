@@ -1,0 +1,135 @@
+#include "signal/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace p2auth::signal {
+namespace {
+
+TEST(Summarize, KnownValues) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const SummaryStats s = summarize(x);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.range, 3.0);
+  EXPECT_DOUBLE_EQ(s.variance, 1.25);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_NEAR(s.rms, std::sqrt(30.0 / 4.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.mean_abs_deviation, 1.0);
+  EXPECT_NEAR(s.skewness, 0.0, 1e-12);
+}
+
+TEST(Summarize, SkewnessSign) {
+  // Right-skewed data has positive skewness.
+  const std::vector<double> right = {1.0, 1.0, 1.0, 1.0, 10.0};
+  EXPECT_GT(summarize(right).skewness, 0.0);
+  const std::vector<double> left = {-10.0, 1.0, 1.0, 1.0, 1.0};
+  EXPECT_LT(summarize(left).skewness, 0.0);
+}
+
+TEST(Summarize, GaussianKurtosisNearZero) {
+  util::Rng rng(1);
+  std::vector<double> x(50000);
+  for (double& v : x) v = rng.normal();
+  EXPECT_NEAR(summarize(x).kurtosis, 0.0, 0.15);
+}
+
+TEST(Summarize, ConstantSeries) {
+  const SummaryStats s = summarize(std::vector<double>(10, 3.0));
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.skewness, 0.0);
+}
+
+TEST(Summarize, EmptyThrows) {
+  EXPECT_THROW(summarize(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(MeanCrossings, SineWave) {
+  std::vector<double> x(1000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 5.0 * i / 1000.0);
+  }
+  // 5 full periods => ~10 crossings.
+  EXPECT_NEAR(static_cast<double>(mean_crossings(x)), 10.0, 1.0);
+}
+
+TEST(MeanCrossings, ShortOrConstant) {
+  EXPECT_EQ(mean_crossings(std::vector<double>{1.0}), 0u);
+  EXPECT_EQ(mean_crossings(std::vector<double>(10, 2.0)), 0u);
+}
+
+TEST(PearsonCorrelation, PerfectAndInverse) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {2.0, 4.0, 6.0, 8.0};
+  std::vector<double> c = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson_correlation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(a, c), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, ConstantSeriesGivesZero) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b(3, 5.0);
+  EXPECT_DOUBLE_EQ(pearson_correlation(a, b), 0.0);
+}
+
+TEST(PearsonCorrelation, Errors) {
+  EXPECT_THROW(
+      pearson_correlation(std::vector<double>{1.0}, std::vector<double>{}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      pearson_correlation(std::vector<double>{}, std::vector<double>{}),
+      std::invalid_argument);
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod) {
+  std::vector<double> x(400);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * i / 40.0);  // period 40
+  }
+  const auto ac = autocorrelation(x, 45);
+  EXPECT_GT(ac[39], 0.8);   // lag 40 (index 39)
+  EXPECT_LT(ac[19], -0.8);  // half period anti-correlates
+}
+
+TEST(Autocorrelation, ConstantSeriesAllZero) {
+  const auto ac = autocorrelation(std::vector<double>(20, 1.0), 5);
+  for (const double v : ac) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Autocorrelation, LagBeyondLengthIsZero) {
+  const auto ac = autocorrelation(std::vector<double>{1.0, -1.0, 1.0}, 6);
+  ASSERT_EQ(ac.size(), 6u);
+  EXPECT_DOUBLE_EQ(ac[4], 0.0);
+}
+
+TEST(ProportionPositive, Basics) {
+  EXPECT_DOUBLE_EQ(proportion_positive(std::vector<double>{1.0, -1.0}), 0.5);
+  EXPECT_DOUBLE_EQ(proportion_positive(std::vector<double>{0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(proportion_positive(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(proportion_positive(std::vector<double>{2.0, 3.0}), 1.0);
+}
+
+TEST(Percentile, InterpolatesCorrectly) {
+  const std::vector<double> x = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(x, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(x, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(x, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(x, 25.0), 1.75);
+}
+
+TEST(Percentile, Errors) {
+  EXPECT_THROW(percentile(std::vector<double>{}, 50.0),
+               std::invalid_argument);
+  EXPECT_THROW(percentile(std::vector<double>{1.0}, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(percentile(std::vector<double>{1.0}, 101.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2auth::signal

@@ -1,0 +1,191 @@
+#include "core/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/dataset.hpp"
+
+namespace p2auth::core {
+namespace {
+
+struct Enrolled {
+  sim::Population population;
+  keystroke::Pin pin{"1628"};
+  EnrolledUser user;
+
+  Enrolled() {
+    sim::PopulationConfig cfg;
+    cfg.num_users = 1;
+    cfg.seed = 314;
+    population = sim::make_population(cfg);
+    util::Rng rng(159);
+    sim::TrialOptions options;
+    std::vector<Observation> pos, neg;
+    util::Rng er = rng.fork("enroll");
+    for (sim::Trial& t :
+         sim::make_trials(population.users[0], pin, 6, options, er)) {
+      pos.push_back({std::move(t.entry), std::move(t.trace)});
+    }
+    util::Rng pr = rng.fork("pool");
+    for (sim::Trial& t :
+         sim::make_third_party_pool(population, 30, options, pr)) {
+      neg.push_back({std::move(t.entry), std::move(t.trace)});
+    }
+    EnrollmentConfig config;
+    config.rocket.num_features = 2000;
+    user = enroll_user(pin, pos, neg, config);
+  }
+
+  sim::Trial fresh_trial(std::uint64_t seed) const {
+    util::Rng r(seed);
+    sim::TrialOptions options;
+    return sim::make_trial(population.users[0], pin, options, r);
+  }
+};
+
+const Enrolled& fixture() {
+  static const Enrolled instance;
+  return instance;
+}
+
+// Streams a simulated trial into the authenticator sample by sample,
+// interleaving keystroke events at their recorded times; returns the
+// decision from poll().
+std::optional<AuthResult> stream_trial(StreamingAuthenticator& auth,
+                                       const sim::Trial& trial,
+                                       int poll_every = 50) {
+  const auto& trace = trial.trace;
+  std::size_t next_event = 0;
+  std::vector<double> sample(trace.num_channels());
+  for (std::size_t i = 0; i < trace.length(); ++i) {
+    const double t = static_cast<double>(i) / trace.rate_hz;
+    while (next_event < trial.entry.events.size() &&
+           trial.entry.events[next_event].recorded_time_s <= t) {
+      auth.push_keystroke(trial.entry.events[next_event].digit,
+                          trial.entry.events[next_event].recorded_time_s);
+      ++next_event;
+    }
+    for (std::size_t c = 0; c < trace.num_channels(); ++c) {
+      sample[c] = trace.channels[c][i];
+    }
+    auth.push_sample(sample);
+    if (i % static_cast<std::size_t>(poll_every) == 0) {
+      if (auto r = auth.poll()) return r;
+    }
+  }
+  return auth.poll();
+}
+
+TEST(Streaming, MatchesBatchDecision) {
+  const Enrolled& f = fixture();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const sim::Trial trial = f.fresh_trial(seed);
+    const AuthResult batch =
+        authenticate(f.user, {trial.entry, trial.trace});
+    StreamingAuthenticator streaming(f.user, trial.trace.rate_hz,
+                                     trial.trace.num_channels());
+    const auto result = stream_trial(streaming, trial);
+    ASSERT_TRUE(result.has_value()) << "seed " << seed;
+    // The streamed trace may be cut slightly earlier than the batch one
+    // (poll fires as soon as the tail is covered), so compare the
+    // decision, not the raw score.
+    EXPECT_EQ(result->accepted, batch.accepted) << "seed " << seed;
+  }
+}
+
+TEST(Streaming, NoDecisionBeforeAllKeystrokes) {
+  const Enrolled& f = fixture();
+  const sim::Trial trial = f.fresh_trial(10);
+  StreamingAuthenticator auth(f.user, trial.trace.rate_hz,
+                              trial.trace.num_channels());
+  // Push the whole trace but only 3 of 4 keystroke events.
+  std::vector<double> sample(trial.trace.num_channels());
+  for (std::size_t i = 0; i < trial.trace.length(); ++i) {
+    for (std::size_t c = 0; c < sample.size(); ++c) {
+      sample[c] = trial.trace.channels[c][i];
+    }
+    auth.push_sample(sample);
+  }
+  for (int k = 0; k < 3; ++k) {
+    auth.push_keystroke(trial.entry.events[k].digit,
+                        trial.entry.events[k].recorded_time_s);
+  }
+  EXPECT_FALSE(auth.poll().has_value());
+  EXPECT_EQ(auth.num_keystrokes(), 3u);
+}
+
+TEST(Streaming, NoDecisionBeforeTailArrives) {
+  const Enrolled& f = fixture();
+  const sim::Trial trial = f.fresh_trial(11);
+  StreamingAuthenticator auth(f.user, trial.trace.rate_hz,
+                              trial.trace.num_channels());
+  // All keystrokes, but samples only up to the last keystroke.
+  for (const auto& e : trial.entry.events) {
+    auth.push_keystroke(e.digit, e.recorded_time_s);
+  }
+  const auto cutoff = static_cast<std::size_t>(
+      trial.entry.events.back().recorded_time_s * trial.trace.rate_hz);
+  std::vector<double> sample(trial.trace.num_channels());
+  for (std::size_t i = 0; i < cutoff; ++i) {
+    for (std::size_t c = 0; c < sample.size(); ++c) {
+      sample[c] = trial.trace.channels[c][i];
+    }
+    auth.push_sample(sample);
+  }
+  EXPECT_FALSE(auth.poll().has_value());
+}
+
+TEST(Streaming, TimeoutRejectsAndResets) {
+  const Enrolled& f = fixture();
+  StreamingOptions options;
+  options.timeout_s = 0.5;
+  StreamingAuthenticator auth(f.user, 100.0, 4, options);
+  const std::vector<double> sample(4, 0.0);
+  for (int i = 0; i < 100; ++i) auth.push_sample(sample);  // 1 s > timeout
+  const auto result = auth.poll();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->accepted);
+  EXPECT_EQ(result->reason, "attempt timed out");
+  EXPECT_EQ(auth.buffered_seconds(), 0.0);  // reset happened
+}
+
+TEST(Streaming, ResetClearsState) {
+  const Enrolled& f = fixture();
+  StreamingAuthenticator auth(f.user, 100.0, 4);
+  auth.push_sample(std::vector<double>(4, 1.0));
+  auth.push_keystroke('1', 0.0);
+  auth.reset();
+  EXPECT_EQ(auth.buffered_seconds(), 0.0);
+  EXPECT_EQ(auth.num_keystrokes(), 0u);
+  EXPECT_FALSE(auth.poll().has_value());
+}
+
+TEST(Streaming, SupportsConsecutiveAttempts) {
+  const Enrolled& f = fixture();
+  StreamingAuthenticator auth(f.user, 100.0, 4);
+  for (std::uint64_t seed = 20; seed < 22; ++seed) {
+    const sim::Trial trial = f.fresh_trial(seed);
+    const auto result = stream_trial(auth, trial);
+    ASSERT_TRUE(result.has_value());
+    // After each decision the stream is ready for the next attempt.
+    EXPECT_EQ(auth.buffered_seconds(), 0.0);
+  }
+}
+
+TEST(Streaming, ValidatesConstructionAndInput) {
+  const Enrolled& f = fixture();
+  EXPECT_THROW(StreamingAuthenticator(f.user, 0.0, 4),
+               std::invalid_argument);
+  EXPECT_THROW(StreamingAuthenticator(f.user, 100.0, 0),
+               std::invalid_argument);
+  StreamingOptions bad;
+  bad.timeout_s = 0.0;
+  EXPECT_THROW(StreamingAuthenticator(f.user, 100.0, 4, bad),
+               std::invalid_argument);
+  StreamingAuthenticator auth(f.user, 100.0, 4);
+  EXPECT_THROW(auth.push_sample(std::vector<double>(3, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(auth.push_keystroke('x', 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2auth::core

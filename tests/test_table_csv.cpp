@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/resource.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace p2auth::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"a", "bb"});
+  t.begin_row().cell("x").cell(std::string("yy"));
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("| x"), std::string::npos);
+}
+
+TEST(Table, TitlePrinted) {
+  Table t({"c"});
+  t.begin_row().cell("v");
+  EXPECT_EQ(t.to_string("My Title").rfind("My Title\n", 0), 0u);
+}
+
+TEST(Table, NumericCells) {
+  Table t({"v", "i"});
+  t.begin_row().cell(3.14159, 2).cell(static_cast<long long>(42));
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Table, RowConvenience) {
+  Table t({"a", "b"});
+  t.row({"1", "2"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_THROW(t.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), std::logic_error);
+}
+
+TEST(Table, RowOverflowThrows) {
+  Table t({"a"});
+  t.begin_row().cell("1");
+  EXPECT_THROW(t.cell("2"), std::logic_error);
+}
+
+TEST(Table, IncompleteRowDetectedOnNextBegin) {
+  Table t({"a", "b"});
+  t.begin_row().cell("1");
+  EXPECT_THROW(t.begin_row(), std::logic_error);
+}
+
+TEST(Table, ColumnsPadToWidestCell) {
+  Table t({"h"});
+  t.begin_row().cell("wide-cell-value");
+  const std::string s = t.to_string();
+  // Header row must be padded to the cell width.
+  const auto header_end = s.find("|\n");
+  EXPECT_GE(header_end, std::string("| wide-cell-value ").size() - 2);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.23456, 3), "1.235");
+  EXPECT_EQ(format_double(2.0, 1), "2.0");
+}
+
+TEST(Csv, SerialisesColumns) {
+  const std::string s = to_csv({"x", "y"}, {{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(s, "x,y\n1,3\n2,4\n");
+}
+
+TEST(Csv, EmptyColumnsHeaderOnly) {
+  EXPECT_EQ(to_csv({"x"}, {{}}), "x\n");
+}
+
+TEST(Csv, MismatchedNamesThrow) {
+  EXPECT_THROW(to_csv({"x"}, {{1.0}, {2.0}}), std::invalid_argument);
+}
+
+TEST(Csv, RaggedColumnsThrow) {
+  EXPECT_THROW(to_csv({"x", "y"}, {{1.0, 2.0}, {3.0}}),
+               std::invalid_argument);
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = "/tmp/p2auth_test_csv.csv";
+  write_csv(path, {"a"}, {{1.5, 2.5}});
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, UnwritablePathThrows) {
+  EXPECT_THROW(write_csv("/nonexistent-dir/x.csv", {"a"}, {{1.0}}),
+               std::runtime_error);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  // Busy-wait until the clock visibly advances (robust to coarse timers).
+  while (sw.seconds() <= 0.0) {
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
+  }
+  EXPECT_GT(sw.seconds(), 0.0);
+  EXPECT_NEAR(sw.milliseconds(), sw.seconds() * 1e3, 1.0);
+}
+
+TEST(Stopwatch, RestartResets) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const double before = sw.seconds();
+  sw.restart();
+  EXPECT_LT(sw.seconds(), before + 1.0);
+}
+
+TEST(Resource, ReportsPositiveRss) {
+  EXPECT_GT(peak_rss_mib(), 0.0);
+  EXPECT_GT(current_rss_mib(), 0.0);
+}
+
+}  // namespace
+}  // namespace p2auth::util
