@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_manual_comparison.dir/bench_fig11_manual_comparison.cpp.o"
+  "CMakeFiles/bench_fig11_manual_comparison.dir/bench_fig11_manual_comparison.cpp.o.d"
+  "bench_fig11_manual_comparison"
+  "bench_fig11_manual_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_manual_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_accelerometer.dir/bench_fig12_accelerometer.cpp.o"
+  "CMakeFiles/bench_fig12_accelerometer.dir/bench_fig12_accelerometer.cpp.o.d"
+  "bench_fig12_accelerometer"
+  "bench_fig12_accelerometer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_accelerometer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_channels.dir/bench_fig13_channels.cpp.o"
+  "CMakeFiles/bench_fig13_channels.dir/bench_fig13_channels.cpp.o.d"
+  "bench_fig13_channels"
+  "bench_fig13_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

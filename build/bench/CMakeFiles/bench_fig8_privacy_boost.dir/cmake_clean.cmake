@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_privacy_boost.dir/bench_fig8_privacy_boost.cpp.o"
+  "CMakeFiles/bench_fig8_privacy_boost.dir/bench_fig8_privacy_boost.cpp.o.d"
+  "bench_fig8_privacy_boost"
+  "bench_fig8_privacy_boost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_privacy_boost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_identification.dir/bench_identification.cpp.o"
+  "CMakeFiles/bench_identification.dir/bench_identification.cpp.o.d"
+  "bench_identification"
+  "bench_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

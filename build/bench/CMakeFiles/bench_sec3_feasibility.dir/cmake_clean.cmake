@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3_feasibility.dir/bench_sec3_feasibility.cpp.o"
+  "CMakeFiles/bench_sec3_feasibility.dir/bench_sec3_feasibility.cpp.o.d"
+  "bench_sec3_feasibility"
+  "bench_sec3_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

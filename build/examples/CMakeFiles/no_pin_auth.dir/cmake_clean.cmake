@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/no_pin_auth.dir/no_pin_auth.cpp.o"
+  "CMakeFiles/no_pin_auth.dir/no_pin_auth.cpp.o.d"
+  "no_pin_auth"
+  "no_pin_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/no_pin_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_boost_demo.dir/privacy_boost_demo.cpp.o"
+  "CMakeFiles/privacy_boost_demo.dir/privacy_boost_demo.cpp.o.d"
+  "privacy_boost_demo"
+  "privacy_boost_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_boost_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/two_factor_login.cpp" "examples/CMakeFiles/two_factor_login.dir/two_factor_login.cpp.o" "gcc" "examples/CMakeFiles/two_factor_login.dir/two_factor_login.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/p2auth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/p2auth_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2auth_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppg/CMakeFiles/p2auth_ppg.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/p2auth_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/keystroke/CMakeFiles/p2auth_keystroke.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/p2auth_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2auth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_factor_login.dir/two_factor_login.cpp.o"
+  "CMakeFiles/two_factor_login.dir/two_factor_login.cpp.o.d"
+  "two_factor_login"
+  "two_factor_login.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_factor_login.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

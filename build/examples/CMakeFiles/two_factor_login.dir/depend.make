@@ -1,0 +1,2 @@
+# Empty dependencies file for two_factor_login.
+# This may be replaced when dependencies are built.

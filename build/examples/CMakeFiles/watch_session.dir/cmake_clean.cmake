@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watch_session.dir/watch_session.cpp.o"
+  "CMakeFiles/watch_session.dir/watch_session.cpp.o.d"
+  "watch_session"
+  "watch_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watch_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/authenticator.cpp" "src/core/CMakeFiles/p2auth_core.dir/authenticator.cpp.o" "gcc" "src/core/CMakeFiles/p2auth_core.dir/authenticator.cpp.o.d"
+  "/root/repo/src/core/enrollment.cpp" "src/core/CMakeFiles/p2auth_core.dir/enrollment.cpp.o" "gcc" "src/core/CMakeFiles/p2auth_core.dir/enrollment.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/p2auth_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/p2auth_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/p2auth_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/p2auth_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/preprocess.cpp" "src/core/CMakeFiles/p2auth_core.dir/preprocess.cpp.o" "gcc" "src/core/CMakeFiles/p2auth_core.dir/preprocess.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/p2auth_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/p2auth_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/roc.cpp" "src/core/CMakeFiles/p2auth_core.dir/roc.cpp.o" "gcc" "src/core/CMakeFiles/p2auth_core.dir/roc.cpp.o.d"
+  "/root/repo/src/core/segmentation.cpp" "src/core/CMakeFiles/p2auth_core.dir/segmentation.cpp.o" "gcc" "src/core/CMakeFiles/p2auth_core.dir/segmentation.cpp.o.d"
+  "/root/repo/src/core/serialization.cpp" "src/core/CMakeFiles/p2auth_core.dir/serialization.cpp.o" "gcc" "src/core/CMakeFiles/p2auth_core.dir/serialization.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/core/CMakeFiles/p2auth_core.dir/streaming.cpp.o" "gcc" "src/core/CMakeFiles/p2auth_core.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/p2auth_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppg/CMakeFiles/p2auth_ppg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2auth_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/p2auth_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/keystroke/CMakeFiles/p2auth_keystroke.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/p2auth_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2auth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2auth_core.dir/authenticator.cpp.o"
+  "CMakeFiles/p2auth_core.dir/authenticator.cpp.o.d"
+  "CMakeFiles/p2auth_core.dir/enrollment.cpp.o"
+  "CMakeFiles/p2auth_core.dir/enrollment.cpp.o.d"
+  "CMakeFiles/p2auth_core.dir/evaluation.cpp.o"
+  "CMakeFiles/p2auth_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/p2auth_core.dir/metrics.cpp.o"
+  "CMakeFiles/p2auth_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/p2auth_core.dir/preprocess.cpp.o"
+  "CMakeFiles/p2auth_core.dir/preprocess.cpp.o.d"
+  "CMakeFiles/p2auth_core.dir/registry.cpp.o"
+  "CMakeFiles/p2auth_core.dir/registry.cpp.o.d"
+  "CMakeFiles/p2auth_core.dir/roc.cpp.o"
+  "CMakeFiles/p2auth_core.dir/roc.cpp.o.d"
+  "CMakeFiles/p2auth_core.dir/segmentation.cpp.o"
+  "CMakeFiles/p2auth_core.dir/segmentation.cpp.o.d"
+  "CMakeFiles/p2auth_core.dir/serialization.cpp.o"
+  "CMakeFiles/p2auth_core.dir/serialization.cpp.o.d"
+  "CMakeFiles/p2auth_core.dir/streaming.cpp.o"
+  "CMakeFiles/p2auth_core.dir/streaming.cpp.o.d"
+  "libp2auth_core.a"
+  "libp2auth_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2auth_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/keystroke/events.cpp" "src/keystroke/CMakeFiles/p2auth_keystroke.dir/events.cpp.o" "gcc" "src/keystroke/CMakeFiles/p2auth_keystroke.dir/events.cpp.o.d"
+  "/root/repo/src/keystroke/pinpad.cpp" "src/keystroke/CMakeFiles/p2auth_keystroke.dir/pinpad.cpp.o" "gcc" "src/keystroke/CMakeFiles/p2auth_keystroke.dir/pinpad.cpp.o.d"
+  "/root/repo/src/keystroke/timing.cpp" "src/keystroke/CMakeFiles/p2auth_keystroke.dir/timing.cpp.o" "gcc" "src/keystroke/CMakeFiles/p2auth_keystroke.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/p2auth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2auth_keystroke.dir/events.cpp.o"
+  "CMakeFiles/p2auth_keystroke.dir/events.cpp.o.d"
+  "CMakeFiles/p2auth_keystroke.dir/pinpad.cpp.o"
+  "CMakeFiles/p2auth_keystroke.dir/pinpad.cpp.o.d"
+  "CMakeFiles/p2auth_keystroke.dir/timing.cpp.o"
+  "CMakeFiles/p2auth_keystroke.dir/timing.cpp.o.d"
+  "libp2auth_keystroke.a"
+  "libp2auth_keystroke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2auth_keystroke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

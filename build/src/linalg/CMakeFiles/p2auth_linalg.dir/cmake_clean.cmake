@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2auth_linalg.dir/banded.cpp.o"
+  "CMakeFiles/p2auth_linalg.dir/banded.cpp.o.d"
+  "CMakeFiles/p2auth_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/p2auth_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/p2auth_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/p2auth_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/p2auth_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/p2auth_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/p2auth_linalg.dir/ridge.cpp.o"
+  "CMakeFiles/p2auth_linalg.dir/ridge.cpp.o.d"
+  "libp2auth_linalg.a"
+  "libp2auth_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2auth_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

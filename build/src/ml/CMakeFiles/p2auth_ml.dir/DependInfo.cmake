@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/p2auth_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/p2auth_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/manual_baseline.cpp" "src/ml/CMakeFiles/p2auth_ml.dir/manual_baseline.cpp.o" "gcc" "src/ml/CMakeFiles/p2auth_ml.dir/manual_baseline.cpp.o.d"
+  "/root/repo/src/ml/minirocket.cpp" "src/ml/CMakeFiles/p2auth_ml.dir/minirocket.cpp.o" "gcc" "src/ml/CMakeFiles/p2auth_ml.dir/minirocket.cpp.o.d"
+  "/root/repo/src/ml/nn.cpp" "src/ml/CMakeFiles/p2auth_ml.dir/nn.cpp.o" "gcc" "src/ml/CMakeFiles/p2auth_ml.dir/nn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/p2auth_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/p2auth_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2auth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2auth_ml.dir/knn.cpp.o"
+  "CMakeFiles/p2auth_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/p2auth_ml.dir/manual_baseline.cpp.o"
+  "CMakeFiles/p2auth_ml.dir/manual_baseline.cpp.o.d"
+  "CMakeFiles/p2auth_ml.dir/minirocket.cpp.o"
+  "CMakeFiles/p2auth_ml.dir/minirocket.cpp.o.d"
+  "CMakeFiles/p2auth_ml.dir/nn.cpp.o"
+  "CMakeFiles/p2auth_ml.dir/nn.cpp.o.d"
+  "libp2auth_ml.a"
+  "libp2auth_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2auth_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppg/accel_model.cpp" "src/ppg/CMakeFiles/p2auth_ppg.dir/accel_model.cpp.o" "gcc" "src/ppg/CMakeFiles/p2auth_ppg.dir/accel_model.cpp.o.d"
+  "/root/repo/src/ppg/activity.cpp" "src/ppg/CMakeFiles/p2auth_ppg.dir/activity.cpp.o" "gcc" "src/ppg/CMakeFiles/p2auth_ppg.dir/activity.cpp.o.d"
+  "/root/repo/src/ppg/artifact_model.cpp" "src/ppg/CMakeFiles/p2auth_ppg.dir/artifact_model.cpp.o" "gcc" "src/ppg/CMakeFiles/p2auth_ppg.dir/artifact_model.cpp.o.d"
+  "/root/repo/src/ppg/heart_rate.cpp" "src/ppg/CMakeFiles/p2auth_ppg.dir/heart_rate.cpp.o" "gcc" "src/ppg/CMakeFiles/p2auth_ppg.dir/heart_rate.cpp.o.d"
+  "/root/repo/src/ppg/noise_model.cpp" "src/ppg/CMakeFiles/p2auth_ppg.dir/noise_model.cpp.o" "gcc" "src/ppg/CMakeFiles/p2auth_ppg.dir/noise_model.cpp.o.d"
+  "/root/repo/src/ppg/profile.cpp" "src/ppg/CMakeFiles/p2auth_ppg.dir/profile.cpp.o" "gcc" "src/ppg/CMakeFiles/p2auth_ppg.dir/profile.cpp.o.d"
+  "/root/repo/src/ppg/pulse_model.cpp" "src/ppg/CMakeFiles/p2auth_ppg.dir/pulse_model.cpp.o" "gcc" "src/ppg/CMakeFiles/p2auth_ppg.dir/pulse_model.cpp.o.d"
+  "/root/repo/src/ppg/sensor.cpp" "src/ppg/CMakeFiles/p2auth_ppg.dir/sensor.cpp.o" "gcc" "src/ppg/CMakeFiles/p2auth_ppg.dir/sensor.cpp.o.d"
+  "/root/repo/src/ppg/simulator.cpp" "src/ppg/CMakeFiles/p2auth_ppg.dir/simulator.cpp.o" "gcc" "src/ppg/CMakeFiles/p2auth_ppg.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/keystroke/CMakeFiles/p2auth_keystroke.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/p2auth_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2auth_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/p2auth_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2auth_ppg.dir/accel_model.cpp.o"
+  "CMakeFiles/p2auth_ppg.dir/accel_model.cpp.o.d"
+  "CMakeFiles/p2auth_ppg.dir/activity.cpp.o"
+  "CMakeFiles/p2auth_ppg.dir/activity.cpp.o.d"
+  "CMakeFiles/p2auth_ppg.dir/artifact_model.cpp.o"
+  "CMakeFiles/p2auth_ppg.dir/artifact_model.cpp.o.d"
+  "CMakeFiles/p2auth_ppg.dir/heart_rate.cpp.o"
+  "CMakeFiles/p2auth_ppg.dir/heart_rate.cpp.o.d"
+  "CMakeFiles/p2auth_ppg.dir/noise_model.cpp.o"
+  "CMakeFiles/p2auth_ppg.dir/noise_model.cpp.o.d"
+  "CMakeFiles/p2auth_ppg.dir/profile.cpp.o"
+  "CMakeFiles/p2auth_ppg.dir/profile.cpp.o.d"
+  "CMakeFiles/p2auth_ppg.dir/pulse_model.cpp.o"
+  "CMakeFiles/p2auth_ppg.dir/pulse_model.cpp.o.d"
+  "CMakeFiles/p2auth_ppg.dir/sensor.cpp.o"
+  "CMakeFiles/p2auth_ppg.dir/sensor.cpp.o.d"
+  "CMakeFiles/p2auth_ppg.dir/simulator.cpp.o"
+  "CMakeFiles/p2auth_ppg.dir/simulator.cpp.o.d"
+  "libp2auth_ppg.a"
+  "libp2auth_ppg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2auth_ppg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

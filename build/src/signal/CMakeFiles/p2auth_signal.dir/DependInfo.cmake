@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/detrend.cpp" "src/signal/CMakeFiles/p2auth_signal.dir/detrend.cpp.o" "gcc" "src/signal/CMakeFiles/p2auth_signal.dir/detrend.cpp.o.d"
+  "/root/repo/src/signal/dtw.cpp" "src/signal/CMakeFiles/p2auth_signal.dir/dtw.cpp.o" "gcc" "src/signal/CMakeFiles/p2auth_signal.dir/dtw.cpp.o.d"
+  "/root/repo/src/signal/energy.cpp" "src/signal/CMakeFiles/p2auth_signal.dir/energy.cpp.o" "gcc" "src/signal/CMakeFiles/p2auth_signal.dir/energy.cpp.o.d"
+  "/root/repo/src/signal/fft.cpp" "src/signal/CMakeFiles/p2auth_signal.dir/fft.cpp.o" "gcc" "src/signal/CMakeFiles/p2auth_signal.dir/fft.cpp.o.d"
+  "/root/repo/src/signal/filters.cpp" "src/signal/CMakeFiles/p2auth_signal.dir/filters.cpp.o" "gcc" "src/signal/CMakeFiles/p2auth_signal.dir/filters.cpp.o.d"
+  "/root/repo/src/signal/peaks.cpp" "src/signal/CMakeFiles/p2auth_signal.dir/peaks.cpp.o" "gcc" "src/signal/CMakeFiles/p2auth_signal.dir/peaks.cpp.o.d"
+  "/root/repo/src/signal/resample.cpp" "src/signal/CMakeFiles/p2auth_signal.dir/resample.cpp.o" "gcc" "src/signal/CMakeFiles/p2auth_signal.dir/resample.cpp.o.d"
+  "/root/repo/src/signal/stats.cpp" "src/signal/CMakeFiles/p2auth_signal.dir/stats.cpp.o" "gcc" "src/signal/CMakeFiles/p2auth_signal.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/p2auth_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2auth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

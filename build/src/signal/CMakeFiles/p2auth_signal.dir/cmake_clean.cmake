@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2auth_signal.dir/detrend.cpp.o"
+  "CMakeFiles/p2auth_signal.dir/detrend.cpp.o.d"
+  "CMakeFiles/p2auth_signal.dir/dtw.cpp.o"
+  "CMakeFiles/p2auth_signal.dir/dtw.cpp.o.d"
+  "CMakeFiles/p2auth_signal.dir/energy.cpp.o"
+  "CMakeFiles/p2auth_signal.dir/energy.cpp.o.d"
+  "CMakeFiles/p2auth_signal.dir/fft.cpp.o"
+  "CMakeFiles/p2auth_signal.dir/fft.cpp.o.d"
+  "CMakeFiles/p2auth_signal.dir/filters.cpp.o"
+  "CMakeFiles/p2auth_signal.dir/filters.cpp.o.d"
+  "CMakeFiles/p2auth_signal.dir/peaks.cpp.o"
+  "CMakeFiles/p2auth_signal.dir/peaks.cpp.o.d"
+  "CMakeFiles/p2auth_signal.dir/resample.cpp.o"
+  "CMakeFiles/p2auth_signal.dir/resample.cpp.o.d"
+  "CMakeFiles/p2auth_signal.dir/stats.cpp.o"
+  "CMakeFiles/p2auth_signal.dir/stats.cpp.o.d"
+  "libp2auth_signal.a"
+  "libp2auth_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2auth_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

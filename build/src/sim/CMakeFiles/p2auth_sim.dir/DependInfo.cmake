@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/attacks.cpp" "src/sim/CMakeFiles/p2auth_sim.dir/attacks.cpp.o" "gcc" "src/sim/CMakeFiles/p2auth_sim.dir/attacks.cpp.o.d"
+  "/root/repo/src/sim/dataset.cpp" "src/sim/CMakeFiles/p2auth_sim.dir/dataset.cpp.o" "gcc" "src/sim/CMakeFiles/p2auth_sim.dir/dataset.cpp.o.d"
+  "/root/repo/src/sim/population.cpp" "src/sim/CMakeFiles/p2auth_sim.dir/population.cpp.o" "gcc" "src/sim/CMakeFiles/p2auth_sim.dir/population.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppg/CMakeFiles/p2auth_ppg.dir/DependInfo.cmake"
+  "/root/repo/build/src/keystroke/CMakeFiles/p2auth_keystroke.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2auth_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/p2auth_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/p2auth_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

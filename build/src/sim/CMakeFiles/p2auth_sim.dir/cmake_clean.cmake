@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2auth_sim.dir/attacks.cpp.o"
+  "CMakeFiles/p2auth_sim.dir/attacks.cpp.o.d"
+  "CMakeFiles/p2auth_sim.dir/dataset.cpp.o"
+  "CMakeFiles/p2auth_sim.dir/dataset.cpp.o.d"
+  "CMakeFiles/p2auth_sim.dir/population.cpp.o"
+  "CMakeFiles/p2auth_sim.dir/population.cpp.o.d"
+  "libp2auth_sim.a"
+  "libp2auth_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2auth_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2auth_util.dir/csv.cpp.o"
+  "CMakeFiles/p2auth_util.dir/csv.cpp.o.d"
+  "CMakeFiles/p2auth_util.dir/resource.cpp.o"
+  "CMakeFiles/p2auth_util.dir/resource.cpp.o.d"
+  "CMakeFiles/p2auth_util.dir/rng.cpp.o"
+  "CMakeFiles/p2auth_util.dir/rng.cpp.o.d"
+  "CMakeFiles/p2auth_util.dir/serialize.cpp.o"
+  "CMakeFiles/p2auth_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/p2auth_util.dir/stopwatch.cpp.o"
+  "CMakeFiles/p2auth_util.dir/stopwatch.cpp.o.d"
+  "CMakeFiles/p2auth_util.dir/table.cpp.o"
+  "CMakeFiles/p2auth_util.dir/table.cpp.o.d"
+  "libp2auth_util.a"
+  "libp2auth_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2auth_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detrend.dir/test_detrend.cpp.o"
+  "CMakeFiles/test_detrend.dir/test_detrend.cpp.o.d"
+  "test_detrend"
+  "test_detrend.pdb"
+  "test_detrend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detrend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

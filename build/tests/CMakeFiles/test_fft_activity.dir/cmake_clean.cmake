@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft_activity.dir/test_fft_activity.cpp.o"
+  "CMakeFiles/test_fft_activity.dir/test_fft_activity.cpp.o.d"
+  "test_fft_activity"
+  "test_fft_activity.pdb"
+  "test_fft_activity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heart_rate.dir/test_heart_rate.cpp.o"
+  "CMakeFiles/test_heart_rate.dir/test_heart_rate.cpp.o.d"
+  "test_heart_rate"
+  "test_heart_rate.pdb"
+  "test_heart_rate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heart_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

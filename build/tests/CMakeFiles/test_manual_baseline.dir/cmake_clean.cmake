@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manual_baseline.dir/test_manual_baseline.cpp.o"
+  "CMakeFiles/test_manual_baseline.dir/test_manual_baseline.cpp.o.d"
+  "test_manual_baseline"
+  "test_manual_baseline.pdb"
+  "test_manual_baseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manual_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minirocket.dir/test_minirocket.cpp.o"
+  "CMakeFiles/test_minirocket.dir/test_minirocket.cpp.o.d"
+  "test_minirocket"
+  "test_minirocket.pdb"
+  "test_minirocket[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minirocket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

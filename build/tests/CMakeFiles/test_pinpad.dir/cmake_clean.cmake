@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pinpad.dir/test_pinpad.cpp.o"
+  "CMakeFiles/test_pinpad.dir/test_pinpad.cpp.o.d"
+  "test_pinpad"
+  "test_pinpad.pdb"
+  "test_pinpad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pinpad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_pinpad.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppg_models.dir/test_ppg_models.cpp.o"
+  "CMakeFiles/test_ppg_models.dir/test_ppg_models.cpp.o.d"
+  "test_ppg_models"
+  "test_ppg_models.pdb"
+  "test_ppg_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppg_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
