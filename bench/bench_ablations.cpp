@@ -30,6 +30,7 @@ core::ExperimentConfig small_config(std::uint64_t seed_offset = 0) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("ablations");
   // --- 1 & 2: preprocessing stages (two-handed case, where segmentation
   // quality and case identification matter most). ---
   {
@@ -48,8 +49,7 @@ int main() {
       }
       bench::add_result_row(table, label, run_experiment(cfg));
     }
-    table.print(std::cout,
-                "Ablation 1/2 - preprocessing stages (two-handed, 3 keys)");
+    report.table(table, "table1", "Ablation 1/2 - preprocessing stages (two-handed, 3 keys)");
     std::printf("\n");
   }
 
@@ -64,7 +64,7 @@ int main() {
           table, pooling == ml::Pooling::kPpv ? "PPV (Eq. 6)" : "max",
           run_experiment(cfg));
     }
-    table.print(std::cout, "Ablation 3 - MiniRocket pooling statistic");
+    report.table(table, "table2", "Ablation 3 - MiniRocket pooling statistic");
     std::printf("\n");
   }
 
@@ -80,9 +80,9 @@ int main() {
       bench::add_result_row(table, util::format_double(mult, 1),
                             run_experiment(cfg));
     }
-    table.print(std::cout,
-                "Ablation 4 - energy detector threshold (two-handed, "
-                "2 keys; 0 = paper's pure mean rule)");
+    report.table(table, "energy_threshold",
+                 "Ablation 4 - energy detector threshold (two-handed, "
+                 "2 keys; 0 = paper's pure mean rule)");
     std::printf("\n");
   }
 
@@ -101,8 +101,7 @@ int main() {
       cfg.auth.integration = policy;
       bench::add_result_row(table, label, run_experiment(cfg));
     }
-    table.print(std::cout,
-                "Ablation 5 - results integration (two-handed, 3 keys)");
+    report.table(table, "table3", "Ablation 5 - results integration (two-handed, 3 keys)");
     std::printf("\n");
   }
 
@@ -120,8 +119,7 @@ int main() {
                                                        : "back of wrist",
           run_experiment(cfg));
     }
-    table.print(std::cout,
-                "Ablation 6 - watch wearing position (paper section VI: "
+    report.table(table, "table4", "Ablation 6 - watch wearing position (paper section VI: "
                 "inner wrist is required)");
     std::printf("\n");
   }
@@ -143,9 +141,9 @@ int main() {
                                                   : "walking",
           run_experiment(cfg));
     }
-    table.print(std::cout,
-                "Ablation 7 - body activity at entry time (paper section "
+    report.table(table, "table5", "Ablation 7 - body activity at entry time (paper section "
                 "VI: authenticate while static)");
   }
+  report.write();
   return 0;
 }

@@ -2,9 +2,15 @@
 #pragma once
 
 #include <cstdio>
+#include <iostream>
 #include <string>
+#include <utility>
 
 #include "core/evaluation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
 namespace p2auth::bench {
@@ -23,5 +29,50 @@ inline void add_result_row(util::Table& table, const std::string& label,
       .cell(pct(result.mean_trr_random()))
       .cell(pct(result.mean_trr_emulating()));
 }
+
+// Wall-clock time of one callable on the shared Stopwatch (replaces
+// per-bench std::chrono boilerplate).
+template <typename F>
+double timed_s(F&& f) {
+  const util::Stopwatch clock;
+  std::forward<F>(f)();
+  return clock.seconds();
+}
+
+// Machine-readable companion to the text output: every bench builds one
+// BenchReport, renders its tables through `table()` (which both prints
+// the familiar ASCII form and embeds the data), and calls `write()` to
+// produce BENCH_<name>.json with the run's telemetry attached.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : report_(std::move(name)) {}
+
+  // Prints `table` (as Table::print did) and embeds it under `key`.
+  void table(const util::Table& table, const std::string& key,
+             const std::string& title = "") {
+    table.print(std::cout, title);
+    report_.add_table(key, table);
+  }
+
+  // Scalar results worth tracking across commits (timings, ratios).
+  void value(const std::string& key, obs::Json value) {
+    report_.set(key, std::move(value));
+  }
+
+  obs::Report& report() noexcept { return report_; }
+
+  // Attaches the current metrics + span aggregates and writes
+  // BENCH_<name>.json into the working directory (next to the CSVs).
+  void write() {
+    report_.attach_metrics(obs::snapshot_metrics());
+    report_.attach_span_summary(obs::snapshot_trace());
+    const std::string path = "BENCH_" + report_.name() + ".json";
+    report_.write_file(path);
+    std::printf("\njson report written to %s\n", path.c_str());
+  }
+
+ private:
+  obs::Report report_;
+};
 
 }  // namespace p2auth::bench

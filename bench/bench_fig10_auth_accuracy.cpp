@@ -15,6 +15,7 @@
 using namespace p2auth;
 
 int main() {
+  bench::BenchReport report("fig10_auth_accuracy");
   util::Stopwatch clock;
   util::Table table({"case", "accuracy", "TRR (random)", "TRR (emulating)"});
 
@@ -52,11 +53,11 @@ int main() {
     bench::add_result_row(table, "no fixed PIN", run_experiment(cfg));
   }
 
-  table.print(std::cout,
-              "Fig. 10 - authentication accuracy and true rejection rate "
+  report.table(table, "table1", "Fig. 10 - authentication accuracy and true rejection rate "
               "for 5 cases (15 users)");
   std::printf("\n(paper: one-handed ~98%%, boost ~83%%, double-3 ~88%%, "
               "double-2 ~70%%, avg ~84%%; TRR ~98%%)\n");
   std::printf("total runtime: %.1f s\n", clock.seconds());
+  report.write();
   return 0;
 }

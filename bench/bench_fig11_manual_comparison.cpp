@@ -38,6 +38,7 @@ std::vector<core::Series> manual_waveform(const core::Observation& obs) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("fig11_manual_comparison");
   // ROCKET-based P2Auth numbers come from the standard harness.
   core::ExperimentConfig cfg;
   cfg.seed = 20231111;
@@ -103,10 +104,10 @@ int main() {
       .cell(bench::pct(manual_metrics.accuracy()))
       .cell(bench::pct(manual_metrics.trr_random()))
       .cell(bench::pct(manual_metrics.trr_emulating()));
-  table.print(std::cout,
-              "Fig. 11 - ROCKET-based vs manual feature extraction "
+  report.table(table, "table1", "Fig. 11 - ROCKET-based vs manual feature extraction "
               "(one-handed, no boost)");
   std::printf("\n(paper: manual accuracy ~62%% vs P2Auth ~98%%; P2Auth "
               "better on both axes)\n");
+  report.write();
   return 0;
 }

@@ -42,6 +42,7 @@ std::vector<core::Series> accel_waveform(const sim::Trial& trial) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("fig12_accelerometer");
   core::ExperimentConfig cfg;
   cfg.seed = 20231212;
   cfg.population.num_users = 10;
@@ -105,10 +106,10 @@ int main() {
       .cell(bench::pct(accel_metrics.accuracy()))
       .cell(bench::pct(accel_metrics.trr_random()))
       .cell(bench::pct(accel_metrics.trr_emulating()));
-  table.print(std::cout,
-              "Fig. 12 - PPG-based vs accelerometer-based authentication "
+  report.table(table, "table1", "Fig. 12 - PPG-based vs accelerometer-based authentication "
               "(same ROCKET pipeline)");
   std::printf("\n(paper: PPG more accurate and far more attack-resistant; "
               "static wrists give the accelerometer little to work with)\n");
+  report.write();
   return 0;
 }

@@ -13,6 +13,7 @@
 using namespace p2auth;
 
 int main() {
+  bench::BenchReport report("fig13_channels");
   auto base = [] {
     core::ExperimentConfig cfg;
     cfg.seed = 20231301;
@@ -30,8 +31,7 @@ int main() {
     bench::add_result_row(table13a, std::to_string(n),
                           run_experiment(cfg));
   }
-  table13a.print(std::cout,
-                 "Fig. 13a - performance vs number of PPG channels "
+  report.table(table13a, "table1", "Fig. 13a - performance vs number of PPG channels "
                  "(privacy boost)");
   std::printf("\n(paper: accuracy rises with channel count, rejection "
               "rate roughly flat)\n\n");
@@ -46,8 +46,9 @@ int main() {
     cfg.sensors = ppg::SensorConfig::single_channel(c);
     bench::add_result_row(table13b, labels[c], run_experiment(cfg));
   }
-  table13b.print(std::cout, "Fig. 13b - individual channels");
+  report.table(table13b, "table2", "Fig. 13b - individual channels");
   std::printf("\n(paper: infrared better accuracy, red better rejection "
               "rate - complementary)\n");
+  report.write();
   return 0;
 }

@@ -14,6 +14,7 @@
 using namespace p2auth;
 
 int main() {
+  bench::BenchReport report("fig14_thirdparty_size");
   // The paper's classifier thresholds at zero (sklearn
   // RidgeClassifierCV), so growing the negative class drags the operating
   // point toward "reject": TRR rises, accuracy falls.  We run that
@@ -33,8 +34,7 @@ int main() {
       bench::add_result_row(table, std::to_string(size),
                             run_experiment(cfg));
     }
-    table.print(std::cout,
-                recenter
+    report.table(table, "table1", recenter
                     ? "Fig. 14 ablation - LOO threshold recentering "
                       "(trade-off removed)"
                     : "Fig. 14 - raw zero threshold as in the paper "
@@ -45,5 +45,6 @@ int main() {
                             : "\n(paper: TRR increases and accuracy "
                               "decreases with size; 100 is the trade-off)\n");
   }
+  report.write();
   return 0;
 }

@@ -71,6 +71,7 @@ struct ModelScores {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("fig15_ml_models");
   sim::PopulationConfig pop_cfg;
   pop_cfg.num_users = 6;
   pop_cfg.seed = 20231500;
@@ -210,10 +211,10 @@ int main() {
                   static_cast<double>(population.users.size()),
               2);
   }
-  table.print(std::cout,
-              "Fig. 15 - impact of the machine-learning model (one-handed "
+  report.table(table, "table1", "Fig. 15 - impact of the machine-learning model (one-handed "
               "full waveforms)");
   std::printf("\n(paper: ROCKET ~0.96 accuracy with the shortest time; "
               "other models trade security for acceptance)\n");
+  report.write();
   return 0;
 }

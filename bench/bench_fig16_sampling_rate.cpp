@@ -13,6 +13,7 @@
 using namespace p2auth;
 
 int main() {
+  bench::BenchReport report("fig16_sampling_rate");
   util::Table table({"sampling rate (Hz)", "accuracy", "TRR (random)",
                      "TRR (emulating)"});
   for (const double rate : {30.0, 50.0, 75.0, 100.0}) {
@@ -25,10 +26,10 @@ int main() {
     bench::add_result_row(table, util::format_double(rate, 0),
                           run_experiment(cfg));
   }
-  table.print(std::cout,
-              "Fig. 16 - impact of sampling rate (4 channels, privacy "
+  report.table(table, "table1", "Fig. 16 - impact of sampling rate (4 channels, privacy "
               "boost)");
   std::printf("\n(paper: ~68%% at 30 Hz, little change above; works across "
               "commodity-wearable rates)\n");
+  report.write();
   return 0;
 }

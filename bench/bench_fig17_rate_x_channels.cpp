@@ -12,6 +12,7 @@
 using namespace p2auth;
 
 int main() {
+  bench::BenchReport report("fig17_rate_x_channels");
   const double rates[] = {30.0, 50.0, 75.0, 100.0};
   util::Table table({"channels", "30 Hz", "50 Hz", "75 Hz", "100 Hz"});
   for (std::size_t channels = 1; channels <= 4; ++channels) {
@@ -29,10 +30,10 @@ int main() {
       table.cell(bench::pct(run_experiment(cfg).mean_accuracy()));
     }
   }
-  table.print(std::cout,
-              "Fig. 17 - accuracy over sampling rate x channel count "
+  report.table(table, "table1", "Fig. 17 - accuracy over sampling rate x channel count "
               "(privacy boost)");
   std::printf("\n(paper: usable across the whole grid; more channels => "
               "more stable)\n");
+  report.write();
   return 0;
 }

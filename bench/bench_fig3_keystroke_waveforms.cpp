@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/preprocess.hpp"
 #include "core/segmentation.hpp"
 #include "sim/dataset.hpp"
@@ -22,6 +23,7 @@
 using namespace p2auth;
 
 int main() {
+  bench::BenchReport report("fig3_keystroke_waveforms");
   sim::PopulationConfig pop_cfg;
   pop_cfg.num_users = 1;
   pop_cfg.seed = 33;
@@ -84,8 +86,7 @@ int main() {
     key_waveforms.push_back(s1);
   }
 
-  table.print(std::cout,
-              "Fig. 3 - keystroke-induced PPG per key (one volunteer, two "
+  report.table(table, "table1", "Fig. 3 - keystroke-induced PPG per key (one volunteer, two "
               "sensors)");
 
   // Cross-key dissimilarity: mean pairwise correlation should be low.
@@ -105,5 +106,6 @@ int main() {
               "distinguishable)\n", corr_sum / pairs);
   util::write_csv("fig3_waveforms.csv", csv_names, csv_columns);
   std::printf("full series written to fig3_waveforms.csv\n");
+  report.write();
   return 0;
 }

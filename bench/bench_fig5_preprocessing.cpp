@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/metrics.hpp"
 #include "core/preprocess.hpp"
 #include "sim/dataset.hpp"
@@ -23,6 +24,7 @@
 using namespace p2auth;
 
 int main() {
+  bench::BenchReport report("fig5_preprocessing");
   sim::PopulationConfig pop_cfg;
   pop_cfg.num_users = 1;
   pop_cfg.seed = 5;
@@ -48,8 +50,7 @@ int main() {
         .cell(true_idx)
         .cell(pre.keystroke_present[i] ? "yes" : "no");
   }
-  table.print(std::cout,
-              "Fig. 5 - preprocessing: keystroke time calibration and "
+  report.table(table, "table1", "Fig. 5 - preprocessing: keystroke time calibration and "
               "energy detection (one entry)");
   std::printf("detected case: %s (entry was one-handed)\n\n",
               core::to_string(pre.detected_case).c_str());
@@ -105,5 +106,6 @@ int main() {
       {trial.trace.channels[0], pad(pre.filtered[0]),
        pad(pre.detrended_reference), pad(pre.short_time_energy)});
   std::printf("stage series written to fig5_preprocessing.csv\n");
+  report.write();
   return 0;
 }

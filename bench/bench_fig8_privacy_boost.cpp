@@ -11,6 +11,7 @@
 using namespace p2auth;
 
 int main() {
+  bench::BenchReport report("fig8_privacy_boost");
   core::ExperimentConfig cfg;
   cfg.seed = 20230708;
   cfg.privacy_boost = true;
@@ -30,10 +31,10 @@ int main() {
       .cell(bench::pct(result.mean_accuracy()))
       .cell(bench::pct(result.mean_trr_random()))
       .cell(bench::pct(result.mean_trr_emulating()));
-  table.print(std::cout,
-              "Fig. 8 - per-volunteer performance of privacy boost "
+  report.table(table, "table1", "Fig. 8 - per-volunteer performance of privacy boost "
               "(waveform fusion)");
   std::printf("\n(paper: mean accuracy ~83%%, TRR close to or above 90%% "
               "for all volunteers)\n");
+  report.write();
   return 0;
 }

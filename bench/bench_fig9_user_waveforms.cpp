@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/preprocess.hpp"
 #include "core/segmentation.hpp"
 #include "sim/dataset.hpp"
@@ -21,6 +22,7 @@
 using namespace p2auth;
 
 int main() {
+  bench::BenchReport report("fig9_user_waveforms");
   sim::PopulationConfig pop_cfg;
   pop_cfg.num_users = 4;
   pop_cfg.seed = 99;
@@ -56,12 +58,12 @@ int main() {
                                                 dtw));
     }
   }
-  table.print(std::cout,
-              "Fig. 9 - PPG of PIN \"1648\" across 4 users (IR channel, "
+  report.table(table, "table1", "Fig. 9 - PPG of PIN \"1648\" across 4 users (IR channel, "
               "mean removed)");
   std::printf("\n(low cross-user correlation => large inter-user "
               "variation, the figure's claim)\n");
   util::write_csv("fig9_user_waveforms.csv", names, waveforms);
   std::printf("full series written to fig9_user_waveforms.csv\n");
+  report.write();
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/registry.hpp"
 #include "sim/dataset.hpp"
 #include "util/table.hpp"
@@ -23,6 +24,7 @@ core::Observation observe(sim::Trial trial) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("identification");
   sim::PopulationConfig pop_cfg;
   pop_cfg.num_users = 15;
   pop_cfg.seed = 20240101;
@@ -106,10 +108,10 @@ int main() {
                             static_cast<double>(stranger_total), 1) + "%"
                   : "-");
   }
-  table.print(std::cout,
-              "Extension - 1-of-N identification vs enrolled population "
+  report.table(table, "table1", "Extension - 1-of-N identification vs enrolled population "
               "size (rank-1)");
   std::printf("\n(not in the paper: identification degrades with N while "
               "verification does not)\n");
+  report.write();
   return 0;
 }

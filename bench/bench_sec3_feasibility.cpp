@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/preprocess.hpp"
 #include "core/segmentation.hpp"
 #include "sim/dataset.hpp"
@@ -38,6 +39,7 @@ core::Series keystroke_segment(const ppg::UserProfile& user,
 }  // namespace
 
 int main() {
+  bench::BenchReport report("sec3_feasibility");
   sim::PopulationConfig pop_cfg;
   pop_cfg.num_users = 5;  // the pilot's 5 volunteers
   pop_cfg.seed = 1974;
@@ -90,8 +92,7 @@ int main() {
   table.begin_row().cell("same user, across sessions (intra)").cell(intra);
   table.begin_row().cell("same user, first vs last session").cell(early_late);
   table.begin_row().cell("different users, same key (inter)").cell(inter);
-  table.print(std::cout,
-              "Section III-B - keystroke-PPG separability over 8 sessions "
+  report.table(table, "table1", "Section III-B - keystroke-PPG separability over 8 sessions "
               "(5 volunteers, key '6' of PIN 1628)");
   std::printf("\ninter/intra separation ratio: %.2fx (>1 => users are "
               "distinguishable; the paper's insights 1 and 4)\n\n",
@@ -131,9 +132,9 @@ int main() {
         .cell(hb_peak)
         .cell(hb_peak > 0 ? ks_peak / hb_peak : 0.0, 2);
   }
-  peaks.print(std::cout,
-              "Insight 3 - keystroke artifacts exceed heartbeat peaks");
+  report.table(peaks, "table2", "Insight 3 - keystroke artifacts exceed heartbeat peaks");
   std::printf("\n(see bench_fig3_keystroke_waveforms for insight 2: "
               "per-key differences within one user)\n");
+  report.write();
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/enrollment.hpp"
 #include "core/preprocess.hpp"
 #include "core/segmentation.hpp"
@@ -73,31 +74,31 @@ int main() {
   }
 
   // --- ROCKET-based model. ---
-  util::Stopwatch clock;
   core::WaveformModel rocket_model;
   util::Rng mr = rng.fork("model");
-  rocket_model.train(pos, neg, ml::MiniRocketOptions{},
-                     linalg::RidgeOptions{}, mr);
-  const double rocket_enroll_s = clock.seconds();
-  clock.restart();
+  const double rocket_enroll_s = bench::timed_s([&] {
+    rocket_model.train(pos, neg, ml::MiniRocketOptions{},
+                       linalg::RidgeOptions{}, mr);
+  });
   int rocket_accepts = 0;
-  for (const auto& p : probes) rocket_accepts += rocket_model.accept(p);
-  const double rocket_auth_s = clock.seconds() / probes.size();
+  const double rocket_auth_s = bench::timed_s([&] {
+    for (const auto& p : probes) rocket_accepts += rocket_model.accept(p);
+  }) / probes.size();
   const double rocket_mem = util::current_rss_mib();
 
   // --- Manual-feature (DTW) model.  Unbanded DTW, as in the reference
   // method: this is precisely where its cost explodes. ---
   ml::ManualBaselineOptions manual_options;  // band = 0: full DP
-  clock.restart();
   ml::ManualBaseline manual_model(manual_options);
-  manual_model.fit(pos);
-  const double manual_enroll_s = clock.seconds();
-  clock.restart();
+  const double manual_enroll_s =
+      bench::timed_s([&] { manual_model.fit(pos); });
   int manual_accepts = 0;
-  for (const auto& p : probes) manual_accepts += manual_model.accept(p);
-  const double manual_auth_s = clock.seconds() / probes.size();
+  const double manual_auth_s = bench::timed_s([&] {
+    for (const auto& p : probes) manual_accepts += manual_model.accept(p);
+  }) / probes.size();
   const double manual_mem = util::current_rss_mib();
 
+  bench::BenchReport report("table1_overheads");
   util::Table table({"model", "enroll time (s)", "auth time (s)",
                      "RSS (MiB)"});
   table.begin_row()
@@ -110,9 +111,15 @@ int main() {
       .cell(manual_enroll_s)
       .cell(manual_auth_s)
       .cell(manual_mem, 1);
-  table.print(std::cout,
-              "Table I - computational and memory overheads "
-              "(9 enroll + 100 third-party samples, 10 probes)");
+  report.table(table, "overheads",
+               "Table I - computational and memory overheads "
+               "(9 enroll + 100 third-party samples, 10 probes)");
+  report.value("rocket_enroll_s", rocket_enroll_s);
+  report.value("rocket_auth_s", rocket_auth_s);
+  report.value("manual_enroll_s", manual_enroll_s);
+  report.value("manual_auth_s", manual_auth_s);
+  report.value("enroll_ratio", rocket_enroll_s / manual_enroll_s);
+  report.value("auth_ratio", rocket_auth_s / manual_auth_s);
   std::printf("\nROCKET/manual time ratios: enrollment %.1f%%, "
               "authentication %.1f%% (paper: ~1%% and ~3%%)\n",
               100.0 * rocket_enroll_s / manual_enroll_s,
@@ -156,6 +163,7 @@ int main() {
         .cell(dtw_ms / rocket_ms, 1);
     (void)acc;
   }
-  scaling.print(std::cout, "Per-probe cost scaling (1 channel)");
+  report.table(scaling, "scaling", "Per-probe cost scaling (1 channel)");
+  report.write();
   return 0;
 }

@@ -5,9 +5,14 @@
 //                  [--channels 1..4] [--rate HZ] [--boost] [--no-pin]
 //                  [--third-party N] [--enroll N] [--test N]
 //                  [--wearing inner|back] [--seed S]
+//                  [--report PATH] [--trace PATH]
 //
 // Prints per-user and mean accuracy / TRR for the configuration, i.e. a
-// custom row of the paper's Fig. 10-style tables.
+// custom row of the paper's Fig. 10-style tables.  A machine-readable
+// run report (results + per-stage span timings + pipeline metrics) is
+// written to --report (default run_experiment_report.json); --trace
+// additionally dumps the full span timeline in Chrome trace-event format
+// (load it in chrome://tracing or https://ui.perfetto.dev).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +20,9 @@
 #include <string>
 
 #include "core/evaluation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 using namespace p2auth;
@@ -28,7 +36,8 @@ namespace {
                "          [--rate HZ] [--boost] [--no-pin] "
                "[--third-party N]\n"
                "          [--enroll N] [--test N] [--wearing inner|back] "
-               "[--seed S]\n",
+               "[--seed S]\n"
+               "          [--report PATH] [--trace PATH]\n",
                argv0);
   std::exit(2);
 }
@@ -45,6 +54,8 @@ long parse_long(const char* argv0, const char* value) {
 int main(int argc, char** argv) {
   core::ExperimentConfig cfg;
   cfg.seed = 1;
+  std::string report_path = "run_experiment_report.json";
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -96,6 +107,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--seed") {
       cfg.seed = static_cast<std::uint64_t>(parse_long(argv[0], next()));
+    } else if (arg == "--report") {
+      report_path = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
     } else {
       usage(argv[0]);
     }
@@ -124,5 +139,40 @@ int main(int argc, char** argv) {
       .cell(100.0 * result.mean_trr_random(), 1)
       .cell(100.0 * result.mean_trr_emulating(), 1);
   table.print(std::cout, "Results (%)");
+
+  // Structured run report: configuration, headline results, per-stage
+  // span aggregates and pipeline metrics collected during the run.
+  obs::Report report("run_experiment");
+  obs::Json config = obs::Json::object();
+  config.set("users", static_cast<std::uint64_t>(cfg.population.num_users));
+  config.set("channels",
+             static_cast<std::uint64_t>(cfg.sensors.channels.size()));
+  config.set("rate_hz", cfg.sensors.rate_hz);
+  config.set("enroll_entries", static_cast<std::uint64_t>(cfg.enroll_entries));
+  config.set("test_entries", static_cast<std::uint64_t>(cfg.test_entries));
+  config.set("third_party_samples",
+             static_cast<std::uint64_t>(cfg.third_party_samples));
+  config.set("privacy_boost", cfg.privacy_boost);
+  config.set("no_pin", cfg.no_pin);
+  config.set("seed", static_cast<std::uint64_t>(cfg.seed));
+  report.root().set("config", std::move(config));
+  report.set("mean_accuracy", result.mean_accuracy());
+  report.set("mean_trr_random", result.mean_trr_random());
+  report.set("mean_trr_emulating", result.mean_trr_emulating());
+  report.add_table("per_user", table);
+  report.attach_metrics(obs::snapshot_metrics());
+  report.attach_span_summary(obs::snapshot_trace());
+  try {
+    report.write_file(report_path);
+    std::printf("\nrun report written to %s\n", report_path.c_str());
+    if (!trace_path.empty()) {
+      obs::write_chrome_trace_file(trace_path);
+      std::printf("chrome trace written to %s (open in chrome://tracing)\n",
+                  trace_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   return 0;
 }

@@ -150,6 +150,20 @@ int main() {
                 result.reason.c_str());
   }
 
+  // Streaming health over the whole session (obs-backed stats()).
+  const core::StreamingStats& stats = streaming.stats();
+  std::printf("\n[stats]   %llu samples, %llu keystrokes, %llu attempts "
+              "(%llu accepted, %llu timed out)\n",
+              static_cast<unsigned long long>(stats.samples),
+              static_cast<unsigned long long>(stats.keystrokes),
+              static_cast<unsigned long long>(stats.attempts),
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.timeouts));
+  for (const auto& [reason, count] : stats.rejects_by_reason) {
+    std::printf("[stats]   rejected %llu times: %s\n",
+                static_cast<unsigned long long>(count), reason.c_str());
+  }
+
   std::printf("\nWear detection scopes the trusted session; the PPG factor "
               "stops whoever picks the watch up next.\n");
   return 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "keystroke/pinpad.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace p2auth::core {
 
@@ -28,6 +30,9 @@ std::vector<int> vote_keystrokes(const EnrolledUser& user,
     const std::size_t k = keystroke::key_index(digit);
     votes.push_back(user.key_models[k]->accept(segment) ? 1 : -1);
   }
+  for (const int v : votes) {
+    obs::add_counter(v == 1 ? "auth.votes.pass" : "auth.votes.fail");
+  }
   return votes;
 }
 
@@ -36,23 +41,55 @@ std::size_t passing(const std::vector<int>& votes) {
       std::count(votes.begin(), votes.end(), 1));
 }
 
-}  // namespace
+// Decision-path and outcome counters for one completed attempt.
+void record_outcome(const AuthResult& result) {
+  obs::add_counter("auth.attempts");
+  switch (result.detected_case) {
+    case DetectedCase::kOneHanded:
+      obs::add_counter("auth.case.one_handed");
+      break;
+    case DetectedCase::kTwoHandedThree:
+      obs::add_counter("auth.case.two_handed_3");
+      break;
+    case DetectedCase::kTwoHandedTwo:
+      obs::add_counter("auth.case.two_handed_2");
+      break;
+    case DetectedCase::kRejected:
+      obs::add_counter("auth.case.rejected");
+      break;
+  }
+  if (result.accepted) {
+    obs::add_counter("auth.accept");
+    return;
+  }
+  obs::add_counter("auth.reject");
+  if (result.pin_checked && !result.pin_ok) {
+    obs::add_counter("auth.reject.wrong_pin");
+  } else if (result.detected_case == DetectedCase::kRejected) {
+    obs::add_counter("auth.reject.too_few_keystrokes");
+  } else {
+    obs::add_counter("auth.reject.model");
+  }
+}
 
-AuthResult authenticate(const EnrolledUser& user,
-                        const Observation& observation,
-                        const AuthOptions& options) {
+AuthResult authenticate_impl(const EnrolledUser& user,
+                             const Observation& observation,
+                             const AuthOptions& options) {
   AuthResult result;
 
   // --- Factor 1: PIN verification. ---
-  if (!user.pin.empty() && !options.skip_pin_check) {
-    result.pin_checked = true;
-    result.pin_ok = (observation.entry.pin == user.pin);
-    if (!result.pin_ok) {
-      result.reason = "wrong PIN";
-      return result;
+  {
+    const obs::Span pin_span("auth.pin_check", "core");
+    if (!user.pin.empty() && !options.skip_pin_check) {
+      result.pin_checked = true;
+      result.pin_ok = (observation.entry.pin == user.pin);
+      if (!result.pin_ok) {
+        result.reason = "wrong PIN";
+        return result;
+      }
+    } else {
+      result.pin_ok = true;  // no-PIN mode: factor 1 not used
     }
-  } else {
-    result.pin_ok = true;  // no-PIN mode: factor 1 not used
   }
 
   // --- Preprocessing & input case identification. ---
@@ -65,6 +102,9 @@ AuthResult authenticate(const EnrolledUser& user,
   }
 
   // --- Factor 2: keystroke-induced PPG verification. ---
+  // Covers per-case classification and results integration; segmentation
+  // and model spans nest inside it.
+  const obs::Span integration("auth.integration", "core");
   if (pre.detected_case == DetectedCase::kOneHanded) {
     if (user.pin.empty()) {
       // No-PIN mode: verify each keystroke; >= 3 of 4 must pass.
@@ -132,6 +172,18 @@ AuthResult authenticate(const EnrolledUser& user,
   }
   result.reason = result.accepted ? "keystroke votes accepted"
                                   : "keystroke votes rejected";
+  return result;
+}
+
+}  // namespace
+
+AuthResult authenticate(const EnrolledUser& user,
+                        const Observation& observation,
+                        const AuthOptions& options) {
+  const obs::Span span("authenticate", "core");
+  const obs::ScopedLatency latency("auth.latency_us");
+  const AuthResult result = authenticate_impl(user, observation, options);
+  record_outcome(result);
   return result;
 }
 

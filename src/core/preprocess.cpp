@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "signal/detrend.hpp"
 #include "signal/filters.hpp"
 
@@ -52,6 +54,8 @@ DetectedCase classify_case(std::size_t detected_count) noexcept {
 
 PreprocessedEntry preprocess_entry(const Observation& observation,
                                    const PreprocessOptions& options) {
+  const obs::Span span("preprocess", "core");
+  const obs::ScopedLatency latency("preprocess.latency_us");
   const ppg::MultiChannelTrace& trace = observation.trace;
   if (trace.channels.empty() || trace.length() == 0) {
     throw std::invalid_argument("preprocess_entry: empty trace");
@@ -77,50 +81,75 @@ PreprocessedEntry preprocess_entry(const Observation& observation,
   out.rate_hz = rate;
 
   // 1.1 Noise Removal: median filter per channel.
-  const std::size_t median_w =
-      scaled(options.median_window_100hz, rate, /*keep_odd=*/true);
-  out.filtered.reserve(trace.num_channels());
-  for (const Series& ch : trace.channels) {
-    out.filtered.push_back(signal::median_filter(ch, median_w));
+  {
+    const obs::Span stage("preprocess.noise_removal", "core");
+    const std::size_t median_w =
+        scaled(options.median_window_100hz, rate, /*keep_odd=*/true);
+    out.filtered.reserve(trace.num_channels());
+    for (const Series& ch : trace.channels) {
+      out.filtered.push_back(signal::median_filter(ch, median_w));
+    }
   }
+  const Series& reference = out.filtered[options.reference_channel];
 
   // 1.2 Fine-grained Keystroke Time Calibration on the reference channel.
-  out.recorded_indices =
-      keystroke::recorded_indices(observation.entry, rate, trace.length());
-  signal::CalibrationOptions calib = options.calibration;
-  calib.sg_window = scaled(calib.sg_window, rate, /*keep_odd=*/true);
-  calib.objective_window =
-      scaled(calib.objective_window, rate, /*keep_odd=*/false);
-  calib.search_half_width =
-      scaled(calib.search_half_width, rate, /*keep_odd=*/false);
-  // Guard: SG window must stay larger than the polynomial order.
-  calib.sg_window = std::max<std::size_t>(
-      calib.sg_window, static_cast<std::size_t>(calib.sg_polyorder) + 2 +
-                           ((calib.sg_polyorder % 2) ? 0 : 1));
-  if (calib.sg_window % 2 == 0) ++calib.sg_window;
-  const Series& reference = out.filtered[options.reference_channel];
-  out.calibrated_indices =
-      options.calibrate
-          ? signal::calibrate_keystrokes(reference, out.recorded_indices,
-                                         calib)
-          : out.recorded_indices;
+  {
+    const obs::Span stage("preprocess.calibration", "core");
+    out.recorded_indices =
+        keystroke::recorded_indices(observation.entry, rate, trace.length());
+    signal::CalibrationOptions calib = options.calibration;
+    calib.sg_window = scaled(calib.sg_window, rate, /*keep_odd=*/true);
+    calib.objective_window =
+        scaled(calib.objective_window, rate, /*keep_odd=*/false);
+    calib.search_half_width =
+        scaled(calib.search_half_width, rate, /*keep_odd=*/false);
+    // Guard: SG window must stay larger than the polynomial order.
+    calib.sg_window = std::max<std::size_t>(
+        calib.sg_window, static_cast<std::size_t>(calib.sg_polyorder) + 2 +
+                             ((calib.sg_polyorder % 2) ? 0 : 1));
+    if (calib.sg_window % 2 == 0) ++calib.sg_window;
+    out.calibrated_indices =
+        options.calibrate
+            ? signal::calibrate_keystrokes(reference, out.recorded_indices,
+                                           calib)
+            : out.recorded_indices;
+  }
 
   // 1.3 PIN Input Case Identification: detrend, then threshold the
   // short-time energy near each calibrated keystroke.
-  out.detrended_reference =
-      options.detrend_before_energy
-          ? signal::detrend_smoothness_priors(reference,
-                                              options.detrend_lambda)
-          : reference;
-  signal::EnergyDetectorOptions energy = options.energy;
-  energy.energy_window = scaled(energy.energy_window, rate, false);
-  energy.search_half_width = scaled(energy.search_half_width, rate, false);
-  out.short_time_energy =
-      signal::short_time_energy(out.detrended_reference, energy.energy_window);
-  out.keystroke_present = signal::detect_keystrokes(
-      out.detrended_reference, out.calibrated_indices, energy);
-  out.detected_case =
-      classify_case(signal::count_detected(out.keystroke_present));
+  {
+    const obs::Span stage("preprocess.case_id", "core");
+    out.detrended_reference =
+        options.detrend_before_energy
+            ? signal::detrend_smoothness_priors(reference,
+                                                options.detrend_lambda)
+            : reference;
+    signal::EnergyDetectorOptions energy = options.energy;
+    energy.energy_window = scaled(energy.energy_window, rate, false);
+    energy.search_half_width = scaled(energy.search_half_width, rate, false);
+    out.short_time_energy = signal::short_time_energy(
+        out.detrended_reference, energy.energy_window);
+    out.keystroke_present = signal::detect_keystrokes(
+        out.detrended_reference, out.calibrated_indices, energy);
+    out.detected_case =
+        classify_case(signal::count_detected(out.keystroke_present));
+  }
+
+  obs::add_counter("preprocess.entries");
+  switch (out.detected_case) {
+    case DetectedCase::kOneHanded:
+      obs::add_counter("preprocess.case.one_handed");
+      break;
+    case DetectedCase::kTwoHandedThree:
+      obs::add_counter("preprocess.case.two_handed_3");
+      break;
+    case DetectedCase::kTwoHandedTwo:
+      obs::add_counter("preprocess.case.two_handed_2");
+      break;
+    case DetectedCase::kRejected:
+      obs::add_counter("preprocess.case.rejected");
+      break;
+  }
   return out;
 }
 

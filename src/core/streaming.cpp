@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace p2auth::core {
 
@@ -35,6 +39,7 @@ void StreamingAuthenticator::push_sample(std::span<const double> sample) {
   for (std::size_t c = 0; c < channels_; ++c) {
     trace_.channels[c].push_back(sample[c]);
   }
+  ++stats_.samples;
 }
 
 void StreamingAuthenticator::push_keystroke(char digit,
@@ -47,6 +52,7 @@ void StreamingAuthenticator::push_keystroke(char digit,
   std::string digits = entry_.pin.digits();
   digits.push_back(digit);
   entry_.pin = keystroke::Pin(digits);  // throws on non-digit
+  ++stats_.keystrokes;
 }
 
 double StreamingAuthenticator::buffered_seconds() const noexcept {
@@ -58,15 +64,33 @@ void StreamingAuthenticator::reset() {
   entry_ = keystroke::EntryRecord{};
 }
 
+AuthResult StreamingAuthenticator::finish_attempt(AuthResult result) {
+  ++stats_.attempts;
+  obs::add_counter("streaming.attempts");
+  if (result.accepted) {
+    ++stats_.accepted;
+    obs::add_counter("streaming.accepted");
+  } else {
+    ++stats_.rejects_by_reason[result.reason];
+    obs::add_counter("streaming.rejects");
+  }
+  return result;
+}
+
 std::optional<AuthResult> StreamingAuthenticator::poll() {
   if (trace_.length() == 0) return std::nullopt;
+  const obs::ScopedLatency latency("streaming.poll_us");
+  obs::set_gauge("streaming.buffer_samples",
+                 static_cast<double>(trace_.length()));
 
   if (buffered_seconds() > options_.timeout_s) {
     reset();
     AuthResult timed_out;
     timed_out.accepted = false;
     timed_out.reason = "attempt timed out";
-    return timed_out;
+    ++stats_.timeouts;
+    obs::add_counter("streaming.timeouts");
+    return finish_attempt(std::move(timed_out));
   }
 
   std::size_t expected = options_.expected_keystrokes;
@@ -79,9 +103,11 @@ std::optional<AuthResult> StreamingAuthenticator::poll() {
   const double last = entry_.events.back().recorded_time_s;
   if (buffered_seconds() < last + options_.tail_s) return std::nullopt;
 
+  const obs::Span span("streaming.decide", "core");
   Observation observation{entry_, trace_};
   reset();
-  return authenticate(user_, observation, options_.auth);
+  obs::set_gauge("streaming.buffer_samples", 0.0);
+  return finish_attempt(authenticate(user_, observation, options_.auth));
 }
 
 }  // namespace p2auth::core

@@ -8,8 +8,11 @@
 // an attempt timeout so a half-typed PIN cannot pin memory forever.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <span>
+#include <string>
 
 #include "core/authenticator.hpp"
 #include "core/enrollment.hpp"
@@ -27,6 +30,21 @@ struct StreamingOptions {
   // Keystrokes expected per attempt; 0 = derive from the enrolled PIN
   // (or 4 in no-PIN mode).
   std::size_t expected_keystrokes = 0;
+};
+
+// Lifetime health counters of one StreamingAuthenticator (never reset by
+// reset()/poll(); mirrors the global obs counters per instance).
+struct StreamingStats {
+  std::uint64_t samples = 0;     // PPG samples pushed
+  std::uint64_t keystrokes = 0;  // keystroke events pushed
+  std::uint64_t attempts = 0;    // decisions returned by poll()
+  std::uint64_t accepted = 0;
+  std::uint64_t timeouts = 0;  // attempts abandoned by the timeout
+  // Rejections keyed by AuthResult::reason ("wrong PIN", "attempt timed
+  // out", ...).
+  std::map<std::string, std::uint64_t> rejects_by_reason;
+
+  std::uint64_t rejected() const noexcept { return attempts - accepted; }
 };
 
 class StreamingAuthenticator {
@@ -58,13 +76,20 @@ class StreamingAuthenticator {
     return entry_.events.size();
   }
 
+  // Lifetime health counters (see StreamingStats).
+  const StreamingStats& stats() const noexcept { return stats_; }
+
  private:
+  // Bookkeeping shared by the timeout and regular decision paths.
+  AuthResult finish_attempt(AuthResult result);
+
   const EnrolledUser& user_;
   double rate_hz_;
   std::size_t channels_;
   StreamingOptions options_;
   ppg::MultiChannelTrace trace_;
   keystroke::EntryRecord entry_;
+  StreamingStats stats_;
 };
 
 }  // namespace p2auth::core

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "linalg/eigen.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/serialize.hpp"
 
 namespace p2auth::linalg {
@@ -31,6 +33,7 @@ RidgeClassifier RidgeClassifier::load(std::istream& is) {
 
 void RidgeClassifier::fit(const Matrix& x, std::span<const double> y,
                           const RidgeOptions& options) {
+  const obs::Span span("ridge.fit", "linalg");
   const std::size_t n = x.rows();
   const std::size_t p = x.cols();
   if (n == 0 || p == 0) throw std::invalid_argument("RidgeClassifier: empty");
@@ -71,6 +74,9 @@ void RidgeClassifier::fit(const Matrix& x, std::span<const double> y,
     if (lambda <= 0.0) {
       throw std::invalid_argument("RidgeClassifier: lambda must be > 0");
     }
+    // One leave-one-out cross-validation pass per grid point.
+    obs::add_counter("ridge.lambda_iterations");
+    const obs::ScopedLatency iteration("ridge.lambda_iteration_us");
     // alpha = Q diag(1/(mu + lambda)) Q^T yc
     Vector scaled(n);
     for (std::size_t kk = 0; kk < n; ++kk) {
@@ -123,6 +129,9 @@ void RidgeClassifier::fit(const Matrix& x, std::span<const double> y,
   for (const double a : best_alpha) bias_ += a * intercept_column;
   chosen_lambda_ = best_lambda;
   best_loo_error_ = best_err;
+  obs::add_counter("ridge.fits");
+  obs::set_gauge("ridge.chosen_lambda", chosen_lambda_);
+  obs::set_gauge("ridge.best_loo_error", best_loo_error_);
 }
 
 double RidgeClassifier::decision(std::span<const double> features) const {

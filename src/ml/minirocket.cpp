@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/serialize.hpp"
 
 namespace p2auth::ml {
@@ -143,6 +145,7 @@ MiniRocket::MiniRocket(MiniRocketOptions options) : options_(options) {
 }
 
 void MiniRocket::fit(const std::vector<Series>& train, util::Rng& rng) {
+  const obs::Span span("minirocket.fit", "ml");
   if (train.empty()) throw std::invalid_argument("MiniRocket::fit: no data");
   input_length_ = train.front().size();
   if (input_length_ < 9) {
@@ -222,12 +225,18 @@ linalg::Vector MiniRocket::transform(std::span<const double> x) const {
   if (x.size() != input_length_) {
     throw std::invalid_argument("MiniRocket::transform: length mismatch");
   }
+  const obs::Span span("minirocket.transform", "ml");
+  obs::add_counter("minirocket.transforms");
   linalg::Vector features(num_features(), 0.0);
   const auto& kernels = minirocket_kernels();
   const double inv_n = 1.0 / static_cast<double>(x.size());
   Series conv;
   if (options_.pooling == Pooling::kMax) {
     for (std::size_t di = 0; di < dilations_.size(); ++di) {
+      // One "kernel batch" = the 84 kernels sharing this dilation's
+      // nine-tap sliding sum; the histogram exposes the per-batch cost
+      // the paper's real-time argument rests on.
+      const obs::ScopedLatency batch("minirocket.kernel_batch_us");
       const Series sum9 = nine_tap_sum(x, dilations_[di]);
       for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
         kernel_from_sum(x, sum9, kernels[ki], dilations_[di], conv);
@@ -240,6 +249,7 @@ linalg::Vector MiniRocket::transform(std::span<const double> x) const {
   }
   std::vector<std::size_t> counts(biases_per_combo_);
   for (std::size_t di = 0; di < dilations_.size(); ++di) {
+    const obs::ScopedLatency batch("minirocket.kernel_batch_us");
     const Series sum9 = nine_tap_sum(x, dilations_[di]);
     for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
       kernel_from_sum(x, sum9, kernels[ki], dilations_[di], conv);
@@ -261,6 +271,7 @@ linalg::Vector MiniRocket::transform(std::span<const double> x) const {
 }
 
 linalg::Matrix MiniRocket::transform(const std::vector<Series>& batch) const {
+  const obs::Span span("minirocket.transform_batch", "ml");
   linalg::Matrix out(batch.size(), num_features());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const linalg::Vector f = transform(batch[i]);
@@ -274,6 +285,7 @@ MultiChannelMiniRocket::MultiChannelMiniRocket(MiniRocketOptions options)
 
 void MultiChannelMiniRocket::fit(
     const std::vector<std::vector<Series>>& train, util::Rng& rng) {
+  const obs::Span span("minirocket.fit_multichannel", "ml");
   if (train.empty()) {
     throw std::invalid_argument("MultiChannelMiniRocket::fit: no data");
   }

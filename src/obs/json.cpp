@@ -1,0 +1,185 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2auth::obs {
+
+namespace detail {
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_json_number(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+    return;
+  }
+  // Integers within the exactly-representable range print without a
+  // fractional part; everything else uses shortest-ish %g.
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(std::llround(value)));
+    os << buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  os << buf;
+}
+
+}  // namespace detail
+
+Json& Json::set(const std::string& key, Json value) {
+  if (type_ != Type::kObject) {
+    throw std::logic_error("Json::set: not an object");
+  }
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return v;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return members_.back().second;
+}
+
+Json& Json::push(Json value) {
+  if (type_ != Type::kArray) {
+    throw std::logic_error("Json::push: not an array");
+  }
+  elements_.push_back(std::move(value));
+  return elements_.back();
+}
+
+const Json* Json::find(const std::string& key) const noexcept {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::size_t Json::size() const noexcept {
+  switch (type_) {
+    case Type::kObject:
+      return members_.size();
+    case Type::kArray:
+      return elements_.size();
+    default:
+      return 0;
+  }
+}
+
+namespace {
+
+void write_newline_indent(std::ostream& os, int indent, int depth) {
+  if (indent <= 0) return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+}  // namespace
+
+void Json::dump_impl(std::ostream& os, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      os << "null";
+      return;
+    case Type::kBool:
+      os << (bool_ ? "true" : "false");
+      return;
+    case Type::kNumber:
+      if (integral_) {
+        os << int_;
+      } else {
+        detail::write_json_number(os, number_);
+      }
+      return;
+    case Type::kString:
+      detail::write_json_string(os, string_);
+      return;
+    case Type::kObject: {
+      if (members_.empty()) {
+        os << "{}";
+        return;
+      }
+      os << '{';
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) os << ',';
+        first = false;
+        write_newline_indent(os, indent, depth + 1);
+        detail::write_json_string(os, k);
+        os << (indent > 0 ? ": " : ":");
+        v.dump_impl(os, indent, depth + 1);
+      }
+      write_newline_indent(os, indent, depth);
+      os << '}';
+      return;
+    }
+    case Type::kArray: {
+      if (elements_.empty()) {
+        os << "[]";
+        return;
+      }
+      os << '[';
+      bool first = true;
+      for (const Json& v : elements_) {
+        if (!first) os << ',';
+        first = false;
+        write_newline_indent(os, indent, depth + 1);
+        v.dump_impl(os, indent, depth + 1);
+      }
+      write_newline_indent(os, indent, depth);
+      os << ']';
+      return;
+    }
+  }
+}
+
+void Json::dump(std::ostream& os, int indent) const {
+  dump_impl(os, indent, 0);
+}
+
+std::string Json::dump_string(int indent) const {
+  std::ostringstream oss;
+  dump(oss, indent);
+  return oss.str();
+}
+
+}  // namespace p2auth::obs

@@ -1,0 +1,84 @@
+// Minimal ordered JSON document, used by the chrome-trace exporter and
+// the structured run reports (obs/report.hpp).  Insertion order of object
+// members is preserved so emitted documents are deterministic and
+// golden-testable; no parsing, only construction and serialization.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace p2auth::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Json() noexcept : type_(Type::kNull) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(double value) : type_(Type::kNumber), number_(value) {}
+  Json(std::int64_t value)
+      : type_(Type::kNumber), integral_(true), int_(value),
+        number_(static_cast<double>(value)) {}
+  Json(int value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(std::uint64_t value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Json(const char* value) : Json(std::string(value)) {}
+
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  Type type() const noexcept { return type_; }
+
+  // Object member set/overwrite (the document must be an object; throws
+  // std::logic_error otherwise).  Returns a reference to the stored value
+  // so nested objects can be built in place.
+  Json& set(const std::string& key, Json value);
+
+  // Array append (throws std::logic_error on non-arrays).
+  Json& push(Json value);
+
+  // Object lookup; nullptr when absent or not an object (used by tests).
+  const Json* find(const std::string& key) const noexcept;
+
+  std::size_t size() const noexcept;
+
+  // Serialises the document.  `indent` > 0 pretty-prints with that many
+  // spaces per level; 0 emits the compact single-line form.  Non-finite
+  // numbers serialise as null (JSON has no NaN/Inf).
+  void dump(std::ostream& os, int indent = 2) const;
+  std::string dump_string(int indent = 2) const;
+
+ private:
+  void dump_impl(std::ostream& os, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  bool integral_ = false;
+  std::int64_t int_ = 0;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> elements_;
+};
+
+namespace detail {
+// Writes `s` JSON-escaped, surrounded by double quotes (shared with the
+// streaming chrome-trace writer, which bypasses the Json DOM for bulk).
+void write_json_string(std::ostream& os, std::string_view s);
+// Writes a JSON number literal (null when non-finite).
+void write_json_number(std::ostream& os, double value);
+}  // namespace detail
+
+}  // namespace p2auth::obs

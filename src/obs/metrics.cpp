@@ -1,0 +1,246 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+namespace p2auth::obs {
+
+namespace {
+
+struct LocalHistogram {
+  std::uint64_t count = 0;
+  double sum_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  void record(double us) {
+    if (count == 0) {
+      min_us = max_us = us;
+    } else {
+      min_us = std::min(min_us, us);
+      max_us = std::max(max_us, us);
+    }
+    ++count;
+    sum_us += us;
+    const auto it = std::lower_bound(kHistogramBoundsUs.begin(),
+                                     kHistogramBoundsUs.end(), us);
+    ++buckets[static_cast<std::size_t>(it - kHistogramBoundsUs.begin())];
+  }
+
+  void merge_into(HistogramSnapshot& out) const {
+    if (count == 0) return;
+    if (out.count == 0) {
+      out.min_us = min_us;
+      out.max_us = max_us;
+    } else {
+      out.min_us = std::min(out.min_us, min_us);
+      out.max_us = std::max(out.max_us, max_us);
+    }
+    out.count += count;
+    out.sum_us += sum_us;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      out.buckets[b] += buckets[b];
+    }
+  }
+};
+
+struct GaugeCell {
+  double value = 0.0;
+  std::uint64_t seq = 0;  // global sequence of the set; highest wins
+};
+
+// Heterogeneous-lookup maps so record calls with a string_view key do
+// not allocate unless the metric is new on this thread.
+template <typename V>
+using NameMap = std::map<std::string, V, std::less<>>;
+
+struct Aggregate {
+  NameMap<std::uint64_t> counters;
+  NameMap<GaugeCell> gauges;
+  NameMap<HistogramSnapshot> histograms;
+
+  void clear() {
+    counters.clear();
+    gauges.clear();
+    histograms.clear();
+  }
+};
+
+std::mutex& global_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+Aggregate& global_aggregate() {
+  static Aggregate aggregate;
+  return aggregate;
+}
+
+std::atomic<std::uint64_t>& gauge_sequence() {
+  static std::atomic<std::uint64_t> seq{0};
+  return seq;
+}
+
+struct ThreadSink {
+  NameMap<std::uint64_t> counters;
+  NameMap<GaugeCell> gauges;
+  NameMap<LocalHistogram> histograms;
+
+  ThreadSink() {
+    // Construct the globals first so the exit-time flush below never
+    // runs against destroyed statics (see trace.cpp for the same trick).
+    (void)global_mutex();
+    (void)global_aggregate();
+    (void)gauge_sequence();
+  }
+
+  ~ThreadSink() { flush(); }
+
+  void flush() {
+    Aggregate& global = global_aggregate();
+    const std::lock_guard<std::mutex> lock(global_mutex());
+    for (const auto& [name, delta] : counters) {
+      global.counters[name] += delta;
+    }
+    for (const auto& [name, cell] : gauges) {
+      GaugeCell& g = global.gauges[name];
+      if (cell.seq >= g.seq) g = cell;
+    }
+    for (const auto& [name, histogram] : histograms) {
+      histogram.merge_into(global.histograms[name]);
+    }
+    counters.clear();
+    gauges.clear();
+    histograms.clear();
+  }
+
+  void clear() {
+    counters.clear();
+    gauges.clear();
+    histograms.clear();
+  }
+};
+
+ThreadSink& thread_sink() {
+  thread_local ThreadSink sink;
+  return sink;
+}
+
+// find-or-emplace with a string_view key (std::map::operator[] would
+// need a std::string up front even on the hit path).
+template <typename V>
+V& cell(NameMap<V>& map, std::string_view name) {
+  const auto it = map.find(name);
+  if (it != map.end()) return it->second;
+  return map.emplace(std::string(name), V{}).first->second;
+}
+
+}  // namespace
+
+void add_counter(std::string_view name, std::uint64_t delta) {
+  if (!enabled()) return;
+  cell(thread_sink().counters, name) += delta;
+}
+
+void set_gauge(std::string_view name, double value) {
+  if (!enabled()) return;
+  GaugeCell& g = cell(thread_sink().gauges, name);
+  g.value = value;
+  g.seq = gauge_sequence().fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void observe_latency_us(std::string_view name, double us) {
+  if (!enabled()) return;
+  cell(thread_sink().histograms, name).record(us);
+}
+
+double HistogramSnapshot::percentile_us(double p) const noexcept {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lower = b == 0 ? 0.0 : kHistogramBoundsUs[b - 1];
+    const double upper =
+        b < kHistogramBoundsUs.size() ? kHistogramBoundsUs[b] : max_us;
+    const double within =
+        (target - static_cast<double>(before)) /
+        static_cast<double>(buckets[b]);
+    const double estimate = lower + (upper - lower) * within;
+    return std::clamp(estimate, min_us, max_us);
+  }
+  return max_us;
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const
+    noexcept {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+MetricsSnapshot snapshot_metrics() {
+  MetricsSnapshot out;
+  if constexpr (!kCompiledIn) return out;
+  Aggregate merged;
+  {
+    const std::lock_guard<std::mutex> lock(global_mutex());
+    merged = global_aggregate();
+  }
+  const ThreadSink& local = thread_sink();
+  for (const auto& [name, delta] : local.counters) {
+    merged.counters[name] += delta;
+  }
+  for (const auto& [name, cell_value] : local.gauges) {
+    GaugeCell& g = merged.gauges[name];
+    if (cell_value.seq >= g.seq) g = cell_value;
+  }
+  NameMap<HistogramSnapshot> histograms = std::move(merged.histograms);
+  for (const auto& [name, histogram] : local.histograms) {
+    histogram.merge_into(histograms[name]);
+  }
+  for (auto& [name, value] : merged.counters) {
+    out.counters.emplace(name, value);
+  }
+  for (auto& [name, g] : merged.gauges) {
+    out.gauges.emplace(name, g.value);
+  }
+  for (auto& [name, h] : histograms) {
+    out.histograms.emplace(name, h);
+  }
+  return out;
+}
+
+void flush_thread_metrics() {
+  if constexpr (!kCompiledIn) return;
+  thread_sink().flush();
+}
+
+void reset_metrics() {
+  if constexpr (!kCompiledIn) return;
+  {
+    const std::lock_guard<std::mutex> lock(global_mutex());
+    global_aggregate().clear();
+  }
+  thread_sink().clear();
+}
+
+ScopedLatency::ScopedLatency(std::string_view histogram) {
+  if (!enabled()) return;
+  active_ = true;
+  name_.assign(histogram);
+  start_us_ = now_us();
+}
+
+ScopedLatency::~ScopedLatency() {
+  if (!active_) return;
+  observe_latency_us(name_,
+                     static_cast<double>(now_us() - start_us_));
+}
+
+}  // namespace p2auth::obs

@@ -1,0 +1,98 @@
+// Metrics: named counters, gauges, and fixed-bucket latency histograms
+// with p50/p95/p99 readout.
+//
+// Hot-path cost model: every record call is guarded by obs::enabled()
+// (one relaxed atomic load; a compile-time constant when the build is
+// compiled out) and then touches only a thread-local sink — plain
+// increments, no locks, no atomics.  Sinks are merged into a global
+// aggregate when a thread exits or calls `flush_thread_metrics()`;
+// `snapshot_metrics()` merges the global aggregate with the calling
+// thread's sink, so single-threaded programs and programs that join
+// their workers before reading always see complete totals.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace p2auth::obs {
+
+// Histogram bucket upper bounds in microseconds (1-2-5 decades from 1 us
+// to 10 s).  Values above the last bound land in an overflow bucket.
+inline constexpr std::array<double, 22> kHistogramBoundsUs = {
+    1.0,   2.0,   5.0,   10.0,  20.0,  50.0,  1e2, 2e2, 5e2, 1e3, 2e3,
+    5e3,   1e4,   2e4,   5e4,   1e5,   2e5,   5e5, 1e6, 2e6, 5e6, 1e7};
+inline constexpr std::size_t kHistogramBuckets =
+    kHistogramBoundsUs.size() + 1;  // + overflow
+
+// Adds `delta` to the named counter.
+void add_counter(std::string_view name, std::uint64_t delta = 1);
+
+// Sets the named gauge; across threads the most recent set wins.
+void set_gauge(std::string_view name, double value);
+
+// Records one latency observation (microseconds) into the named
+// histogram.
+void observe_latency_us(std::string_view name, double us);
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  double mean_us() const noexcept {
+    return count == 0 ? 0.0 : sum_us / static_cast<double>(count);
+  }
+  // Percentile estimate (p in [0, 1]) by linear interpolation inside the
+  // containing bucket, clamped to the observed [min, max].
+  double percentile_us(double p) const noexcept;
+  double p50_us() const noexcept { return percentile_us(0.50); }
+  double p95_us() const noexcept { return percentile_us(0.95); }
+  double p99_us() const noexcept { return percentile_us(0.99); }
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  // Counter value, 0 when never touched.
+  std::uint64_t counter(const std::string& name) const noexcept;
+};
+
+// Merged view of the global aggregate plus the calling thread's sink.
+MetricsSnapshot snapshot_metrics();
+
+// Folds the calling thread's sink into the global aggregate (automatic
+// at thread exit).
+void flush_thread_metrics();
+
+// Clears the global aggregate and the calling thread's sink.  Other
+// threads must be quiescent (joined or silent), as with reset_trace().
+void reset_metrics();
+
+// RAII latency timer: records the scope's wall time into histogram
+// `name` on destruction.  Inert when observability is disabled at
+// construction.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(std::string_view histogram);
+  ~ScopedLatency();
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  bool active_ = false;
+  std::string name_;
+  std::int64_t start_us_ = 0;
+};
+
+}  // namespace p2auth::obs

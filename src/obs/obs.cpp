@@ -1,0 +1,15 @@
+#include "obs/obs.hpp"
+
+#include <cmath>
+
+#include "util/stopwatch.hpp"
+
+namespace p2auth::obs {
+
+std::int64_t now_us() noexcept {
+  // Magic-static: the first caller pins the epoch, thread-safely.
+  static const util::Stopwatch epoch;
+  return static_cast<std::int64_t>(std::llround(epoch.seconds() * 1e6));
+}
+
+}  // namespace p2auth::obs

@@ -1,0 +1,52 @@
+// Observability control plane: the compile-time and runtime switches
+// shared by the tracing (obs/trace.hpp) and metrics (obs/metrics.hpp)
+// facilities, plus the common monotonic clock.
+//
+// Two independent switches gate every recording call:
+//   * compile time — the build defines P2AUTH_OBS_ENABLED=0 (CMake option
+//     -DP2AUTH_OBS_ENABLED=OFF); `enabled()` is then a constant false and
+//     the optimizer removes instrumentation entirely;
+//   * run time — `set_enabled(false)` turns recording off with a single
+//     relaxed atomic load per call site, so instrumented binaries can run
+//     at full speed when telemetry is not wanted.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#ifndef P2AUTH_OBS_ENABLED
+#define P2AUTH_OBS_ENABLED 1
+#endif
+
+namespace p2auth::obs {
+
+// True when instrumentation was compiled into this binary.
+inline constexpr bool kCompiledIn = (P2AUTH_OBS_ENABLED != 0);
+
+namespace detail {
+// Runtime master switch.  Relaxed ordering is deliberate: toggling races
+// benignly with in-flight spans (a span started while enabled records on
+// destruction; one started while disabled stays silent).
+inline std::atomic<bool> g_runtime_enabled{true};
+}  // namespace detail
+
+// True when recording calls should do work right now.
+inline bool enabled() noexcept {
+  if constexpr (!kCompiledIn) {
+    return false;
+  } else {
+    return detail::g_runtime_enabled.load(std::memory_order_relaxed);
+  }
+}
+
+// Toggles recording at run time (no-op in a compiled-out build).
+inline void set_enabled(bool on) noexcept {
+  detail::g_runtime_enabled.store(on, std::memory_order_relaxed);
+}
+
+// Microseconds on the shared monotonic timeline (util::Stopwatch under
+// the hood).  The epoch is the first call in the process, so span
+// timestamps from all threads are directly comparable.
+std::int64_t now_us() noexcept;
+
+}  // namespace p2auth::obs

@@ -29,6 +29,12 @@ class Table {
   std::size_t num_rows() const noexcept { return rows_.size(); }
   std::size_t num_columns() const noexcept { return header_.size(); }
 
+  // Raw access for exporters (obs::Report embeds tables in JSON reports).
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
   // Renders to the stream.  `title` (if non-empty) is printed above.
   void print(std::ostream& os, const std::string& title = "") const;
 

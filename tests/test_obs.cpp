@@ -1,0 +1,272 @@
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/table.hpp"
+
+namespace p2auth::obs {
+namespace {
+
+// Tests that need live recording start from a clean, enabled slate (and
+// are skipped wholesale in a P2AUTH_OBS_ENABLED=OFF build, where
+// recording is compiled away by design).
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kCompiledIn) GTEST_SKIP() << "observability compiled out";
+    set_enabled(true);
+    reset_trace();
+    reset_metrics();
+  }
+  void TearDown() override {
+    if (!kCompiledIn) return;
+    set_enabled(true);
+    reset_trace();
+    reset_metrics();
+  }
+};
+
+TEST_F(ObsTest, SpanNestingDepthsBalance) {
+  EXPECT_EQ(current_span_depth(), 0u);
+  {
+    const Span outer("outer", "test");
+    EXPECT_EQ(current_span_depth(), 1u);
+    {
+      const Span inner("inner", "test");
+      EXPECT_EQ(current_span_depth(), 2u);
+    }
+    EXPECT_EQ(current_span_depth(), 1u);
+  }
+  EXPECT_EQ(current_span_depth(), 0u);
+
+  const std::vector<SpanEvent> events = snapshot_trace();
+  ASSERT_EQ(events.size(), 2u);
+  const SpanEvent* outer = nullptr;
+  const SpanEvent* inner = nullptr;
+  for (const SpanEvent& e : events) {
+    (e.name == "outer" ? outer : inner) = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(inner->depth, 1u);
+  EXPECT_EQ(outer->category, "test");
+  EXPECT_EQ(outer->thread_id, inner->thread_id);
+  // The child interval is contained in the parent's.
+  EXPECT_LE(outer->start_us, inner->start_us);
+  EXPECT_GE(outer->start_us + outer->duration_us,
+            inner->start_us + inner->duration_us);
+}
+
+TEST_F(ObsTest, ResetClearsTrace) {
+  { const Span s("short-lived", "test"); }
+  EXPECT_EQ(snapshot_trace().size(), 1u);
+  reset_trace();
+  EXPECT_TRUE(snapshot_trace().empty());
+}
+
+TEST(ObsChromeTrace, GoldenFormat) {
+  std::vector<SpanEvent> events(2);
+  events[0] = {"preprocess", "core", 10, 120, 1, 0};
+  events[1] = {"seg \"q\"\n", "core", 30, 40, 2, 1};
+  EXPECT_EQ(
+      chrome_trace_json(events),
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"name\":\"preprocess\",\"cat\":\"core\",\"ph\":\"X\",\"ts\":10,"
+      "\"dur\":120,\"pid\":1,\"tid\":1,\"args\":{\"depth\":0}},\n"
+      "{\"name\":\"seg \\\"q\\\"\\n\",\"cat\":\"core\",\"ph\":\"X\","
+      "\"ts\":30,\"dur\":40,\"pid\":1,\"tid\":2,\"args\":{\"depth\":1}}\n"
+      "]}\n");
+}
+
+TEST(ObsChromeTrace, GoldenEmpty) {
+  EXPECT_EQ(chrome_trace_json({}),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+}
+
+TEST_F(ObsTest, LiveTraceExportsChromeFormat) {
+  {
+    const Span a("alpha", "test");
+    const Span b("beta", "test");
+  }
+  const std::string json = chrome_trace_json(snapshot_trace());
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  EXPECT_NE(json.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 4), "\n]}\n");
+}
+
+TEST_F(ObsTest, CountersMergeAcrossThreads) {
+  add_counter("test.counter", 5);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < 1000; ++i) add_counter("test.counter");
+      observe_latency_us("test.latency_us", 10.0);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  EXPECT_EQ(snapshot.counter("test.counter"), 4005u);
+  ASSERT_EQ(snapshot.histograms.count("test.latency_us"), 1u);
+  EXPECT_EQ(snapshot.histograms.at("test.latency_us").count, 4u);
+  EXPECT_EQ(snapshot.counter("test.never_touched"), 0u);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndPercentiles) {
+  // 90 fast + 10 slow observations with known bucket placement:
+  // 15 us -> (10, 20] bucket, 900 us -> (500, 1000] bucket.
+  for (int i = 0; i < 90; ++i) observe_latency_us("h", 15.0);
+  for (int i = 0; i < 10; ++i) observe_latency_us("h", 900.0);
+
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  ASSERT_EQ(snapshot.histograms.count("h"), 1u);
+  const HistogramSnapshot& h = snapshot.histograms.at("h");
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_DOUBLE_EQ(h.min_us, 15.0);
+  EXPECT_DOUBLE_EQ(h.max_us, 900.0);
+  EXPECT_NEAR(h.mean_us(), (90.0 * 15.0 + 10.0 * 900.0) / 100.0, 1e-9);
+  EXPECT_EQ(h.buckets[4], 90u);  // bounds ...10, [20]...
+  EXPECT_EQ(h.buckets[9], 10u);  // bounds ...500, [1000]...
+  // p50 falls in the fast bucket, p95/p99 in the slow one; percentiles
+  // are monotone and clamped to the observed range.
+  EXPECT_GT(h.p50_us(), 10.0);
+  EXPECT_LE(h.p50_us(), 20.0);
+  EXPECT_GT(h.p95_us(), 500.0);
+  EXPECT_LE(h.p95_us(), 900.0);
+  EXPECT_GE(h.p99_us(), h.p95_us());
+  EXPECT_LE(h.p99_us(), 900.0);
+  EXPECT_DOUBLE_EQ(h.percentile_us(0.0), h.min_us);
+  EXPECT_DOUBLE_EQ(h.percentile_us(1.0), h.max_us);
+}
+
+TEST_F(ObsTest, ScopedLatencyRecordsOneObservation) {
+  { const ScopedLatency timer("scoped.latency_us"); }
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  ASSERT_EQ(snapshot.histograms.count("scoped.latency_us"), 1u);
+  const HistogramSnapshot& h = snapshot.histograms.at("scoped.latency_us");
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_GE(h.min_us, 0.0);
+}
+
+TEST_F(ObsTest, GaugeLastSetWins) {
+  set_gauge("g", 1.0);
+  std::thread([] { set_gauge("g", 2.0); }).join();
+  set_gauge("g", 3.0);
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  ASSERT_EQ(snapshot.gauges.count("g"), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("g"), 3.0);
+}
+
+TEST_F(ObsTest, RuntimeDisabledRecordsNothing) {
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  {
+    const Span span("quiet.span", "test");
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(current_span_depth(), 0u);
+    const ScopedLatency timer("quiet.latency_us");
+    add_counter("quiet.counter");
+    set_gauge("quiet.gauge", 1.0);
+    observe_latency_us("quiet.histogram", 5.0);
+  }
+  set_enabled(true);
+  EXPECT_TRUE(snapshot_trace().empty());
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.gauges.empty());
+  EXPECT_TRUE(snapshot.histograms.empty());
+}
+
+TEST(ObsJson, GoldenCompactDump) {
+  Json doc = Json::object();
+  doc.set("int", 42);
+  doc.set("neg", std::int64_t{-3});
+  doc.set("real", 2.5);
+  doc.set("text", "line\n\"quoted\"");
+  doc.set("flag", true);
+  doc.set("none", Json());
+  Json arr = Json::array();
+  arr.push(1);
+  arr.push("two");
+  doc.set("arr", std::move(arr));
+  EXPECT_EQ(doc.dump_string(0),
+            "{\"int\":42,\"neg\":-3,\"real\":2.5,"
+            "\"text\":\"line\\n\\\"quoted\\\"\",\"flag\":true,"
+            "\"none\":null,\"arr\":[1,\"two\"]}");
+}
+
+TEST(ObsJson, NonFiniteNumbersSerializeAsNull) {
+  Json doc = Json::array();
+  doc.push(std::nan(""));
+  doc.push(1.0 / 0.0);
+  EXPECT_EQ(doc.dump_string(0), "[null,null]");
+}
+
+TEST(ObsJson, SetOverwritesInPlace) {
+  Json doc = Json::object();
+  doc.set("k", 1);
+  doc.set("k", 2);
+  EXPECT_EQ(doc.size(), 1u);
+  EXPECT_EQ(doc.dump_string(0), "{\"k\":2}");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(ObsReport, GoldenEnvelopeWithTable) {
+  util::Table table({"a", "b"});
+  table.begin_row().cell("x").cell(1.5, 1);
+  Report report("unit");
+  report.set("answer", 42);
+  report.add_table("t", table);
+  EXPECT_EQ(report.to_json(0),
+            "{\"schema\":\"p2auth.report.v1\",\"name\":\"unit\","
+            "\"values\":{\"answer\":42},"
+            "\"tables\":{\"t\":{\"columns\":[\"a\",\"b\"],"
+            "\"rows\":[[\"x\",\"1.5\"]]}}}\n");
+}
+
+TEST(ObsReport, SpanSummaryAggregatesByName) {
+  std::vector<SpanEvent> events(3);
+  events[0] = {"a", "c", 0, 10, 1, 0};
+  events[1] = {"a", "c", 5, 30, 1, 0};
+  events[2] = {"b", "c", 1, 7, 1, 0};
+  const std::map<std::string, SpanSummary> summary =
+      summarize_spans(events);
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_EQ(summary.at("a").count, 2u);
+  EXPECT_EQ(summary.at("a").total_us, 40);
+  EXPECT_EQ(summary.at("a").min_us, 10);
+  EXPECT_EQ(summary.at("a").max_us, 30);
+  EXPECT_EQ(summary.at("b").count, 1u);
+}
+
+TEST_F(ObsTest, ReportAttachesMetricsAndSpans) {
+  add_counter("pipeline.runs", 2);
+  observe_latency_us("pipeline.latency_us", 100.0);
+  set_gauge("pipeline.depth", 7.0);
+  { const Span s("pipeline.stage", "test"); }
+
+  Report report("attach");
+  report.attach_metrics(snapshot_metrics());
+  report.attach_span_summary(snapshot_trace());
+  const std::string json = report.to_json(0);
+  EXPECT_NE(json.find("\"pipeline.runs\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"pipeline.depth\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"pipeline.latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"pipeline.stage\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2auth::obs

@@ -171,6 +171,48 @@ TEST(Streaming, SupportsConsecutiveAttempts) {
   }
 }
 
+TEST(Streaming, StatsCountTimedOutAttempts) {
+  const Enrolled& f = fixture();
+  StreamingOptions options;
+  options.timeout_s = 0.5;
+  StreamingAuthenticator auth(f.user, 100.0, 4, options);
+  EXPECT_EQ(auth.stats().attempts, 0u);
+  const std::vector<double> sample(4, 0.0);
+  for (int i = 0; i < 100; ++i) auth.push_sample(sample);  // 1 s > timeout
+  ASSERT_TRUE(auth.poll().has_value());
+  const StreamingStats& stats = auth.stats();
+  EXPECT_EQ(stats.samples, 100u);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.timeouts, 1u);
+  EXPECT_EQ(stats.accepted, 0u);
+  EXPECT_EQ(stats.rejected(), 1u);
+  ASSERT_EQ(stats.rejects_by_reason.count("attempt timed out"), 1u);
+  EXPECT_EQ(stats.rejects_by_reason.at("attempt timed out"), 1u);
+}
+
+TEST(Streaming, StatsCountDecisionsAndSurviveReset) {
+  const Enrolled& f = fixture();
+  const sim::Trial trial = f.fresh_trial(30);
+  StreamingAuthenticator auth(f.user, trial.trace.rate_hz,
+                              trial.trace.num_channels());
+  const auto result = stream_trial(auth, trial);
+  ASSERT_TRUE(result.has_value());
+  const StreamingStats& stats = auth.stats();
+  EXPECT_EQ(stats.keystrokes, trial.entry.events.size());
+  EXPECT_GT(stats.samples, 0u);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.timeouts, 0u);
+  EXPECT_EQ(stats.accepted + stats.rejected(), 1u);
+  EXPECT_EQ(stats.accepted, result->accepted ? 1u : 0u);
+  if (!result->accepted) {
+    EXPECT_EQ(stats.rejects_by_reason.count(result->reason), 1u);
+  }
+  // reset() clears the attempt buffers, not the lifetime counters.
+  auth.reset();
+  EXPECT_EQ(auth.stats().attempts, 1u);
+  EXPECT_EQ(auth.stats().samples, stats.samples);
+}
+
 TEST(Streaming, ValidatesConstructionAndInput) {
   const Enrolled& f = fixture();
   EXPECT_THROW(StreamingAuthenticator(f.user, 0.0, 4),
