@@ -12,6 +12,7 @@
 #include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace p2auth::bench {
 
@@ -64,6 +65,10 @@ class BenchReport {
   // Attaches the current metrics + span aggregates and writes
   // BENCH_<name>.json into the working directory (next to the CSVs).
   void write() {
+    // Thread count the pool-backed stages ran with, so BENCH json from
+    // different machines / P2AUTH_THREADS settings stay comparable.
+    report_.set("threads",
+                static_cast<std::uint64_t>(util::resolve_threads(0)));
     report_.attach_metrics(obs::snapshot_metrics());
     report_.attach_span_summary(obs::snapshot_trace());
     const std::string path = "BENCH_" + report_.name() + ".json";

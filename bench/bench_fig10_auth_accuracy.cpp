@@ -57,7 +57,33 @@ int main() {
               "for 5 cases (15 users)");
   std::printf("\n(paper: one-handed ~98%%, boost ~83%%, double-3 ~88%%, "
               "double-2 ~70%%, avg ~84%%; TRR ~98%%)\n");
-  std::printf("total runtime: %.1f s\n", clock.seconds());
+  const double total_s = clock.seconds();
+  std::printf("total runtime: %.1f s\n", total_s);
+  report.value("total_runtime_s", total_s);
+
+  // Thread-pool speedup check: the one-handed case once serial, once on
+  // the pool default, so BENCH json records the multi-core win (results
+  // are bit-identical by construction, asserted here).
+  core::ExperimentConfig serial_cfg = base();
+  serial_cfg.threads = 1;
+  core::ExperimentResult serial_result, parallel_result;
+  const double serial_s =
+      bench::timed_s([&] { serial_result = run_experiment(serial_cfg); });
+  core::ExperimentConfig parallel_cfg = base();
+  const double parallel_s =
+      bench::timed_s([&] { parallel_result = run_experiment(parallel_cfg); });
+  if (serial_result.pooled.legitimate.accepted !=
+      parallel_result.pooled.legitimate.accepted) {
+    std::fprintf(stderr, "error: thread count changed pooled results\n");
+    return 1;
+  }
+  const std::size_t threads = util::resolve_threads(0);
+  std::printf("one-handed sweep: serial %.1f s, %zu threads %.1f s "
+              "(speedup %.2fx)\n",
+              serial_s, threads, parallel_s, serial_s / parallel_s);
+  report.value("serial_sweep_s", serial_s);
+  report.value("parallel_sweep_s", parallel_s);
+  report.value("parallel_speedup", serial_s / parallel_s);
   report.write();
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "keystroke/pinpad.hpp"
+#include "util/thread_pool.hpp"
 
 namespace p2auth::core {
 
@@ -226,6 +227,16 @@ EnrolledUser enroll_user(const keystroke::Pin& pin,
         ++user.stats.segment_negatives;
       }
     }
+    // First pass (serial): decide which keys have enough evidence, build
+    // their negative sets and fork their RNG streams — forking mutates
+    // the parent generator, so the fork order must stay exactly the
+    // serial one for reproducibility.
+    struct KeyTask {
+      std::size_t key = 0;
+      std::vector<std::vector<Series>> negatives;
+      util::Rng rng;
+    };
+    std::vector<KeyTask> tasks;
     for (std::size_t k = 0; k < 10; ++k) {
       if (pos_by_key[k].size() < 2) continue;  // not enough evidence
       std::vector<std::vector<Series>> n = neg_by_key[k];
@@ -234,13 +245,24 @@ EnrolledUser enroll_user(const keystroke::Pin& pin,
         n.push_back(neg_any[i]);
       }
       if (n.empty()) continue;
-      WaveformModel model;
-      util::Rng model_rng = rng.fork(0x6b657900ULL + k);
-      model.train(pos_by_key[k], n, config.rocket, config.ridge, model_rng,
-                  config.recenter_threshold);
-      user.key_models[k] = std::move(model);
-      ++user.stats.key_models_trained;
+      tasks.push_back(
+          KeyTask{k, std::move(n), rng.fork(0x6b657900ULL + k)});
     }
+    // Second pass: the per-key models are independent, so train them in
+    // parallel on the shared pool (inline when enrollment itself already
+    // runs inside a pool task, e.g. under run_experiment's user sweep).
+    try {
+      util::parallel_for(tasks.size(), /*chunk=*/1, [&](std::size_t t) {
+        KeyTask& task = tasks[t];
+        WaveformModel model;
+        model.train(pos_by_key[task.key], task.negatives, config.rocket,
+                    config.ridge, task.rng, config.recenter_threshold);
+        user.key_models[task.key] = std::move(model);
+      });
+    } catch (const util::ParallelForError& e) {
+      e.rethrow_cause();
+    }
+    user.stats.key_models_trained += tasks.size();
   }
   return user;
 }

@@ -1,13 +1,12 @@
 #include "core/evaluation.hpp"
 
-#include <atomic>
-#include <future>
 #include <stdexcept>
-#include <thread>
+#include <string>
 
 #include "keystroke/pinpad.hpp"
 #include "sim/attacks.hpp"
 #include "sim/dataset.hpp"
+#include "util/thread_pool.hpp"
 
 namespace p2auth::core {
 
@@ -167,25 +166,32 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   ExperimentResult result;
   result.per_user.resize(population.users.size());
 
-  std::size_t threads = config.threads;
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  // Per-user sweep on the shared pool.  Each task writes only its own
+  // result slot, so tallies are identical for every thread count; a
+  // throwing user cancels the remaining dispatch and is reported below
+  // with its index instead of silently draining the whole population
+  // first (the old std::async fan-out did the latter).
+  try {
+    util::parallel_for(
+        population.users.size(), /*chunk=*/1,
+        [&](std::size_t i) {
+          if (config.on_user_start) config.on_user_start(i);
+          result.per_user[i] = evaluate_user(i, population, negatives, config);
+        },
+        util::resolve_threads(config.threads));
+  } catch (const util::ParallelForError& e) {
+    try {
+      e.rethrow_cause();
+    } catch (const std::exception& cause) {
+      throw std::runtime_error("run_experiment: user " +
+                               std::to_string(e.index()) +
+                               " failed: " + cause.what());
+    } catch (...) {
+      throw std::runtime_error("run_experiment: user " +
+                               std::to_string(e.index()) +
+                               " failed: unknown exception");
+    }
   }
-  threads = std::min(threads, population.users.size());
-
-  std::vector<std::future<void>> workers;
-  std::atomic<std::size_t> next{0};
-  for (std::size_t w = 0; w < threads; ++w) {
-    workers.push_back(std::async(std::launch::async, [&]() {
-      while (true) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= population.users.size()) break;
-        result.per_user[i] =
-            evaluate_user(i, population, negatives, config);
-      }
-    }));
-  }
-  for (auto& w : workers) w.get();
 
   for (const auto& u : result.per_user) result.pooled.merge(u.metrics);
   return result;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/authenticator.hpp"
@@ -48,8 +49,15 @@ struct ExperimentConfig {
   EnrollmentConfig enrollment{};
   AuthOptions auth{};
   std::uint64_t seed = 2023;
-  // 0 = use all hardware threads for the per-user loop.
+  // Parallelism of the per-user sweep on the shared pool; 0 = the
+  // util::resolve_threads default (P2AUTH_THREADS, else all hardware
+  // threads).  Results are identical for every value (see thread_pool.hpp).
   std::size_t threads = 0;
+  // Called at the start of each user's evaluation (possibly from a pool
+  // worker; distinct users may call it concurrently).  Intended for
+  // progress reporting; an exception thrown here aborts the sweep exactly
+  // like a failure inside the evaluation itself.
+  std::function<void(std::size_t user_index)> on_user_start;
 };
 
 struct UserOutcome {

@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/serialize.hpp"
+#include "util/thread_pool.hpp"
 
 namespace p2auth::linalg {
 
@@ -27,6 +28,19 @@ RidgeClassifier RidgeClassifier::load(std::istream& is) {
   clf.chosen_lambda_ = util::read_double(is, "lambda");
   if (clf.weights_.empty()) {
     throw std::runtime_error("RidgeClassifier::load: empty weights");
+  }
+  // A corrupted template store must reject loudly here, not produce NaN
+  // decision scores at auth time.
+  for (const double w : clf.weights_) {
+    if (!std::isfinite(w)) {
+      throw std::runtime_error("RidgeClassifier::load: non-finite weight");
+    }
+  }
+  if (!std::isfinite(clf.bias_)) {
+    throw std::runtime_error("RidgeClassifier::load: non-finite bias");
+  }
+  if (!std::isfinite(clf.chosen_lambda_) || clf.chosen_lambda_ <= 0.0) {
+    throw std::runtime_error("RidgeClassifier::load: invalid lambda");
   }
   return clf;
 }
@@ -67,53 +81,86 @@ void RidgeClassifier::fit(const Matrix& x, std::span<const double> y,
   // q_ty = Q^T y
   const Vector q_ty = eig.vectors.multiply_transposed(yv);
 
-  double best_err = std::numeric_limits<double>::infinity();
-  double best_lambda = options.lambdas.front();
-  Vector best_alpha;
   for (const double lambda : options.lambdas) {
     if (lambda <= 0.0) {
       throw std::invalid_argument("RidgeClassifier: lambda must be > 0");
     }
-    // One leave-one-out cross-validation pass per grid point.
-    obs::add_counter("ridge.lambda_iterations");
-    const obs::ScopedLatency iteration("ridge.lambda_iteration_us");
-    // alpha = Q diag(1/(mu + lambda)) Q^T yc
-    Vector scaled(n);
+  }
+
+  // Clamped eigenvalues and the element-wise square Q^2 are shared by
+  // every grid point: diag_i(lambda) = sum_k Q2_ik / (mu_k + lambda), so
+  // computing Q2 once removes the per-lambda O(n^2) squaring pass.
+  Vector mu(n);
+  for (std::size_t kk = 0; kk < n; ++kk) {
+    mu[kk] = std::max(eig.values[kk], 0.0);
+  }
+  Matrix q2(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t kk = 0; kk < n; ++kk) {
-      const double mu = std::max(eig.values[kk], 0.0);
-      scaled[kk] = q_ty[kk] / (mu + lambda);
+      const double q = eig.vectors(i, kk);
+      q2(i, kk) = q * q;
     }
-    Vector alpha = eig.vectors.multiply(scaled);
-    // LOO residuals: e_i = alpha_i / diag_i where yhat = K alpha,
-    // residual y - yhat = lambda * alpha, and
-    // diag_i = [ (K + lambda I)^{-1} ]_ii = sum_k Q_ik^2 / (mu_k + lambda).
-    double err = 0.0;
-    bool degenerate = false;
-    Vector loo(n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      double diag = 0.0;
+  }
+
+  // One independent leave-one-out cross-validation pass per grid point,
+  // fanned out on the shared pool (inline when fit already runs inside a
+  // pool task).  Each pass writes only its own slot; the winner is picked
+  // serially below in grid order, so the chosen lambda, LOO error and
+  // weights are bit-identical to serial execution.
+  struct GridPoint {
+    bool degenerate = true;
+    double err = std::numeric_limits<double>::infinity();
+    Vector alpha;
+    Vector loo;
+  };
+  std::vector<GridPoint> grid(options.lambdas.size());
+  try {
+    util::parallel_for(options.lambdas.size(), /*chunk=*/1, [&](std::size_t g) {
+      const double lambda = options.lambdas[g];
+      obs::add_counter("ridge.lambda_iterations");
+      const obs::ScopedLatency iteration("ridge.lambda_iteration_us");
+      // alpha = Q diag(1/(mu + lambda)) Q^T yc
+      Vector scaled(n);
       for (std::size_t kk = 0; kk < n; ++kk) {
-        const double q = eig.vectors(i, kk);
-        const double mu = std::max(eig.values[kk], 0.0);
-        diag += q * q / (mu + lambda);
+        scaled[kk] = q_ty[kk] / (mu[kk] + lambda);
       }
-      if (diag <= 1e-300) {
-        degenerate = true;
-        break;
+      Vector alpha = eig.vectors.multiply(scaled);
+      // LOO residuals: e_i = alpha_i / diag_i where yhat = K alpha,
+      // residual y - yhat = lambda * alpha, and
+      // diag_i = [ (K + lambda I)^{-1} ]_ii = sum_k Q_ik^2 / (mu_k + lambda).
+      double err = 0.0;
+      Vector loo(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        double diag = 0.0;
+        for (std::size_t kk = 0; kk < n; ++kk) {
+          diag += q2(i, kk) / (mu[kk] + lambda);
+        }
+        if (diag <= 1e-300) return;  // leave this grid point degenerate
+        const double loo_residual = alpha[i] / diag;
+        err += loo_residual * loo_residual;
+        // The LOO prediction of y_i (uncentered): y_i minus its residual.
+        loo[i] = y[i] - loo_residual;
       }
-      const double loo_residual = alpha[i] / diag;
-      err += loo_residual * loo_residual;
-      // The LOO prediction of y_i (uncentered): y_i minus its residual.
-      loo[i] = y[i] - loo_residual;
-    }
-    if (degenerate) continue;
-    err /= static_cast<double>(n);
-    if (err < best_err) {
-      best_err = err;
-      best_lambda = lambda;
-      best_alpha = std::move(alpha);
-      loo_decisions_ = std::move(loo);
-    }
+      GridPoint& out = grid[g];
+      out.degenerate = false;
+      out.err = err / static_cast<double>(n);
+      out.alpha = std::move(alpha);
+      out.loo = std::move(loo);
+    });
+  } catch (const util::ParallelForError& e) {
+    e.rethrow_cause();
+  }
+
+  double best_err = std::numeric_limits<double>::infinity();
+  double best_lambda = options.lambdas.front();
+  Vector best_alpha;
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    GridPoint& point = grid[g];
+    if (point.degenerate || point.err >= best_err) continue;
+    best_err = point.err;
+    best_lambda = options.lambdas[g];
+    best_alpha = std::move(point.alpha);
+    loo_decisions_ = std::move(point.loo);
   }
   if (best_alpha.empty()) {
     throw std::domain_error("RidgeClassifier: all lambdas degenerate");

@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/serialize.hpp"
+#include "util/thread_pool.hpp"
 
 namespace p2auth::ml {
 
@@ -43,6 +44,13 @@ MiniRocket MiniRocket::load(std::istream& is) {
                                    rocket.dilations_.size() *
                                    rocket.biases_per_combo_) {
     throw std::runtime_error("MiniRocket::load: inconsistent shape");
+  }
+  // A corrupted template store must reject loudly here, not surface as
+  // NaN feature values (and hence NaN decision scores) at auth time.
+  for (const double b : rocket.biases_) {
+    if (!std::isfinite(b)) {
+      throw std::runtime_error("MiniRocket::load: non-finite bias");
+    }
   }
   return rocket;
 }
@@ -273,9 +281,15 @@ linalg::Vector MiniRocket::transform(std::span<const double> x) const {
 linalg::Matrix MiniRocket::transform(const std::vector<Series>& batch) const {
   const obs::Span span("minirocket.transform_batch", "ml");
   linalg::Matrix out(batch.size(), num_features());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const linalg::Vector f = transform(batch[i]);
-    std::copy(f.begin(), f.end(), out.row(i).begin());
+  // Samples are independent and each task writes one row, so the result
+  // is identical for any thread count.
+  try {
+    util::parallel_for(batch.size(), /*chunk=*/1, [&](std::size_t i) {
+      const linalg::Vector f = transform(batch[i]);
+      std::copy(f.begin(), f.end(), out.row(i).begin());
+    });
+  } catch (const util::ParallelForError& e) {
+    e.rethrow_cause();
   }
   return out;
 }
@@ -339,10 +353,15 @@ linalg::Vector MultiChannelMiniRocket::transform(
 
 linalg::Matrix MultiChannelMiniRocket::transform(
     const std::vector<std::vector<Series>>& batch) const {
+  const obs::Span span("minirocket.transform_batch", "ml");
   linalg::Matrix out(batch.size(), num_features());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const linalg::Vector f = transform(batch[i]);
-    std::copy(f.begin(), f.end(), out.row(i).begin());
+  try {
+    util::parallel_for(batch.size(), /*chunk=*/1, [&](std::size_t i) {
+      const linalg::Vector f = transform(batch[i]);
+      std::copy(f.begin(), f.end(), out.row(i).begin());
+    });
+  } catch (const util::ParallelForError& e) {
+    e.rethrow_cause();
   }
   return out;
 }

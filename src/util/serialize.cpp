@@ -1,5 +1,6 @@
 #include "util/serialize.hpp"
 
+#include <cstdlib>
 #include <iomanip>
 #include <istream>
 #include <limits>
@@ -13,6 +14,19 @@ namespace {
 [[noreturn]] void fail(std::string_view tag, const char* what) {
   throw std::runtime_error("serialize: " + std::string(what) + " at tag '" +
                            std::string(tag) + "'");
+}
+
+// Whitespace-delimited double token via strtod.  Unlike istream
+// extraction this round-trips everything write_double can emit —
+// including "nan"/"inf" from a corrupted or damaged model — leaving the
+// accept/reject policy for non-finite values to the loading model class.
+double read_double_token(std::istream& is, std::string_view tag) {
+  std::string token;
+  if (!(is >> token)) fail(tag, "bad double value");
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) fail(tag, "bad double value");
+  return v;
 }
 
 }  // namespace
@@ -90,9 +104,7 @@ std::int64_t read_i64(std::istream& is, std::string_view tag) {
 
 double read_double(std::istream& is, std::string_view tag) {
   expect_tag(is, tag);
-  double v = 0.0;
-  if (!(is >> v)) fail(tag, "bad double value");
-  return v;
+  return read_double_token(is, tag);
 }
 
 bool read_bool(std::istream& is, std::string_view tag) {
@@ -121,7 +133,7 @@ std::vector<double> read_vector(std::istream& is, std::string_view tag) {
   if (!(is >> n)) fail(tag, "bad vector length");
   std::vector<double> v(n);
   for (double& x : v) {
-    if (!(is >> x)) fail(tag, "truncated vector");
+    x = read_double_token(is, tag);
   }
   return v;
 }

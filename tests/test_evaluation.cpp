@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
 namespace p2auth::core {
 namespace {
 
@@ -71,6 +76,85 @@ TEST(Evaluation, SeedChangesResultsEventually) {
   // Not guaranteed in principle, but overwhelmingly likely; keep as a
   // smoke check on seed plumbing.
   SUCCEED() << (any_difference ? "seeds differ" : "tallies coincide");
+}
+
+TEST(Evaluation, ThreadCountDoesNotChangeResults) {
+  // The pool contract: per-user results and pooled tallies are
+  // bit-identical between serial and maximally parallel sweeps.
+  ExperimentConfig cfg = tiny_config();
+  cfg.population.num_users = 3;
+  cfg.threads = 1;
+  const ExperimentResult serial = run_experiment(cfg);
+  cfg.threads = std::max<std::size_t>(
+      4, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  const ExperimentResult parallel = run_experiment(cfg);
+  ASSERT_EQ(serial.per_user.size(), parallel.per_user.size());
+  for (std::size_t i = 0; i < serial.per_user.size(); ++i) {
+    EXPECT_EQ(serial.per_user[i].user_id, parallel.per_user[i].user_id);
+    EXPECT_EQ(serial.per_user[i].metrics.legitimate.accepted,
+              parallel.per_user[i].metrics.legitimate.accepted);
+    EXPECT_EQ(serial.per_user[i].metrics.legitimate.total,
+              parallel.per_user[i].metrics.legitimate.total);
+    EXPECT_EQ(serial.per_user[i].metrics.random_attack.accepted,
+              parallel.per_user[i].metrics.random_attack.accepted);
+    EXPECT_EQ(serial.per_user[i].metrics.emulating_attack.accepted,
+              parallel.per_user[i].metrics.emulating_attack.accepted);
+  }
+  EXPECT_EQ(serial.pooled.legitimate.accepted,
+            parallel.pooled.legitimate.accepted);
+  EXPECT_EQ(serial.pooled.legitimate.total, parallel.pooled.legitimate.total);
+  EXPECT_EQ(serial.pooled.random_attack.accepted,
+            parallel.pooled.random_attack.accepted);
+  EXPECT_EQ(serial.pooled.emulating_attack.accepted,
+            parallel.pooled.emulating_attack.accepted);
+  EXPECT_DOUBLE_EQ(serial.mean_accuracy(), parallel.mean_accuracy());
+}
+
+// Regression test for the old std::async fan-out: a throw in one worker
+// was only observed at future::get(), after the sibling workers had
+// drained the entire remaining population, and the failing user's index
+// was lost.  Now the first failure cancels the remaining dispatch and is
+// rethrown with the user index attached.
+TEST(Evaluation, WorkerThrowSurfacesUserIndexWithoutDrainingPopulation) {
+  ExperimentConfig cfg = tiny_config();
+  cfg.population.num_users = 6;
+  cfg.threads = 2;
+  std::atomic<int> started{0};
+  cfg.on_user_start = [&](std::size_t i) {
+    started.fetch_add(1);
+    if (i == 0) throw std::runtime_error("injected failure");
+  };
+  try {
+    run_experiment(cfg);
+    FAIL() << "expected the injected failure to propagate";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("user 0"), std::string::npos) << message;
+    EXPECT_NE(message.find("injected failure"), std::string::npos) << message;
+  }
+  // User 0 throws before any evaluation work; only the tasks already
+  // in flight may still run — never the whole remaining population.
+  EXPECT_LT(started.load(), 6) << "sweep drained the entire population";
+}
+
+TEST(Evaluation, SerialWorkerThrowStopsImmediately) {
+  ExperimentConfig cfg = tiny_config();
+  cfg.population.num_users = 4;
+  cfg.threads = 1;
+  std::atomic<int> started{0};
+  cfg.on_user_start = [&](std::size_t i) {
+    started.fetch_add(1);
+    if (i == 1) throw std::invalid_argument("user 1 is broken");
+  };
+  try {
+    run_experiment(cfg);
+    FAIL() << "expected the injected failure to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("user 1"), std::string::npos)
+        << e.what();
+  }
+  // Serial dispatch: users 0 and 1 started, users 2 and 3 never did.
+  EXPECT_EQ(started.load(), 2);
 }
 
 TEST(Evaluation, NoPinModeRuns) {

@@ -325,6 +325,34 @@ TEST(MiniRocketSerialization, UnfittedSaveThrows) {
   EXPECT_THROW(rocket.save(ss), std::logic_error);
 }
 
+TEST(MiniRocketSerialization, NonFiniteBiasThrows) {
+  // A damaged template store must reject loudly at load time instead of
+  // producing NaN features (and hence NaN decision scores) at auth time.
+  std::vector<Series> train = {noise_series(100, 91)};
+  util::Rng rng(92);
+  MiniRocket rocket;
+  rocket.fit(train, rng);
+  std::stringstream ss;
+  rocket.save(ss);
+  std::string text = ss.str();
+  // Replace the first bias value ("biases <count> <v1> ...") with nan.
+  const auto tag = text.rfind("biases");
+  ASSERT_NE(tag, std::string::npos);
+  const auto count_start = text.find(' ', tag) + 1;
+  const auto value_start = text.find(' ', count_start) + 1;
+  const auto value_end = text.find(' ', value_start);
+  ASSERT_NE(value_end, std::string::npos);
+  text.replace(value_start, value_end - value_start, "nan");
+  std::istringstream bad(text);
+  try {
+    MiniRocket::load(bad);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(MiniRocketSerialization, CorruptedShapeThrows) {
   std::vector<Series> train = {noise_series(100, 91)};
   util::Rng rng(92);

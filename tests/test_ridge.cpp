@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
 
 #include "util/rng.hpp"
 
@@ -104,6 +107,86 @@ TEST(Ridge, LooDecisionsMatchExplicitRefits) {
     EXPECT_NEAR(full.loo_decisions()[i], held_out.decision(x.row(i)), 1e-8)
         << "sample " << i;
   }
+}
+
+TEST(Ridge, GridSelectionMatchesPerLambdaFits) {
+  // Guards the shared-Q^2 / parallel lambda-grid optimisation: the
+  // chosen lambda, its LOO error and the resulting weights from one
+  // multi-lambda fit must be bit-identical to an explicit argmin over
+  // single-lambda fits.
+  util::Rng rng(41);
+  Matrix x;
+  std::vector<double> y;
+  make_separable(24, 40, 0.7, rng, x, y);
+  const RidgeOptions grid;  // default 10-point lambda grid
+  RidgeClassifier multi;
+  multi.fit(x, y, grid);
+
+  double best_err = std::numeric_limits<double>::infinity();
+  double best_lambda = grid.lambdas.front();
+  Vector best_weights;
+  double best_bias = 0.0;
+  for (const double lambda : grid.lambdas) {
+    RidgeOptions one;
+    one.lambdas = {lambda};
+    RidgeClassifier clf;
+    clf.fit(x, y, one);
+    if (clf.loo_error() < best_err) {
+      best_err = clf.loo_error();
+      best_lambda = lambda;
+      best_weights = clf.weights();
+      best_bias = clf.bias();
+    }
+  }
+  EXPECT_EQ(multi.chosen_lambda(), best_lambda);
+  EXPECT_EQ(multi.loo_error(), best_err);
+  EXPECT_EQ(multi.weights(), best_weights);
+  EXPECT_EQ(multi.bias(), best_bias);
+}
+
+TEST(Ridge, SaveLoadRoundTripPreservesDecisions) {
+  util::Rng rng(42);
+  Matrix x;
+  std::vector<double> y;
+  make_separable(20, 10, 2.0, rng, x, y);
+  RidgeClassifier clf;
+  clf.fit(x, y);
+  std::stringstream ss;
+  clf.save(ss);
+  const RidgeClassifier restored = RidgeClassifier::load(ss);
+  EXPECT_EQ(restored.chosen_lambda(), clf.chosen_lambda());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(restored.decision(x.row(i)), clf.decision(x.row(i)));
+  }
+}
+
+// A damaged template store must reject loudly at load time instead of
+// producing NaN decision scores during authentication.
+TEST(Ridge, LoadRejectsNonFiniteWeights) {
+  std::istringstream corrupted("ridge.v1 0\nweights 2 0.5 nan\nbias 0.1\n"
+                               "lambda 1\n");
+  try {
+    RidgeClassifier::load(corrupted);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Ridge, LoadRejectsNonFiniteBias) {
+  std::istringstream corrupted("ridge.v1 0\nweights 2 0.5 -0.25\nbias inf\n"
+                               "lambda 1\n");
+  EXPECT_THROW(RidgeClassifier::load(corrupted), std::runtime_error);
+}
+
+TEST(Ridge, LoadRejectsBadLambda) {
+  std::istringstream nan_lambda("ridge.v1 0\nweights 1 0.5\nbias 0\n"
+                                "lambda nan\n");
+  EXPECT_THROW(RidgeClassifier::load(nan_lambda), std::runtime_error);
+  std::istringstream negative_lambda("ridge.v1 0\nweights 1 0.5\nbias 0\n"
+                                     "lambda -2\n");
+  EXPECT_THROW(RidgeClassifier::load(negative_lambda), std::runtime_error);
 }
 
 TEST(Ridge, ChoosesReasonableLambdaOnNoisyData) {

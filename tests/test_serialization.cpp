@@ -128,6 +128,23 @@ TEST(Serialization, CorruptedStreamThrows) {
   EXPECT_THROW(load_enrolled_user(wrong), std::runtime_error);
 }
 
+TEST(Serialization, NonFiniteValuesInStoreRejectLoudly) {
+  // Flip one stored ridge coefficient to inf: the load must throw
+  // instead of restoring a model whose decision scores are non-finite.
+  const Enrolled& f = fixture();
+  std::stringstream ss;
+  save_waveform_model(*f.user.full_model, ss);
+  std::string text = ss.str();
+  const auto tag = text.find("bias ");
+  ASSERT_NE(tag, std::string::npos);
+  const auto value_start = tag + 5;
+  const auto value_end = text.find('\n', value_start);
+  ASSERT_NE(value_end, std::string::npos);
+  text.replace(value_start, value_end - value_start, "inf");
+  std::istringstream corrupted(text);
+  EXPECT_THROW(load_waveform_model(corrupted), std::runtime_error);
+}
+
 TEST(Serialization, UntrainedModelRefusesToSave) {
   WaveformModel empty;
   std::stringstream ss;

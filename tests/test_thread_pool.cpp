@@ -1,0 +1,227 @@
+// Unit tests for the shared thread-pool parallel runtime: dispatch
+// coverage, determinism across thread counts, the exception contract
+// (first throw wins, remaining dispatch cancelled, index reported),
+// nested-submit rejection (inline execution) and empty ranges.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace p2auth::util {
+namespace {
+
+TEST(ThreadPool, ResolveThreadsHonoursExplicitRequest) {
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(5), 5u);
+  EXPECT_GE(resolve_threads(0), 1u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  const std::size_t n = 1000;
+  std::vector<int> hits(n, 0);
+  parallel_for(n, /*chunk=*/7,
+               [&](std::size_t i) { ++hits[i]; }, /*max_threads=*/4);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  bool called = false;
+  parallel_for(0, 1, [&](std::size_t) { called = true; });
+  parallel_for(0, 0, [&](std::size_t) { called = true; }, 8);
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ZeroChunkIsTreatedAsOne) {
+  std::vector<int> hits(10, 0);
+  parallel_for(10, /*chunk=*/0, [&](std::size_t i) { ++hits[i]; }, 2);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, MaxThreadsOneStaysOnCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  parallel_for(seen.size(), 1,
+               [&](std::size_t i) { seen[i] = std::this_thread::get_id(); },
+               /*max_threads=*/1);
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ResultsIdenticalAcrossThreadCounts) {
+  const std::size_t n = 512;
+  auto compute = [](std::size_t threads) {
+    std::vector<double> out(n, 0.0);
+    parallel_for(n, 3,
+                 [&](std::size_t i) {
+                   double v = static_cast<double>(i) + 0.25;
+                   for (int r = 0; r < 50; ++r) v = v * 1.0000001 + 0.5;
+                   out[i] = v;
+                 },
+                 threads);
+    return out;
+  };
+  const std::vector<double> serial = compute(1);
+  const std::vector<double> parallel4 = compute(4);
+  const std::vector<double> parallel8 = compute(8);
+  EXPECT_EQ(serial, parallel4);
+  EXPECT_EQ(serial, parallel8);
+}
+
+TEST(ThreadPool, ExceptionCarriesIndexAndCauseSerial) {
+  try {
+    parallel_for(100, 1,
+                 [](std::size_t i) {
+                   if (i == 37) throw std::domain_error("boom 37");
+                 },
+                 /*max_threads=*/1);
+    FAIL() << "expected ParallelForError";
+  } catch (const ParallelForError& e) {
+    EXPECT_EQ(e.index(), 37u);
+    EXPECT_NE(std::string(e.what()).find("37"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("boom 37"), std::string::npos);
+    EXPECT_THROW(e.rethrow_cause(), std::domain_error);
+  }
+}
+
+TEST(ThreadPool, ExceptionCarriesIndexAndCauseParallel) {
+  try {
+    parallel_for(200, 1,
+                 [](std::size_t i) {
+                   if (i == 11) throw std::domain_error("boom 11");
+                   std::this_thread::sleep_for(std::chrono::microseconds(50));
+                 },
+                 /*max_threads=*/4);
+    FAIL() << "expected ParallelForError";
+  } catch (const ParallelForError& e) {
+    EXPECT_EQ(e.index(), 11u);
+    EXPECT_THROW(e.rethrow_cause(), std::domain_error);
+  }
+}
+
+TEST(ThreadPool, ExceptionCancelsRemainingDispatch) {
+  // The very first task fails; siblings may already be mid-task, but the
+  // bulk of the range must never be dispatched.
+  const std::size_t n = 100000;
+  std::atomic<std::size_t> executed{0};
+  try {
+    parallel_for(n, 1,
+                 [&](std::size_t i) {
+                   if (i == 0) throw std::runtime_error("early failure");
+                   executed.fetch_add(1, std::memory_order_relaxed);
+                   std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                 },
+                 /*max_threads=*/4);
+    FAIL() << "expected ParallelForError";
+  } catch (const ParallelForError& e) {
+    EXPECT_EQ(e.index(), 0u);
+  }
+  EXPECT_LT(executed.load(), n / 2) << "dispatch was not cancelled";
+}
+
+TEST(ThreadPool, SerialExceptionStopsImmediately) {
+  std::size_t executed = 0;
+  try {
+    parallel_for(100, 1,
+                 [&](std::size_t i) {
+                   ++executed;
+                   if (i == 3) throw std::runtime_error("stop here");
+                 },
+                 /*max_threads=*/1);
+    FAIL() << "expected ParallelForError";
+  } catch (const ParallelForError& e) {
+    EXPECT_EQ(e.index(), 3u);
+  }
+  EXPECT_EQ(executed, 4u);
+}
+
+TEST(ThreadPool, NestedSubmitIsRejectedAndRunsInline) {
+  // A parallel_for issued from inside a pool task must not be submitted
+  // to the pool: it runs serially on the task's own thread.
+  const std::size_t outer = 4, inner = 8;
+  std::vector<std::vector<std::thread::id>> inner_ids(
+      outer, std::vector<std::thread::id>(inner));
+  std::vector<std::thread::id> outer_ids(outer);
+  std::vector<int> inner_flags(outer, 0);
+  parallel_for(outer, 1,
+               [&](std::size_t o) {
+                 outer_ids[o] = std::this_thread::get_id();
+                 EXPECT_TRUE(in_parallel_task());
+                 parallel_for(inner, 1,
+                              [&, o](std::size_t i) {
+                                inner_ids[o][i] = std::this_thread::get_id();
+                              },
+                              /*max_threads=*/8);
+                 inner_flags[o] = 1;
+               },
+               /*max_threads=*/4);
+  EXPECT_FALSE(in_parallel_task());
+  for (std::size_t o = 0; o < outer; ++o) {
+    EXPECT_EQ(inner_flags[o], 1);
+    for (std::size_t i = 0; i < inner; ++i) {
+      EXPECT_EQ(inner_ids[o][i], outer_ids[o])
+          << "nested task escaped its submitting thread";
+    }
+  }
+}
+
+TEST(ThreadPool, NestedExceptionPropagatesThroughBothLevels) {
+  try {
+    parallel_for(3, 1,
+                 [&](std::size_t o) {
+                   parallel_for(5, 1, [&, o](std::size_t i) {
+                     if (o == 1 && i == 2) {
+                       throw std::runtime_error("nested boom");
+                     }
+                   });
+                 },
+                 /*max_threads=*/2);
+    FAIL() << "expected ParallelForError";
+  } catch (const ParallelForError& outer_error) {
+    EXPECT_EQ(outer_error.index(), 1u);
+    // The cause is the inner loop's ParallelForError for index 2.
+    try {
+      outer_error.rethrow_cause();
+      FAIL() << "expected nested ParallelForError";
+    } catch (const ParallelForError& inner_error) {
+      EXPECT_EQ(inner_error.index(), 2u);
+    }
+  }
+}
+
+TEST(ThreadPool, UsesMultipleThreadsWhenAsked) {
+  // With tasks long enough to overlap, at least two distinct thread ids
+  // must appear (the caller plus >= 1 pool worker).
+  const std::size_t n = 16;
+  std::vector<std::thread::id> ids(n);
+  parallel_for(n, 1,
+               [&](std::size_t i) {
+                 std::this_thread::sleep_for(std::chrono::milliseconds(20));
+                 ids[i] = std::this_thread::get_id();
+               },
+               /*max_threads=*/4);
+  const std::set<std::thread::id> distinct(ids.begin(), ids.end());
+  EXPECT_GE(distinct.size(), 2u);
+}
+
+TEST(ThreadPool, BackToBackJobsReuseThePool) {
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> sum{0};
+    parallel_for(64, 4,
+                 [&](std::size_t i) {
+                   sum.fetch_add(i, std::memory_order_relaxed);
+                 },
+                 /*max_threads=*/4);
+    EXPECT_EQ(sum.load(), 64u * 63u / 2u);
+  }
+}
+
+}  // namespace
+}  // namespace p2auth::util
