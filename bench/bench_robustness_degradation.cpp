@@ -1,0 +1,230 @@
+// Robustness-degradation sweep: drives the full authentication pipeline
+// under increasing sensor-fault severity (sim/faults.hpp) and records
+// how the error rates degrade.
+//
+// The security invariant under test: faults may cost legitimate
+// acceptance (FRR rises), but must never buy an attacker acceptance —
+// FAR at every severity must stay at or below the clean-input FAR, and
+// every faulted attempt must still produce a decision (no crash).  The
+// binary exits nonzero if either property breaks, so it doubles as the
+// CI fault-injection smoke test (run with --quick under ASan+UBSan).
+//
+// A second check exercises the hardened streaming front-end: a stalled
+// stream (watch stops pushing mid-PIN) must be rejected with
+// RejectReason::kTimeout within timeout_s of injected-clock time.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/authenticator.hpp"
+#include "core/enrollment.hpp"
+#include "core/streaming.hpp"
+#include "sim/attacks.hpp"
+#include "sim/dataset.hpp"
+#include "sim/faults.hpp"
+#include "util/rng.hpp"
+
+using namespace p2auth;
+
+namespace {
+
+struct SeverityResult {
+  double severity = 0.0;
+  std::uint64_t faults = 0;  // fault events injected across all trials
+  int legit_accepts = 0;
+  int attack_accepts = 0;
+  // Same attack trials scored under the permissive ablation policy
+  // (allow_degraded_evidence = true): documents why the strict default
+  // exists — masked-channel scoring buys attacker acceptance.
+  int attack_accepts_permissive = 0;
+  int decided = 0;  // attempts that produced a decision (no exception)
+};
+
+// Stalled-stream check on an injected monotonic clock: push half an
+// attempt, stop the stream, advance the clock past timeout_s and poll.
+bool stalled_stream_times_out(const core::EnrolledUser& user,
+                              bench::BenchReport& report) {
+  double fake_now = 0.0;
+  core::StreamingOptions options;
+  options.timeout_s = 5.0;
+  options.clock = [&fake_now] { return fake_now; };
+  core::StreamingAuthenticator streaming(user, 100.0, 4, options);
+
+  const std::vector<double> sample(4, 0.25);
+  for (int i = 0; i < 100; ++i) streaming.push_sample(sample);  // 1 s
+  streaming.push_keystroke('1', 0.5);
+  fake_now = 4.9;  // just inside the limit: still pending
+  if (streaming.poll().has_value()) {
+    std::fprintf(stderr, "error: attempt decided before the timeout\n");
+    return false;
+  }
+  fake_now = 5.1;  // stream never resumed; wall clock crossed timeout_s
+  const auto result = streaming.poll();
+  if (!result.has_value() ||
+      result->reason != core::RejectReason::kTimeout) {
+    std::fprintf(stderr, "error: stalled stream was not timed out\n");
+    return false;
+  }
+  report.value("stalled_stream_reject_s", fake_now);
+  report.value("stalled_stream_timeout_s", options.timeout_s);
+  std::printf("stalled stream rejected (timeout) at t=%.1f s on the "
+              "injected clock (timeout_s=%.1f)\n",
+              fake_now, options.timeout_s);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+
+  bench::BenchReport report("robustness_degradation");
+  util::Stopwatch clock;
+
+  const std::vector<double> severities =
+      quick ? std::vector<double>{0.0, 0.5, 1.0}
+            : std::vector<double>{0.0, 0.25, 0.5, 0.75, 1.0};
+  const int trials = quick ? 6 : 16;
+
+  // One enrolled user; the same trial seeds are replayed at every
+  // severity so the curves differ only by the injected faults.
+  sim::PopulationConfig population_cfg;
+  population_cfg.num_users = 1;
+  population_cfg.seed = 31337;
+  const sim::Population population = sim::make_population(population_cfg);
+  const keystroke::Pin pin("2580");
+  util::Rng rng(20240831);
+
+  core::EnrolledUser user;
+  {
+    sim::TrialOptions options;
+    std::vector<core::Observation> pos, neg;
+    util::Rng er = rng.fork("enroll");
+    for (sim::Trial& t :
+         sim::make_trials(population.users[0], pin, 6, options, er)) {
+      pos.push_back({std::move(t.entry), std::move(t.trace)});
+    }
+    util::Rng pr = rng.fork("pool");
+    for (sim::Trial& t :
+         sim::make_third_party_pool(population, 30, options, pr)) {
+      neg.push_back({std::move(t.entry), std::move(t.trace)});
+    }
+    core::EnrollmentConfig config;
+    config.rocket.num_features = 2000;
+    user = core::enroll_user(pin, pos, neg, config);
+  }
+
+  std::vector<core::Observation> legit, attacks;
+  for (int i = 0; i < trials; ++i) {
+    util::Rng lr = rng.fork("legit").fork(i);
+    sim::Trial t =
+        sim::make_trial(population.users[0], pin, sim::TrialOptions{}, lr);
+    legit.push_back({std::move(t.entry), std::move(t.trace)});
+    util::Rng ar = rng.fork("attack").fork(i);
+    sim::Trial a = sim::make_emulating_attack(
+        population.attackers[static_cast<std::size_t>(i) %
+                             population.attackers.size()],
+        population.users[0], pin, sim::TrialOptions{},
+        sim::EmulationOptions{}, ar);
+    attacks.push_back({std::move(a.entry), std::move(a.trace)});
+  }
+
+  // The fault draws reuse the same per-trial fork at every severity, so
+  // the severity knob is the only thing that changes along the sweep.
+  core::AuthOptions permissive;
+  permissive.allow_degraded_evidence = true;
+  auto run_side = [&](const std::vector<core::Observation>& side,
+                      double severity, SeverityResult& out, int& accepts,
+                      int* accepts_permissive) {
+    for (std::size_t i = 0; i < side.size(); ++i) {
+      core::Observation obs = side[i];
+      if (severity > 0.0) {
+        sim::FaultConfig fault_cfg;
+        fault_cfg.severity = severity;
+        sim::FaultPlan plan(fault_cfg, rng.fork("fault").fork(i));
+        out.faults += plan.apply(obs.trace, obs.entry).total();
+      }
+      try {
+        accepts += core::authenticate(user, obs).accepted;
+        ++out.decided;
+        if (accepts_permissive != nullptr) {
+          *accepts_permissive +=
+              core::authenticate(user, obs, permissive).accepted;
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: pipeline threw at severity %.2f: %s\n",
+                     severity, e.what());
+      }
+    }
+  };
+
+  util::Table table(
+      {"severity", "faults", "FRR", "FAR", "FAR (permissive)", "decided"});
+  std::vector<SeverityResult> results;
+  for (const double severity : severities) {
+    SeverityResult r;
+    r.severity = severity;
+    run_side(legit, severity, r, r.legit_accepts, nullptr);
+    run_side(attacks, severity, r, r.attack_accepts,
+             &r.attack_accepts_permissive);
+    results.push_back(r);
+    const double frr =
+        1.0 - static_cast<double>(r.legit_accepts) / trials;
+    const double far = static_cast<double>(r.attack_accepts) / trials;
+    const double far_permissive =
+        static_cast<double>(r.attack_accepts_permissive) / trials;
+    table.begin_row()
+        .cell(util::format_double(severity, 2))
+        .cell(std::to_string(r.faults))
+        .cell(bench::pct(frr))
+        .cell(bench::pct(far))
+        .cell(bench::pct(far_permissive))
+        .cell(std::to_string(r.decided) + "/" + std::to_string(2 * trials));
+  }
+
+  report.table(table, "degradation",
+               "Robustness degradation - FRR/FAR vs fault severity (" +
+                   std::to_string(trials) + " legit + " +
+                   std::to_string(trials) + " attack trials per point; "
+                   "permissive = allow_degraded_evidence ablation)");
+
+  // Invariant checks.
+  bool ok = true;
+  const int clean_far_accepts = results.front().attack_accepts;
+  for (const SeverityResult& r : results) {
+    if (r.decided != 2 * trials) {
+      std::fprintf(stderr,
+                   "error: %d/%d attempts crashed at severity %.2f\n",
+                   2 * trials - r.decided, 2 * trials, r.severity);
+      ok = false;
+    }
+    if (r.attack_accepts > clean_far_accepts) {
+      std::fprintf(stderr,
+                   "error: FAR rose under faults (severity %.2f: %d > "
+                   "clean %d) - degradation bought attacker acceptance\n",
+                   r.severity, r.attack_accepts, clean_far_accepts);
+      ok = false;
+    }
+  }
+  report.value("far_clean",
+               static_cast<double>(clean_far_accepts) / trials);
+  report.value("far_never_rises", ok);
+
+  if (!stalled_stream_times_out(user, report)) ok = false;
+
+  const double total_s = clock.seconds();
+  std::printf("total runtime: %.1f s\n", total_s);
+  report.value("total_runtime_s", total_s);
+  report.value("quick", quick);
+  report.write();
+
+  if (!ok) return 1;
+  std::printf("invariant holds: FAR never rose above the clean-input FAR "
+              "and every attempt produced a decision\n");
+  return 0;
+}

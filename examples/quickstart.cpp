@@ -25,9 +25,11 @@ core::Observation observe(sim::Trial trial) {
 }
 
 void report(const char* what, const core::AuthResult& r) {
-  std::printf("%-34s -> %s  (case: %s, reason: %s)\n", what,
+  std::printf("%-34s -> %s  (case: %s, model: %s, reason: %s)\n", what,
               r.accepted ? "ACCEPT" : "REJECT",
-              core::to_string(r.detected_case).c_str(), r.reason.c_str());
+              core::to_string(r.detected_case).c_str(),
+              core::to_string(r.model_path).c_str(),
+              r.reason_text().c_str());
 }
 
 }  // namespace

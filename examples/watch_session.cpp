@@ -46,7 +46,7 @@ core::AuthResult stream_entry(core::StreamingAuthenticator& auth,
   }
   if (auto result = auth.poll()) return *result;
   core::AuthResult incomplete;
-  incomplete.reason = "entry incomplete";
+  incomplete.reason = core::RejectReason::kIncomplete;
   return incomplete;
 }
 
@@ -100,7 +100,7 @@ int main() {
     const core::AuthResult result = stream_entry(streaming, t);
     std::printf("[login]   streaming authentication: %s (%s)\n",
                 result.accepted ? "ACCEPT - session opened" : "REJECT",
-                result.reason.c_str());
+                result.reason_text().c_str());
   }
 
   // 2b. The user tries to pay while walking: the activity detector
@@ -147,7 +147,7 @@ int main() {
     const core::AuthResult result = stream_entry(streaming, t);
     std::printf("[payment] thief types alice's PIN: %s (%s)\n",
                 result.accepted ? "ACCEPTED?!" : "REJECTED",
-                result.reason.c_str());
+                result.reason_text().c_str());
   }
 
   // Streaming health over the whole session (obs-backed stats()).
@@ -161,7 +161,8 @@ int main() {
               static_cast<unsigned long long>(stats.timeouts));
   for (const auto& [reason, count] : stats.rejects_by_reason) {
     std::printf("[stats]   rejected %llu times: %s\n",
-                static_cast<unsigned long long>(count), reason.c_str());
+                static_cast<unsigned long long>(count),
+                core::to_string(reason).c_str());
   }
 
   std::printf("\nWear detection scopes the trusted session; the PPG factor "

@@ -1,6 +1,7 @@
 #include "core/authenticator.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "keystroke/pinpad.hpp"
 #include "obs/metrics.hpp"
@@ -63,19 +64,22 @@ void record_outcome(const AuthResult& result) {
     return;
   }
   obs::add_counter("auth.reject");
-  if (result.pin_checked && !result.pin_ok) {
-    obs::add_counter("auth.reject.wrong_pin");
-  } else if (result.detected_case == DetectedCase::kRejected) {
-    obs::add_counter("auth.reject.too_few_keystrokes");
-  } else {
-    obs::add_counter("auth.reject.model");
-  }
+  obs::add_counter(std::string("auth.reject.") +
+                   reject_reason_slug(result.reason));
 }
 
 AuthResult authenticate_impl(const EnrolledUser& user,
                              const Observation& observation,
                              const AuthOptions& options) {
   AuthResult result;
+
+  // --- Structural sanity: the phone's keystroke log must agree with the
+  // typed PIN.  A duplicated or dropped log event would otherwise index
+  // per-key models out of range; reject loudly instead.
+  if (observation.entry.events.size() != observation.entry.pin.length()) {
+    result.reason = RejectReason::kMalformedEntry;
+    return result;
+  }
 
   // --- Factor 1: PIN verification. ---
   {
@@ -84,7 +88,7 @@ AuthResult authenticate_impl(const EnrolledUser& user,
       result.pin_checked = true;
       result.pin_ok = (observation.entry.pin == user.pin);
       if (!result.pin_ok) {
-        result.reason = "wrong PIN";
+        result.reason = RejectReason::kWrongPin;
         return result;
       }
     } else {
@@ -97,7 +101,25 @@ AuthResult authenticate_impl(const EnrolledUser& user,
       preprocess_entry(observation, options.preprocess);
   result.detected_case = pre.detected_case;
   if (pre.detected_case == DetectedCase::kRejected) {
-    result.reason = "too few keystrokes detected in PPG";
+    result.reason = pre.no_usable_channel()
+                        ? RejectReason::kNoUsableChannel
+                        : RejectReason::kTooFewKeystrokes;
+    return result;
+  }
+
+  // Channel-health policy gate.  Preprocessing proceeded on the
+  // surviving channels (calibration, case identification and telemetry
+  // all completed above), but the enrolled models were fit on
+  // full-channel evidence: a zeroed masked channel is off-manifold input
+  // that measurably raises the false-accept rate when scored (the
+  // robustness-degradation bench demonstrates this).  Under the default
+  // strict policy the biometric factor refuses to vouch on partial
+  // evidence — degradation costs legitimate acceptance, never buys an
+  // attacker's.
+  if (!options.allow_degraded_evidence && !pre.health.channels.empty() &&
+      pre.health.usable_count() < pre.health.channels.size()) {
+    obs::add_counter("auth.degraded_evidence");
+    result.reason = RejectReason::kDegradedEvidence;
     return result;
   }
 
@@ -105,17 +127,54 @@ AuthResult authenticate_impl(const EnrolledUser& user,
   // Covers per-case classification and results integration; segmentation
   // and model spans nest inside it.
   const obs::Span integration("auth.integration", "core");
+
+  // Scoring-window evidence checks (strict policy only).  Channel-level
+  // gating above bounds global corruption; these catch faults localized
+  // inside the exact raw samples a model is about to score — a dropout
+  // hold or rail clip there can drift a borderline decision score across
+  // the accept boundary even though the channel as a whole stayed under
+  // every health budget.
+  const bool strict = !options.allow_degraded_evidence;
+  const double rate = pre.rate_hz;
+  auto segment_evidence_ok = [&](std::size_t idx) {
+    const auto before = static_cast<std::size_t>(
+        options.segmentation.segment_before_s * rate);
+    const auto after = static_cast<std::size_t>(
+        options.segmentation.segment_after_s * rate);
+    return window_evidence_ok(observation.trace, pre.health,
+                              idx > before ? idx - before : 0, idx + after,
+                              options.preprocess.quality);
+  };
+  auto used_segments_ok = [&] {
+    for (std::size_t i = 0; i < pre.keystroke_present.size(); ++i) {
+      if (pre.keystroke_present[i] &&
+          !segment_evidence_ok(pre.calibrated_indices[i])) {
+        return false;
+      }
+    }
+    return true;
+  };
+
   if (pre.detected_case == DetectedCase::kOneHanded) {
     if (user.pin.empty()) {
       // No-PIN mode: verify each keystroke; >= 3 of 4 must pass.
+      if (strict && !used_segments_ok()) {
+        result.reason = RejectReason::kDegradedEvidence;
+        return result;
+      }
       result.votes = vote_keystrokes(user, pre, observation, options);
+      result.model_path = ModelPath::kPerKeyVotes;
       result.accepted = passing(result.votes) >= 3;
-      result.reason = result.accepted ? "no-PIN keystroke pattern verified"
-                                      : "no-PIN keystroke pattern rejected";
+      result.reason =
+          result.accepted ? RejectReason::kNone : RejectReason::kVotesRejected;
       return result;
     }
     if (user.privacy_boost && user.boost_model.has_value()) {
       // Fused single-keystroke waveform (privacy boost).
+      if (strict && !used_segments_ok()) {
+        result.reason = RejectReason::kDegradedEvidence;
+        return result;
+      }
       std::vector<std::vector<Series>> segments;
       for (std::size_t i = 0; i < pre.keystroke_present.size(); ++i) {
         if (!pre.keystroke_present[i]) continue;
@@ -125,13 +184,14 @@ AuthResult authenticate_impl(const EnrolledUser& user,
       }
       const std::vector<Series> fused = fuse_segments(segments);
       result.waveform_score = user.boost_model->decision(fused);
+      result.model_path = ModelPath::kBoost;
       result.accepted = result.waveform_score >= 0.0;
-      result.reason = result.accepted ? "boost model accepted"
-                                      : "boost model rejected";
+      result.reason =
+          result.accepted ? RejectReason::kNone : RejectReason::kModelRejected;
       return result;
     }
     if (!user.full_model.has_value()) {
-      result.reason = "no full-waveform model enrolled";
+      result.reason = RejectReason::kNoModel;
       return result;
     }
     std::size_t first = pre.calibrated_indices.front();
@@ -141,17 +201,34 @@ AuthResult authenticate_impl(const EnrolledUser& user,
         break;
       }
     }
+    const auto lead = static_cast<std::size_t>(
+        options.segmentation.full_lead_s * rate);
+    const auto span = static_cast<std::size_t>(
+        options.segmentation.full_span_s * rate);
+    const std::size_t window_begin = first > lead ? first - lead : 0;
+    if (strict && !window_evidence_ok(observation.trace, pre.health,
+                                      window_begin, window_begin + span,
+                                      options.preprocess.quality)) {
+      result.reason = RejectReason::kDegradedEvidence;
+      return result;
+    }
     const std::vector<Series> full = extract_full_waveform(
         pre.filtered, first, pre.rate_hz, options.segmentation);
     result.waveform_score = user.full_model->decision(full);
+    result.model_path = ModelPath::kFullWaveform;
     result.accepted = result.waveform_score >= 0.0;
     result.reason =
-        result.accepted ? "full model accepted" : "full model rejected";
+        result.accepted ? RejectReason::kNone : RejectReason::kModelRejected;
     return result;
   }
 
   // Two-handed cases: single-waveform models + results integration.
+  if (strict && !used_segments_ok()) {
+    result.reason = RejectReason::kDegradedEvidence;
+    return result;
+  }
   result.votes = vote_keystrokes(user, pre, observation, options);
+  result.model_path = ModelPath::kPerKeyVotes;
   const std::size_t pass = passing(result.votes);
   switch (options.integration) {
     case IntegrationPolicy::kPaper:
@@ -170,8 +247,8 @@ AuthResult authenticate_impl(const EnrolledUser& user,
       result.accepted = pass >= 1;
       break;
   }
-  result.reason = result.accepted ? "keystroke votes accepted"
-                                  : "keystroke votes rejected";
+  result.reason =
+      result.accepted ? RejectReason::kNone : RejectReason::kVotesRejected;
   return result;
 }
 

@@ -38,6 +38,15 @@ struct AuthOptions {
   // PIN check is skipped so the PPG factor alone is evaluated (see
   // EXPERIMENTS.md on how the paper's random-attack TRR is interpreted).
   bool skip_pin_check = false;
+  // Channel-health policy for the biometric factor.  The enrolled models
+  // are fit on full-channel evidence; a masked (zeroed) channel is
+  // off-manifold input they were never calibrated for, and scoring it
+  // can *raise* the false-accept rate (measured by
+  // bench_robustness_degradation).  With the default strict policy an
+  // attempt with any masked model channel rejects with
+  // RejectReason::kDegradedEvidence; true scores it anyway (research /
+  // ablation use only — never production).
+  bool allow_degraded_evidence = false;
 };
 
 struct AuthResult {
@@ -49,7 +58,13 @@ struct AuthResult {
   std::vector<int> votes;
   // Decision value of the full/boost model when it was consulted.
   double waveform_score = 0.0;
-  std::string reason;
+  // Typed rejection reason (kNone when accepted) and the model family
+  // that produced the biometric decision (kNone when none was reached).
+  RejectReason reason = RejectReason::kNone;
+  ModelPath model_path = ModelPath::kNone;
+
+  // Human-readable reason ("wrong PIN", "attempt timed out", ...).
+  std::string reason_text() const { return to_string(reason); }
 };
 
 // Runs two-factor authentication of `observation` against `user`.

@@ -39,6 +39,84 @@ std::string to_string(DetectedCase c) {
   return "?";
 }
 
+std::string to_string(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kWrongPin:
+      return "wrong PIN";
+    case RejectReason::kMalformedEntry:
+      return "malformed keystroke log";
+    case RejectReason::kTooFewKeystrokes:
+      return "too few keystrokes detected in PPG";
+    case RejectReason::kNoUsableChannel:
+      return "no usable PPG channel";
+    case RejectReason::kDegradedEvidence:
+      return "masked channel degraded biometric evidence";
+    case RejectReason::kNoModel:
+      return "required model not enrolled";
+    case RejectReason::kModelRejected:
+      return "waveform model rejected";
+    case RejectReason::kVotesRejected:
+      return "keystroke votes rejected";
+    case RejectReason::kTimeout:
+      return "attempt timed out";
+    case RejectReason::kBufferOverflow:
+      return "sample buffer overflowed";
+    case RejectReason::kLockedOut:
+      return "locked out (backoff)";
+    case RejectReason::kIncomplete:
+      return "entry incomplete";
+  }
+  return "?";
+}
+
+const char* reject_reason_slug(RejectReason r) noexcept {
+  switch (r) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kWrongPin:
+      return "wrong_pin";
+    case RejectReason::kMalformedEntry:
+      return "malformed_entry";
+    case RejectReason::kTooFewKeystrokes:
+      return "too_few_keystrokes";
+    case RejectReason::kNoUsableChannel:
+      return "no_usable_channel";
+    case RejectReason::kDegradedEvidence:
+      return "degraded_evidence";
+    case RejectReason::kNoModel:
+      return "no_model";
+    case RejectReason::kModelRejected:
+      return "model";
+    case RejectReason::kVotesRejected:
+      return "votes";
+    case RejectReason::kTimeout:
+      return "timeout";
+    case RejectReason::kBufferOverflow:
+      return "buffer_overflow";
+    case RejectReason::kLockedOut:
+      return "locked_out";
+    case RejectReason::kIncomplete:
+      return "incomplete";
+  }
+  return "?";
+}
+
+std::string to_string(ModelPath p) {
+  switch (p) {
+    case ModelPath::kNone:
+      return "none";
+    case ModelPath::kFullWaveform:
+      return "full-waveform";
+    case ModelPath::kBoost:
+      return "boost";
+    case ModelPath::kPerKeyVotes:
+      return "per-key-votes";
+  }
+  return "?";
+}
+
 DetectedCase classify_case(std::size_t detected_count) noexcept {
   switch (detected_count) {
     case 4:
@@ -63,34 +141,72 @@ PreprocessedEntry preprocess_entry(const Observation& observation,
   if (options.reference_channel >= trace.num_channels()) {
     throw std::invalid_argument("preprocess_entry: bad reference channel");
   }
-  // A corrupted sensor stream must never silently reach the classifier.
   for (const Series& ch : trace.channels) {
     if (ch.size() != trace.length()) {
       throw std::invalid_argument("preprocess_entry: ragged channels");
-    }
-    for (const double v : ch) {
-      if (!std::isfinite(v)) {
-        throw std::invalid_argument(
-            "preprocess_entry: non-finite sample in trace");
-      }
     }
   }
   const double rate = trace.rate_hz;
 
   PreprocessedEntry out;
   out.rate_hz = rate;
+  out.reference_channel_used = options.reference_channel;
 
-  // 1.1 Noise Removal: median filter per channel.
+  // 1.0 Channel-health gating: score every channel; mask the unusable
+  // ones so one bad channel never poisons the attempt.  With gating off
+  // the legacy strict contract applies instead: a corrupted sensor stream
+  // must never silently reach the classifier.
+  if (options.gate_channels) {
+    const obs::Span stage("preprocess.channel_gating", "core");
+    out.health = assess_channels(trace, options.quality);
+    if (!out.health.any_usable()) {
+      // Every channel dead/poisoned: reject before filtering.  Callers
+      // see detected_case == kRejected plus no_usable_channel().
+      obs::add_counter("preprocess.entries");
+      obs::add_counter("preprocess.reject.no_usable_channel");
+      out.detected_case = DetectedCase::kRejected;
+      return out;
+    }
+    out.reference_channel_used =
+        pick_reference_channel(out.health, options.reference_channel);
+  } else {
+    for (const Series& ch : trace.channels) {
+      for (const double v : ch) {
+        if (!std::isfinite(v)) {
+          throw std::invalid_argument(
+              "preprocess_entry: non-finite sample in trace");
+        }
+      }
+    }
+  }
+
+  // 1.1 Noise Removal: median filter per channel.  Masked channels are
+  // zeroed — removing their evidence entirely — never interpolated into
+  // plausible physiology, so gating cannot manufacture acceptance.
   {
     const obs::Span stage("preprocess.noise_removal", "core");
     const std::size_t median_w =
         scaled(options.median_window_100hz, rate, /*keep_odd=*/true);
     out.filtered.reserve(trace.num_channels());
-    for (const Series& ch : trace.channels) {
-      out.filtered.push_back(signal::median_filter(ch, median_w));
+    for (std::size_t c = 0; c < trace.num_channels(); ++c) {
+      if (!out.health.channels.empty() && !out.health.channels[c].usable) {
+        out.filtered.emplace_back(trace.length(), 0.0);
+        continue;
+      }
+      if (!out.health.channels.empty() &&
+          out.health.channels[c].nan_rate > 0.0) {
+        // Usable despite stray non-finite samples (a raised max_nan_rate):
+        // hold-repair them so the filter chain only ever sees finite data.
+        Series repaired = trace.channels[c];
+        repair_nonfinite(repaired);
+        out.filtered.push_back(signal::median_filter(repaired, median_w));
+        continue;
+      }
+      out.filtered.push_back(
+          signal::median_filter(trace.channels[c], median_w));
     }
   }
-  const Series& reference = out.filtered[options.reference_channel];
+  const Series& reference = out.filtered[out.reference_channel_used];
 
   // 1.2 Fine-grained Keystroke Time Calibration on the reference channel.
   {

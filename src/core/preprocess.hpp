@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/quality.hpp"
 #include "core/types.hpp"
 #include "signal/energy.hpp"
 #include "signal/peaks.hpp"
@@ -34,8 +35,16 @@ struct PreprocessOptions {
   // half the mean energy).
   signal::EnergyDetectorOptions energy{};
   // Channel used for calibration / case identification (0 = sensor-1
-  // infrared, the cleanest channel).
+  // infrared, the cleanest channel).  When channel gating masks it, the
+  // healthiest surviving channel substitutes (PreprocessedEntry reports
+  // which channel was actually used).
   std::size_t reference_channel = 0;
+  // Degraded-sensor resilience: score every channel's health and mask
+  // unusable ones (zeroed, never filtered) instead of aborting the whole
+  // attempt.  With gating off the legacy strict contract applies: any
+  // non-finite sample throws std::invalid_argument.
+  bool gate_channels = true;
+  QualityOptions quality{};
 };
 
 struct PreprocessedEntry {
@@ -54,10 +63,24 @@ struct PreprocessedEntry {
   // the watch-wearing hand?
   std::vector<bool> keystroke_present;
   DetectedCase detected_case = DetectedCase::kRejected;
+  // Channel-health gating outcome (empty when gate_channels was off).
+  ChannelHealth health;
+  // Reference channel actually used after gating (== the configured one
+  // unless it was masked).
+  std::size_t reference_channel_used = 0;
+
+  // True when gating masked every channel: the entry was rejected before
+  // filtering and only `health` is meaningful.
+  bool no_usable_channel() const noexcept {
+    return !health.channels.empty() && !health.any_usable();
+  }
 };
 
 // Runs the full preprocessing stage on one observation.  Throws
-// std::invalid_argument on empty traces or missing reference channel.
+// std::invalid_argument on empty traces, ragged channels or a missing
+// reference channel; with gating disabled also on non-finite samples.
+// With gating enabled a fully masked trace returns detected_case ==
+// kRejected with no_usable_channel() set instead of throwing.
 PreprocessedEntry preprocess_entry(const Observation& observation,
                                    const PreprocessOptions& options = {});
 

@@ -1,0 +1,187 @@
+#include "core/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace p2auth::core {
+
+namespace {
+
+ChannelQuality assess_one(const Series& ch, std::size_t window,
+                          const QualityOptions& options) {
+  ChannelQuality q;
+  const std::size_t n = ch.size();
+
+  // Pass 1: non-finite rate and the finite value range.
+  std::size_t nonfinite = 0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const double v : ch) {
+    if (!std::isfinite(v)) {
+      ++nonfinite;
+      continue;
+    }
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  q.nan_rate = static_cast<double>(nonfinite) / static_cast<double>(n);
+  if (nonfinite == n) {
+    // Nothing finite at all: maximally bad on every axis.
+    q.flatline_fraction = 1.0;
+    q.saturation_fraction = 1.0;
+    q.usable = false;
+    return q;
+  }
+  const double range = hi - lo;
+
+  // Pass 2: flat windows (peak-to-peak below epsilon).  Non-finite
+  // samples inside a window do not rescue it from being flat.
+  const double flat_eps = options.flatline_epsilon_abs +
+                          options.flatline_epsilon_rel * range;
+  std::size_t windows = 0, flat_windows = 0;
+  for (std::size_t start = 0; start < n; start += window) {
+    const std::size_t end = std::min(n, start + window);
+    double wlo = std::numeric_limits<double>::infinity();
+    double whi = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = start; i < end; ++i) {
+      if (!std::isfinite(ch[i])) continue;
+      wlo = std::min(wlo, ch[i]);
+      whi = std::max(whi, ch[i]);
+    }
+    ++windows;
+    if (!(whi - wlo > flat_eps)) ++flat_windows;  // also flat when all-NaN
+  }
+  q.flatline_fraction =
+      static_cast<double>(flat_windows) / static_cast<double>(windows);
+
+  // Pass 3: rail saturation.  A clipped channel pins a large fraction of
+  // samples within a narrow band of its extreme values; a healthy pulse
+  // touches its extremes only at isolated peaks.
+  if (range > 0.0) {
+    const double band = options.saturation_band_rel * range;
+    std::size_t at_hi = 0, at_lo = 0, finite = 0;
+    for (const double v : ch) {
+      if (!std::isfinite(v)) continue;
+      ++finite;
+      if (v >= hi - band) ++at_hi;
+      if (v <= lo + band) ++at_lo;
+    }
+    q.saturation_fraction = static_cast<double>(std::max(at_hi, at_lo)) /
+                            static_cast<double>(finite);
+  } else {
+    q.saturation_fraction = 1.0;  // constant channel: pinned everywhere
+  }
+
+  q.usable = q.nan_rate <= options.max_nan_rate &&
+             q.flatline_fraction <= options.max_flatline_fraction &&
+             q.saturation_fraction <= options.max_saturation_fraction;
+  return q;
+}
+
+}  // namespace
+
+std::size_t ChannelHealth::usable_count() const noexcept {
+  std::size_t count = 0;
+  for (const ChannelQuality& q : channels) count += q.usable ? 1 : 0;
+  return count;
+}
+
+ChannelHealth assess_channels(const ppg::MultiChannelTrace& trace,
+                              const QualityOptions& options) {
+  const obs::Span span("quality.assess", "core");
+  if (trace.channels.empty() || trace.length() == 0) {
+    throw std::invalid_argument("assess_channels: empty trace");
+  }
+  for (const Series& ch : trace.channels) {
+    if (ch.size() != trace.length()) {
+      throw std::invalid_argument("assess_channels: ragged channels");
+    }
+  }
+  const double f = trace.rate_hz / 100.0;
+  const std::size_t window = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::round(
+             static_cast<double>(options.window_100hz) * f)));
+
+  ChannelHealth health;
+  health.channels.reserve(trace.num_channels());
+  for (const Series& ch : trace.channels) {
+    health.channels.push_back(assess_one(ch, window, options));
+  }
+  obs::add_counter("quality.assessed_channels", health.channels.size());
+  obs::add_counter("quality.masked_channels",
+                   health.channels.size() - health.usable_count());
+  return health;
+}
+
+std::size_t pick_reference_channel(const ChannelHealth& health,
+                                   std::size_t preferred) {
+  if (preferred < health.channels.size() &&
+      health.channels[preferred].usable) {
+    return preferred;
+  }
+  std::size_t best = health.channels.size();
+  double best_badness = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < health.channels.size(); ++c) {
+    if (!health.channels[c].usable) continue;
+    if (health.channels[c].badness() < best_badness) {
+      best = c;
+      best_badness = health.channels[c].badness();
+    }
+  }
+  if (best == health.channels.size()) {
+    throw std::logic_error("pick_reference_channel: no usable channel");
+  }
+  return best;
+}
+
+void repair_nonfinite(Series& series) noexcept {
+  double last = 0.0;
+  for (double& v : series) {
+    if (std::isfinite(v)) {
+      last = v;
+    } else {
+      v = last;
+    }
+  }
+}
+
+std::size_t longest_constant_run(const Series& series, std::size_t begin,
+                                 std::size_t end) noexcept {
+  end = std::min(end, series.size());
+  if (begin >= end) return 0;
+  std::size_t longest = 0, run = 0;
+  double prev = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t i = begin; i < end; ++i) {
+    const double v = series[i];
+    if (std::isfinite(v) && v == prev) {
+      ++run;
+    } else {
+      run = std::isfinite(v) ? 1 : 0;
+    }
+    prev = v;
+    longest = std::max(longest, run);
+  }
+  return longest;
+}
+
+bool window_evidence_ok(const ppg::MultiChannelTrace& trace,
+                        const ChannelHealth& health, std::size_t begin,
+                        std::size_t end, const QualityOptions& options) {
+  const auto max_run = static_cast<std::size_t>(std::max(
+      2.0, std::round(options.max_hold_s * trace.rate_hz)));
+  for (std::size_t c = 0; c < trace.num_channels(); ++c) {
+    if (c < health.channels.size() && !health.channels[c].usable) continue;
+    if (longest_constant_run(trace.channels[c], begin, end) > max_run) {
+      obs::add_counter("quality.corrupted_windows");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace p2auth::core

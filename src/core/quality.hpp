@@ -1,0 +1,106 @@
+// Channel-health gating (degraded-sensor resilience).
+//
+// Real wrist wear delivers dropouts, saturated LEDs and NaN bursts on
+// individual MAX30101 channels; a single bad channel must not poison the
+// whole attempt, and a fully dead sensor must reject loudly instead of
+// routing garbage to a classifier.  This module scores every channel of
+// a MultiChannelTrace over sliding windows (non-finite rate, flatline
+// fraction, saturation fraction) and declares each channel usable or
+// not; preprocessing masks unusable channels and proceeds on the
+// surviving subset (see core/preprocess.hpp).
+//
+// Security invariant: gating only ever *removes* evidence.  Masked
+// channels are zeroed (never interpolated into plausible physiology), so
+// degradation can cost legitimate acceptance but cannot manufacture an
+// attacker's acceptance.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace p2auth::core {
+
+struct QualityOptions {
+  // Sliding analysis window at the 100 Hz reference rate (scaled
+  // linearly with the trace rate, like every preprocess parameter).
+  std::size_t window_100hz = 50;
+  // A window whose peak-to-peak amplitude is below
+  //   flatline_epsilon_abs + flatline_epsilon_rel * channel_range
+  // counts as flat (dead sensor / dropout hold).
+  double flatline_epsilon_abs = 1e-9;
+  double flatline_epsilon_rel = 1e-6;
+  // Samples within saturation_band_rel * channel_range of the channel's
+  // extreme values count as pinned at an ADC rail.
+  double saturation_band_rel = 5e-3;
+  // Usability thresholds.  Any non-finite sample disqualifies by default
+  // (max_nan_rate = 0): the filter chain propagates NaN, so a channel
+  // carrying NaN must be masked, not averaged.
+  double max_nan_rate = 0.0;
+  double max_flatline_fraction = 0.5;
+  double max_saturation_fraction = 0.25;
+  // Scoring-window evidence check (see window_evidence_ok): the longest
+  // tolerated run of exactly-constant samples inside a model's scoring
+  // window.  Real sensor samples carry noise, so a longer run is a fault
+  // symptom (dropout hold, rail clipping, a dying channel) localized
+  // inside the evidence the classifier is about to score.
+  double max_hold_s = 0.08;
+};
+
+// Health scores of one channel, all in [0, 1].
+struct ChannelQuality {
+  double nan_rate = 0.0;             // non-finite samples / samples
+  double flatline_fraction = 0.0;    // flat windows / windows
+  double saturation_fraction = 0.0;  // rail-pinned samples / finite samples
+  bool usable = true;
+
+  // Combined badness used to rank surviving channels (lower = healthier).
+  double badness() const noexcept {
+    return nan_rate + flatline_fraction + saturation_fraction;
+  }
+};
+
+// Per-channel health report for one trace.
+struct ChannelHealth {
+  std::vector<ChannelQuality> channels;
+
+  std::size_t usable_count() const noexcept;
+  bool any_usable() const noexcept { return usable_count() > 0; }
+};
+
+// Scores every channel of `trace`.  Throws std::invalid_argument on an
+// empty trace or ragged channels.
+ChannelHealth assess_channels(const ppg::MultiChannelTrace& trace,
+                              const QualityOptions& options = {});
+
+// Picks the reference channel for calibration / case identification:
+// `preferred` when it is usable, otherwise the healthiest usable channel
+// (lowest badness, ties to the lowest index).  Throws std::logic_error
+// when no channel is usable.
+std::size_t pick_reference_channel(const ChannelHealth& health,
+                                   std::size_t preferred);
+
+// In-place previous-sample-hold repair of non-finite values (leading
+// non-finite samples become 0).  Used on channels whose nan_rate passed a
+// non-zero max_nan_rate, so the filter chain still only sees finite data.
+void repair_nonfinite(Series& series) noexcept;
+
+// Longest run of consecutive exactly-equal finite samples within
+// [begin, end) of `series` (bounds clamped to the series).  Non-finite
+// samples break a run.
+std::size_t longest_constant_run(const Series& series, std::size_t begin,
+                                 std::size_t end) noexcept;
+
+// Scoring-window evidence check: true when the raw-trace window
+// [begin, end) is free of constant-run fault symptoms on every channel
+// still marked usable by `health` (masked channels are already zeroed
+// out of the evidence and are skipped).  Channel-level gating bounds
+// *global* corruption; this catches faults localized inside the very
+// samples a model is about to score, where even a short dropout or rail
+// hold can drift a decision score across the boundary.
+bool window_evidence_ok(const ppg::MultiChannelTrace& trace,
+                        const ChannelHealth& health, std::size_t begin,
+                        std::size_t end, const QualityOptions& options = {});
+
+}  // namespace p2auth::core

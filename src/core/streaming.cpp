@@ -1,5 +1,8 @@
 #include "core/streaming.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -9,6 +12,16 @@
 
 namespace p2auth::core {
 
+namespace {
+
+double steady_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 StreamingAuthenticator::StreamingAuthenticator(const EnrolledUser& user,
                                                double rate_hz,
                                                std::size_t channels,
@@ -16,7 +29,7 @@ StreamingAuthenticator::StreamingAuthenticator(const EnrolledUser& user,
     : user_(user),
       rate_hz_(rate_hz),
       channels_(channels),
-      options_(options) {
+      options_(std::move(options)) {
   if (rate_hz <= 0.0) {
     throw std::invalid_argument(
         "StreamingAuthenticator: rate must be positive");
@@ -27,8 +40,30 @@ StreamingAuthenticator::StreamingAuthenticator(const EnrolledUser& user,
   if (options_.tail_s < 0.0 || options_.timeout_s <= 0.0) {
     throw std::invalid_argument("StreamingAuthenticator: bad time limits");
   }
+  if (options_.lockout_threshold > 0 &&
+      (options_.lockout_base_s <= 0.0 ||
+       options_.lockout_max_s < options_.lockout_base_s)) {
+    throw std::invalid_argument("StreamingAuthenticator: bad lockout");
+  }
+  max_buffer_samples_ =
+      options_.max_buffer_samples > 0
+          ? options_.max_buffer_samples
+          : static_cast<std::size_t>(2.0 * options_.timeout_s * rate_hz_);
   trace_.rate_hz = rate_hz;
   trace_.channels.assign(channels, {});
+}
+
+double StreamingAuthenticator::now() const {
+  return options_.clock ? options_.clock() : steady_seconds();
+}
+
+bool StreamingAuthenticator::locked_out() const {
+  return locked_ && now() < locked_until_;
+}
+
+double StreamingAuthenticator::lockout_remaining_s() const {
+  if (!locked_) return 0.0;
+  return std::max(0.0, locked_until_ - now());
 }
 
 void StreamingAuthenticator::push_sample(std::span<const double> sample) {
@@ -36,22 +71,54 @@ void StreamingAuthenticator::push_sample(std::span<const double> sample) {
     throw std::invalid_argument(
         "StreamingAuthenticator::push_sample: channel count mismatch");
   }
-  for (std::size_t c = 0; c < channels_; ++c) {
-    trace_.channels[c].push_back(sample[c]);
-  }
   ++stats_.samples;
+  if (!attempt_open_) {
+    attempt_open_ = true;
+    attempt_start_ = now();
+  }
+  if (trace_.length() >= max_buffer_samples_) {
+    // Bounded buffer: drop the sample, flag the attempt.  poll() turns
+    // the flag into a loud kBufferOverflow rejection.
+    overflowed_ = true;
+    ++stats_.overflow_dropped;
+    obs::add_counter("streaming.overflow_dropped");
+    return;
+  }
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double v = sample[c];
+    if (!std::isfinite(v)) {
+      // Ingest sanitisation: a non-finite reading never enters the
+      // buffer.  Previous-sample hold keeps the stream clock aligned.
+      v = trace_.channels[c].empty() ? 0.0 : trace_.channels[c].back();
+      ++stats_.nonfinite_values;
+      obs::add_counter("streaming.nonfinite_values");
+    }
+    trace_.channels[c].push_back(v);
+  }
 }
 
 void StreamingAuthenticator::push_keystroke(char digit,
                                             double recorded_time_s) {
+  // Validate *before* mutating the attempt: a throw must leave the
+  // half-typed entry exactly as it was (events and PIN in sync).
+  if (!std::isfinite(recorded_time_s)) {
+    throw std::invalid_argument(
+        "StreamingAuthenticator::push_keystroke: non-finite timestamp");
+  }
+  std::string digits = entry_.pin.digits();
+  digits.push_back(digit);
+  keystroke::Pin pin(digits);  // throws on non-digit
+
+  if (!attempt_open_) {
+    attempt_open_ = true;
+    attempt_start_ = now();
+  }
   keystroke::KeystrokeEvent event;
-  event.digit = digit;  // validity checked by Pin construction below
+  event.digit = digit;
   event.recorded_time_s = recorded_time_s;
   event.true_time_s = recorded_time_s;  // truth is unknown on-device
   entry_.events.push_back(event);
-  std::string digits = entry_.pin.digits();
-  digits.push_back(digit);
-  entry_.pin = keystroke::Pin(digits);  // throws on non-digit
+  entry_.pin = std::move(pin);
   ++stats_.keystrokes;
 }
 
@@ -62,6 +129,16 @@ double StreamingAuthenticator::buffered_seconds() const noexcept {
 void StreamingAuthenticator::reset() {
   for (auto& ch : trace_.channels) ch.clear();
   entry_ = keystroke::EntryRecord{};
+  attempt_open_ = false;
+  attempt_start_ = -1.0;
+  overflowed_ = false;
+}
+
+AuthResult StreamingAuthenticator::make_reject(RejectReason reason) {
+  AuthResult result;
+  result.accepted = false;
+  result.reason = reason;
+  return result;
 }
 
 AuthResult StreamingAuthenticator::finish_attempt(AuthResult result) {
@@ -70,27 +147,74 @@ AuthResult StreamingAuthenticator::finish_attempt(AuthResult result) {
   if (result.accepted) {
     ++stats_.accepted;
     obs::add_counter("streaming.accepted");
+    consecutive_rejects_ = 0;
+    lockout_level_ = 0;
   } else {
     ++stats_.rejects_by_reason[result.reason];
     obs::add_counter("streaming.rejects");
+    obs::add_counter(std::string("streaming.reject.") +
+                     reject_reason_slug(result.reason));
+    // Lockout state machine: genuine rejections count toward the
+    // threshold; refusals issued *by* the lockout do not re-arm it.
+    if (options_.lockout_threshold > 0 &&
+        result.reason != RejectReason::kLockedOut) {
+      if (++consecutive_rejects_ >= options_.lockout_threshold) {
+        const double backoff = std::min(
+            options_.lockout_max_s,
+            options_.lockout_base_s *
+                std::pow(2.0, static_cast<double>(lockout_level_)));
+        locked_ = true;
+        locked_until_ = now() + backoff;
+        ++lockout_level_;
+        consecutive_rejects_ = 0;
+        ++stats_.lockouts;
+        obs::add_counter("streaming.lockouts");
+      }
+    }
   }
   return result;
 }
 
 std::optional<AuthResult> StreamingAuthenticator::poll() {
-  if (trace_.length() == 0) return std::nullopt;
+  if (!attempt_active()) return std::nullopt;
   const obs::ScopedLatency latency("streaming.poll_us");
   obs::set_gauge("streaming.buffer_samples",
                  static_cast<double>(trace_.length()));
 
-  if (buffered_seconds() > options_.timeout_s) {
+  // Lockout backoff: refuse the pending attempt outright.
+  if (locked_out()) {
+    obs::add_counter("streaming.dropped_samples", trace_.length());
     reset();
-    AuthResult timed_out;
-    timed_out.accepted = false;
-    timed_out.reason = "attempt timed out";
+    obs::set_gauge("streaming.buffer_samples", 0.0);
+    ++stats_.lockout_rejects;
+    return finish_attempt(make_reject(RejectReason::kLockedOut));
+  }
+
+  // Buffer overflow: the attempt already lost samples; no sound decision
+  // can be made from a truncated trace.
+  if (overflowed_) {
+    obs::add_counter("streaming.dropped_samples", trace_.length());
+    reset();
+    obs::set_gauge("streaming.buffer_samples", 0.0);
+    return finish_attempt(make_reject(RejectReason::kBufferOverflow));
+  }
+
+  // Attempt age is the larger of stream time and monotonic-clock time
+  // since the first push: a runaway stream trips the former, a stalled
+  // stream (no samples arriving, so buffered_seconds() stops growing)
+  // trips the latter.
+  const double age =
+      std::max(buffered_seconds(),
+               attempt_open_ ? now() - attempt_start_ : 0.0);
+  if (age > options_.timeout_s) {
+    // Account for the dropped buffer before clearing it (the decide path
+    // hands its samples to the pipeline; the timeout path just drops).
+    obs::add_counter("streaming.dropped_samples", trace_.length());
+    reset();
+    obs::set_gauge("streaming.buffer_samples", 0.0);
     ++stats_.timeouts;
     obs::add_counter("streaming.timeouts");
-    return finish_attempt(std::move(timed_out));
+    return finish_attempt(make_reject(RejectReason::kTimeout));
   }
 
   std::size_t expected = options_.expected_keystrokes;

@@ -33,4 +33,42 @@ enum class DetectedCase {
 
 std::string to_string(DetectedCase c);
 
+// Why an attempt was rejected.  Typed so stats maps, obs counters and
+// callers branch on an enum instead of free-form strings; `kNone` marks
+// an accepted (or not-yet-decided) attempt.
+enum class RejectReason {
+  kNone,             // accepted / no rejection recorded
+  kWrongPin,         // factor 1 failed
+  kMalformedEntry,   // keystroke log inconsistent with the typed PIN
+  kTooFewKeystrokes, // <= 1 keystroke detected in the PPG
+  kNoUsableChannel,  // channel-health gating masked every PPG channel
+  kDegradedEvidence,  // some model channel masked; strict policy refuses
+                      // to score partial biometric evidence
+  kNoModel,          // required model not enrolled
+  kModelRejected,    // full/boost waveform model voted no
+  kVotesRejected,    // per-key vote integration failed
+  kTimeout,          // streaming: attempt aged past timeout_s
+  kBufferOverflow,   // streaming: bounded sample buffer overflowed
+  kLockedOut,        // streaming: lockout backoff in force
+  kIncomplete,       // stream ended before the attempt became decidable
+};
+
+// Human-readable form ("wrong PIN", "attempt timed out", ...).
+std::string to_string(RejectReason r);
+
+// Stable snake_case slug used to key obs counters
+// ("auth.reject.<slug>", "streaming.reject.<slug>").
+const char* reject_reason_slug(RejectReason r) noexcept;
+
+// Which model family produced the biometric decision (kNone when the
+// attempt never reached a model: wrong PIN, gating, timeout, ...).
+enum class ModelPath {
+  kNone,
+  kFullWaveform,  // one-handed full-waveform model
+  kBoost,         // privacy-boost fused model
+  kPerKeyVotes,   // per-key single-waveform models + integration
+};
+
+std::string to_string(ModelPath p);
+
 }  // namespace p2auth::core

@@ -1,0 +1,151 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace p2auth::sim {
+
+namespace {
+
+struct Range {
+  double lo = 0.0;
+  double hi = 0.0;
+  double span() const noexcept { return hi - lo; }
+};
+
+Range finite_range(const std::vector<double>& ch) {
+  Range r{std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()};
+  for (const double v : ch) {
+    if (!std::isfinite(v)) continue;
+    r.lo = std::min(r.lo, v);
+    r.hi = std::max(r.hi, v);
+  }
+  if (r.lo > r.hi) r = {0.0, 0.0};  // nothing finite
+  return r;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultConfig config, util::Rng rng)
+    : config_(config), rng_(rng) {
+  config_.severity = std::clamp(config_.severity, 0.0, 1.0);
+}
+
+FaultLog FaultPlan::apply(ppg::MultiChannelTrace& trace,
+                          keystroke::EntryRecord& entry) {
+  FaultLog log;
+  const double s = config_.severity;
+  if (s <= 0.0) return log;
+  const std::size_t n = trace.length();
+  const double rate = trace.rate_hz;
+
+  for (auto& ch : trace.channels) {
+    if (ch.size() != n || n == 0) continue;  // ragged/empty: leave alone
+    const Range range = finite_range(ch);
+
+    // Transient dropout: the sensor reads 0 for a span.
+    if (rng_.uniform() < s * config_.dropout_prob) {
+      const auto span = static_cast<std::size_t>(
+          std::max(1.0, s * config_.dropout_s * rate));
+      const std::size_t start = rng_.uniform_int(
+          static_cast<std::uint32_t>(std::max<std::size_t>(1, n - 1)));
+      for (std::size_t i = start; i < std::min(n, start + span); ++i) {
+        ch[i] = 0.0;
+      }
+      ++log.dropouts;
+    }
+
+    // Hard failure: hold the last value from a random instant onward.
+    if (rng_.uniform() < s * config_.flatline_prob) {
+      const std::size_t start =
+          rng_.uniform_int(static_cast<std::uint32_t>(n));
+      const double held = std::isfinite(ch[start]) ? ch[start] : 0.0;
+      for (std::size_t i = start; i < n; ++i) ch[i] = held;
+      ++log.flatlines;
+    }
+
+    // Saturation: clip symmetrically into the amplitude range.
+    if (range.span() > 0.0 &&
+        rng_.uniform() < s * config_.saturation_prob) {
+      const double cut = 0.5 * s * config_.saturation_depth * range.span();
+      const double lo = range.lo + cut, hi = range.hi - cut;
+      for (double& v : ch) {
+        if (std::isfinite(v)) v = std::clamp(v, lo, hi);
+      }
+      ++log.saturated_channels;
+    }
+
+    // Non-finite burst (flaky sensor link).
+    if (rng_.uniform() < s * config_.nan_burst_prob) {
+      const auto span = static_cast<std::size_t>(
+          std::max(1.0, s * config_.nan_burst_s * rate));
+      const std::size_t start = rng_.uniform_int(
+          static_cast<std::uint32_t>(std::max<std::size_t>(1, n - 1)));
+      for (std::size_t i = start; i < std::min(n, start + span); ++i) {
+        ch[i] = std::numeric_limits<double>::quiet_NaN();
+      }
+      ++log.nan_bursts;
+    }
+
+    // Impulsive motion spikes.
+    const double duration_s = static_cast<double>(n) / rate;
+    const auto spikes = static_cast<std::size_t>(
+        std::floor(s * config_.spike_rate_hz * duration_s));
+    const double amplitude =
+        config_.spike_gain * std::max(range.span(), 1e-3);
+    for (std::size_t k = 0; k < spikes; ++k) {
+      const std::size_t i =
+          rng_.uniform_int(static_cast<std::uint32_t>(n));
+      if (std::isfinite(ch[i])) {
+        ch[i] += (rng_.uniform() < 0.5 ? -1.0 : 1.0) * amplitude;
+      }
+      ++log.spikes;
+    }
+  }
+
+  // Watch<->phone clock skew: one offset for the whole entry (the two
+  // devices disagree by a per-session constant).
+  if (config_.clock_skew_s > 0.0 && !entry.events.empty()) {
+    const double skew =
+        rng_.uniform(-1.0, 1.0) * s * config_.clock_skew_s;
+    for (auto& e : entry.events) {
+      e.recorded_time_s = std::max(0.0, e.recorded_time_s + skew);
+    }
+    log.clock_skew_s = skew;
+  }
+
+  // Duplicated log event: a buggy IME reports one keystroke twice, key
+  // included — the derived PIN gains the digit too.
+  if (!entry.events.empty() &&
+      rng_.uniform() < s * config_.duplicate_event_prob) {
+    const std::size_t j = rng_.uniform_int(
+        static_cast<std::uint32_t>(entry.events.size()));
+    entry.events.insert(entry.events.begin() + static_cast<std::ptrdiff_t>(j),
+                        entry.events[j]);
+    std::string digits = entry.pin.digits();
+    if (j < digits.size()) {
+      digits.insert(digits.begin() + static_cast<std::ptrdiff_t>(j),
+                    digits[j]);
+      entry.pin = keystroke::Pin(digits);
+    }
+    ++log.duplicated_events;
+  }
+
+  // Out-of-order delivery: adjacent events swap recorded timestamps (the
+  // keys arrive in typed order but the timeline is jumbled).
+  if (entry.events.size() >= 2 &&
+      rng_.uniform() < s * config_.swap_event_prob) {
+    const std::size_t j = rng_.uniform_int(
+        static_cast<std::uint32_t>(entry.events.size() - 1));
+    std::swap(entry.events[j].recorded_time_s,
+              entry.events[j + 1].recorded_time_s);
+    ++log.swapped_events;
+  }
+
+  return log;
+}
+
+}  // namespace p2auth::sim

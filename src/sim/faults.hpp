@@ -1,0 +1,88 @@
+// Deterministic sensor-fault injection (degraded-sensor resilience).
+//
+// The paper assumes four clean MAX30101 channels at 100 Hz; real wrist
+// wear delivers dropouts, saturated LEDs, NaN bursts from a flaky I2C
+// link, motion spikes and skewed phone<->watch clocks.  A FaultPlan
+// corrupts a simulated Trial (MultiChannelTrace + EntryRecord) with a
+// configurable mix of these faults, seeded via util::Rng so every sweep
+// point is exactly reproducible — the chaos bench replays the *same*
+// trials at growing severity and asserts that the false-accept rate
+// never rises above the clean-input baseline.
+#pragma once
+
+#include <cstddef>
+
+#include "keystroke/events.hpp"
+#include "ppg/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace p2auth::sim {
+
+// Fault mix at full severity.  Every probability/intensity below is
+// multiplied by `severity` (clamped to [0, 1]); severity 0 leaves the
+// trial untouched.
+struct FaultConfig {
+  double severity = 0.0;  // master intensity knob
+
+  // Per-channel transient dropout (sensor reads 0 for a span).
+  double dropout_prob = 0.6;
+  double dropout_s = 0.6;
+  // Per-channel hard failure: the channel holds its last value from a
+  // random instant to the end of the trace.
+  double flatline_prob = 0.25;
+  // Per-channel LED/ADC saturation: the waveform is clipped symmetrically,
+  // removing up to `saturation_depth` of the amplitude range.
+  double saturation_prob = 0.3;
+  double saturation_depth = 0.7;
+  // Per-channel burst of non-finite samples (flaky sensor link).
+  double nan_burst_prob = 0.4;
+  double nan_burst_s = 0.3;
+  // Impulsive amplitude spikes (motion bursts), per channel per second,
+  // each `spike_gain` channel-ranges tall.
+  double spike_rate_hz = 1.0;
+  double spike_gain = 8.0;
+  // Watch<->phone clock skew: every recorded keystroke timestamp shifts
+  // by one uniform draw in [-clock_skew_s, +clock_skew_s] (times severity).
+  double clock_skew_s = 0.3;
+  // Phone-log faults: a duplicated keystroke event (logged key included,
+  // as a buggy IME would) and adjacent timestamps delivered out of order.
+  double duplicate_event_prob = 0.3;
+  double swap_event_prob = 0.3;
+};
+
+// What one apply() actually did, for bench reporting.
+struct FaultLog {
+  std::size_t dropouts = 0;
+  std::size_t flatlines = 0;
+  std::size_t saturated_channels = 0;
+  std::size_t nan_bursts = 0;
+  std::size_t spikes = 0;
+  std::size_t duplicated_events = 0;
+  std::size_t swapped_events = 0;
+  double clock_skew_s = 0.0;  // skew actually applied
+
+  std::size_t total() const noexcept {
+    return dropouts + flatlines + saturated_channels + nan_bursts + spikes +
+           duplicated_events + swapped_events;
+  }
+};
+
+// A seeded, reusable corruption plan.  Every apply() draws from the
+// plan's own Rng stream, so a plan constructed with the same (config,
+// rng state) corrupts identically.
+class FaultPlan {
+ public:
+  FaultPlan(FaultConfig config, util::Rng rng);
+
+  // Corrupts `trace` and `entry` in place and reports what was done.
+  FaultLog apply(ppg::MultiChannelTrace& trace,
+                 keystroke::EntryRecord& entry);
+
+  const FaultConfig& config() const noexcept { return config_; }
+
+ private:
+  FaultConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace p2auth::sim

@@ -116,7 +116,8 @@ TEST(Authenticate, RejectsWrongPinBeforeBiometrics) {
   EXPECT_FALSE(r.accepted);
   EXPECT_TRUE(r.pin_checked);
   EXPECT_FALSE(r.pin_ok);
-  EXPECT_EQ(r.reason, "wrong PIN");
+  EXPECT_EQ(r.reason, RejectReason::kWrongPin);
+  EXPECT_EQ(r.model_path, ModelPath::kNone);
   // Biometric stage never ran.
   EXPECT_EQ(r.detected_case, DetectedCase::kRejected);
   EXPECT_TRUE(r.votes.empty());
@@ -133,7 +134,7 @@ TEST(Authenticate, SkipPinCheckOptionBypassesFactorOne) {
   EXPECT_FALSE(r.pin_checked);
   // Biometric stage ran (one-handed case detected or not, but not "wrong
   // PIN").
-  EXPECT_NE(r.reason, "wrong PIN");
+  EXPECT_NE(r.reason, RejectReason::kWrongPin);
 }
 
 TEST(Authenticate, TwoHandedUsesVotes) {
@@ -173,8 +174,9 @@ TEST(Authenticate, PrivacyBoostPathUsed) {
   Fixture f(/*privacy_boost=*/true);
   const AuthResult r = authenticate(f.user, f.legit_entry(300));
   if (r.detected_case == DetectedCase::kOneHanded) {
-    EXPECT_TRUE(r.reason == "boost model accepted" ||
-                r.reason == "boost model rejected");
+    EXPECT_EQ(r.model_path, ModelPath::kBoost);
+    EXPECT_EQ(r.reason, r.accepted ? RejectReason::kNone
+                                   : RejectReason::kModelRejected);
   }
 }
 
@@ -238,8 +240,10 @@ TEST(Authenticate, DisablingCalibrationStillRuns) {
   AuthOptions options;
   options.preprocess.calibrate = false;
   const AuthResult r = authenticate(f.user, f.legit_entry(700), options);
-  // Decision may differ, but the pipeline completes and reports a case.
-  EXPECT_NE(r.reason, "");
+  // Decision may differ, but the pipeline completes and reports an
+  // outcome: accepted, or rejected with a concrete typed reason.
+  EXPECT_TRUE(r.accepted || r.reason != RejectReason::kNone);
+  EXPECT_FALSE(r.reason_text().empty());
 }
 
 TEST(WaveformModelUnit, QualityEstimateReflectsSeparability) {

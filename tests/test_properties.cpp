@@ -140,7 +140,14 @@ TEST_P(PipelineInvariantSweep, AuthenticationIsDeterministicAndSane) {
   for (const int v : a.votes) {
     EXPECT_TRUE(v == 1 || v == -1);
   }
-  EXPECT_FALSE(a.reason.empty());
+  // A rejection always carries a concrete typed reason; acceptance never
+  // does.
+  if (a.accepted) {
+    EXPECT_EQ(a.reason, RejectReason::kNone);
+  } else {
+    EXPECT_NE(a.reason, RejectReason::kNone);
+  }
+  EXPECT_FALSE(a.reason_text().empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineInvariantSweep,
@@ -160,7 +167,7 @@ TEST(PipelineInvariants, WrongPinNeverAuthenticates) {
     const AuthResult r =
         authenticate(f.user, {std::move(t.entry), std::move(t.trace)});
     EXPECT_FALSE(r.accepted);
-    EXPECT_EQ(r.reason, "wrong PIN");
+    EXPECT_EQ(r.reason, RejectReason::kWrongPin);
   }
 }
 

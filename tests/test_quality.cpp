@@ -1,0 +1,182 @@
+// Unit tests for channel-health scoring (core/quality.hpp): the gate
+// that decides, per channel, whether a trace carries usable keystroke
+// evidence or must be masked before preprocessing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/preprocess.hpp"
+#include "core/quality.hpp"
+#include "sim/dataset.hpp"
+
+namespace p2auth::core {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// 6 s of clean 1.2 Hz "pulse" at 100 Hz with a slow drift so no window
+// is flat and no rail accumulates samples.
+std::vector<double> clean_channel(std::size_t n = 600) {
+  std::vector<double> s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / 100.0;
+    s[i] = std::sin(2.0 * 3.14159265358979 * 1.2 * t) + 0.1 * t;
+  }
+  return s;
+}
+
+ppg::MultiChannelTrace make_trace(std::vector<std::vector<double>> channels) {
+  ppg::MultiChannelTrace trace;
+  trace.rate_hz = 100.0;
+  trace.channels = std::move(channels);
+  return trace;
+}
+
+TEST(Quality, CleanChannelsAreUsable) {
+  const auto trace = make_trace({clean_channel(), clean_channel()});
+  const ChannelHealth health = assess_channels(trace);
+  ASSERT_EQ(health.channels.size(), 2u);
+  for (const ChannelQuality& q : health.channels) {
+    EXPECT_TRUE(q.usable);
+    EXPECT_EQ(q.nan_rate, 0.0);
+    EXPECT_LT(q.flatline_fraction, 0.5);
+    EXPECT_LT(q.saturation_fraction, 0.25);
+  }
+  EXPECT_EQ(health.usable_count(), 2u);
+  EXPECT_TRUE(health.any_usable());
+}
+
+TEST(Quality, SingleNanDisqualifiesByDefault) {
+  // The filter chain propagates NaN, so the default max_nan_rate = 0
+  // masks a channel on its very first non-finite sample.
+  auto poisoned = clean_channel();
+  poisoned[123] = kNan;
+  const auto trace = make_trace({clean_channel(), poisoned});
+  const ChannelHealth health = assess_channels(trace);
+  EXPECT_TRUE(health.channels[0].usable);
+  EXPECT_FALSE(health.channels[1].usable);
+  EXPECT_GT(health.channels[1].nan_rate, 0.0);
+  EXPECT_EQ(health.usable_count(), 1u);
+}
+
+TEST(Quality, AllNanChannelFullyCondemned) {
+  const auto trace =
+      make_trace({clean_channel(), std::vector<double>(600, kNan)});
+  const ChannelHealth health = assess_channels(trace);
+  EXPECT_FALSE(health.channels[1].usable);
+  EXPECT_EQ(health.channels[1].nan_rate, 1.0);
+  EXPECT_EQ(health.channels[1].flatline_fraction, 1.0);
+  EXPECT_EQ(health.channels[1].saturation_fraction, 1.0);
+}
+
+TEST(Quality, ConstantChannelIsDeadSensor) {
+  const auto trace =
+      make_trace({clean_channel(), std::vector<double>(600, 0.7)});
+  const ChannelHealth health = assess_channels(trace);
+  EXPECT_TRUE(health.channels[0].usable);
+  EXPECT_FALSE(health.channels[1].usable);
+  EXPECT_EQ(health.channels[1].flatline_fraction, 1.0);
+}
+
+TEST(Quality, HardClippedChannelReadsAsSaturated) {
+  // Clip 40% of the waveform onto the top rail: well past the 25%
+  // saturation budget.
+  auto clipped = clean_channel();
+  std::vector<double> sorted = clipped;
+  std::sort(sorted.begin(), sorted.end());
+  const double ceiling = sorted[sorted.size() * 60 / 100];
+  for (double& v : clipped) v = std::min(v, ceiling);
+  const auto trace = make_trace({clean_channel(), clipped});
+  const ChannelHealth health = assess_channels(trace);
+  EXPECT_FALSE(health.channels[1].usable);
+  EXPECT_GT(health.channels[1].saturation_fraction, 0.25);
+}
+
+TEST(Quality, ShortDropoutDoesNotCondemnChannel) {
+  // A 0.5 s zero-hold inside 6 s of signal stays under both the flatline
+  // (50%) and saturation (25%) budgets: the channel keeps its evidence.
+  auto dropped = clean_channel();
+  for (std::size_t i = 200; i < 250; ++i) dropped[i] = 0.0;
+  const auto trace = make_trace({dropped});
+  const ChannelHealth health = assess_channels(trace);
+  EXPECT_TRUE(health.channels[0].usable);
+  EXPECT_GT(health.channels[0].flatline_fraction, 0.0);
+}
+
+TEST(Quality, EmptyOrRaggedTraceThrows) {
+  EXPECT_THROW(assess_channels(ppg::MultiChannelTrace{}),
+               std::invalid_argument);
+  auto ragged = make_trace({clean_channel(600), clean_channel(590)});
+  EXPECT_THROW(assess_channels(ragged), std::invalid_argument);
+}
+
+TEST(Quality, ReferencePrefersConfiguredChannelWhenUsable) {
+  const auto trace = make_trace({clean_channel(), clean_channel()});
+  const ChannelHealth health = assess_channels(trace);
+  EXPECT_EQ(pick_reference_channel(health, 1), 1u);
+}
+
+TEST(Quality, ReferenceFallsBackToHealthiestUsableChannel) {
+  auto poisoned = clean_channel();
+  poisoned[0] = kNan;
+  auto dropped = clean_channel();
+  for (std::size_t i = 0; i < 100; ++i) dropped[i] = 0.0;  // mild flatline
+  const auto trace = make_trace({poisoned, dropped, clean_channel()});
+  const ChannelHealth health = assess_channels(trace);
+  // Preferred channel 0 is masked; channel 2 has strictly lower badness
+  // than the dropout-scarred channel 1.
+  EXPECT_EQ(pick_reference_channel(health, 0), 2u);
+}
+
+TEST(Quality, ReferenceThrowsWhenNothingUsable) {
+  const auto trace = make_trace({std::vector<double>(600, kNan)});
+  const ChannelHealth health = assess_channels(trace);
+  EXPECT_FALSE(health.any_usable());
+  EXPECT_THROW(pick_reference_channel(health, 0), std::logic_error);
+}
+
+TEST(Quality, RepairNonfiniteHoldsPreviousSample) {
+  Series s = {kNan, kNan, 1.0, 2.0, kNan, 3.0,
+              std::numeric_limits<double>::infinity()};
+  repair_nonfinite(s);
+  const Series expected = {0.0, 0.0, 1.0, 2.0, 2.0, 3.0, 3.0};
+  ASSERT_EQ(s.size(), expected.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s[i], expected[i]) << "index " << i;
+  }
+}
+
+TEST(Quality, PreprocessMasksUnhealthyChannelOnSimulatedTrial) {
+  // End-to-end: poison one channel of a simulated entry; preprocessing
+  // must mask exactly that channel, keep its shape, and still calibrate
+  // keystrokes off a surviving reference.
+  sim::PopulationConfig cfg;
+  cfg.num_users = 1;
+  cfg.seed = 99;
+  sim::Population population = sim::make_population(cfg);
+  util::Rng rng(100);
+  sim::Trial trial = sim::make_trial(population.users[0],
+                                     keystroke::Pin("1234"),
+                                     sim::TrialOptions{}, rng);
+  for (std::size_t i = 0; i < trial.trace.length(); i += 7) {
+    trial.trace.channels[1][i] = kNan;
+  }
+  const Observation obs{trial.entry, trial.trace};
+  const PreprocessedEntry pre = preprocess_entry(obs);
+  ASSERT_EQ(pre.health.channels.size(), trial.trace.num_channels());
+  EXPECT_FALSE(pre.health.channels[1].usable);
+  EXPECT_EQ(pre.health.usable_count(), trial.trace.num_channels() - 1);
+  ASSERT_EQ(pre.filtered.size(), trial.trace.num_channels());
+  for (const double v : pre.filtered[1]) EXPECT_EQ(v, 0.0);
+  EXPECT_NE(pre.reference_channel_used, 1u);
+  for (const double v : pre.detrended_reference) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+}  // namespace
+}  // namespace p2auth::core

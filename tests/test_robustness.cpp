@@ -11,6 +11,7 @@
 #include "core/enrollment.hpp"
 #include "sim/attacks.hpp"
 #include "sim/dataset.hpp"
+#include "sim/faults.hpp"
 
 namespace p2auth::core {
 namespace {
@@ -56,17 +57,75 @@ const Enrolled& fixture() {
   return instance;
 }
 
-TEST(Robustness, NanSamplesRejectedLoudly) {
+TEST(Robustness, NanChannelMaskedAndAttemptStillDecides) {
+  // Channel-health gating: a NaN-poisoned channel is masked (zeroed) and
+  // the attempt proceeds on the surviving channels — no throw, and the
+  // gating is visible in the preprocess report.  Channel 0 is the
+  // configured reference, so the gate must also fall back to a healthy
+  // reference channel.
   Observation obs = fixture().fresh_entry(1);
   obs.trace.channels[0][100] = std::numeric_limits<double>::quiet_NaN();
-  EXPECT_THROW(preprocess_entry(obs), std::invalid_argument);
-  EXPECT_THROW(authenticate(fixture().user, obs), std::invalid_argument);
+  const PreprocessedEntry pre = preprocess_entry(obs);
+  ASSERT_EQ(pre.health.channels.size(), obs.trace.num_channels());
+  EXPECT_FALSE(pre.health.channels[0].usable);
+  EXPECT_EQ(pre.health.usable_count(), obs.trace.num_channels() - 1);
+  EXPECT_NE(pre.reference_channel_used, 0u);
+  for (const double v : pre.filtered[0]) EXPECT_EQ(v, 0.0);  // masked
+  // The strict channel policy: the models never score partial evidence
+  // (a zeroed channel is off-manifold input that can raise FAR), so the
+  // attempt decides — no throw — with a typed degraded-evidence reject.
+  const AuthResult r = authenticate(fixture().user, obs);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(r.reason, RejectReason::kDegradedEvidence);
+  // The permissive ablation policy scores the survivors anyway.
+  AuthOptions permissive;
+  permissive.allow_degraded_evidence = true;
+  EXPECT_NO_THROW({
+    const AuthResult p = authenticate(fixture().user, obs, permissive);
+    EXPECT_NE(p.reason, RejectReason::kDegradedEvidence);
+  });
 }
 
-TEST(Robustness, InfinitySamplesRejectedLoudly) {
+TEST(Robustness, NanSamplesRejectedLoudlyWithGatingOff) {
+  // The legacy strict contract survives as the gate_channels=false
+  // ablation: corrupted streams must never silently reach the classifier.
+  Observation obs = fixture().fresh_entry(1);
+  obs.trace.channels[0][100] = std::numeric_limits<double>::quiet_NaN();
+  PreprocessOptions strict;
+  strict.gate_channels = false;
+  EXPECT_THROW(preprocess_entry(obs, strict), std::invalid_argument);
+  AuthOptions auth_options;
+  auth_options.preprocess.gate_channels = false;
+  EXPECT_THROW(authenticate(fixture().user, obs, auth_options),
+               std::invalid_argument);
+}
+
+TEST(Robustness, InfinityChannelMaskedAndAttemptStillDecides) {
   Observation obs = fixture().fresh_entry(2);
   obs.trace.channels[2][50] = std::numeric_limits<double>::infinity();
-  EXPECT_THROW(preprocess_entry(obs), std::invalid_argument);
+  const PreprocessedEntry pre = preprocess_entry(obs);
+  EXPECT_FALSE(pre.health.channels[2].usable);
+  const AuthResult r = authenticate(fixture().user, obs);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(r.reason, RejectReason::kDegradedEvidence);
+}
+
+TEST(Robustness, AllChannelsPoisonedRejectsWithTypedReason) {
+  // When gating masks every channel there is no biometric evidence left:
+  // the attempt rejects with kNoUsableChannel instead of crashing or
+  // scoring garbage.
+  Observation obs = fixture().fresh_entry(12);
+  for (auto& ch : obs.trace.channels) {
+    for (std::size_t i = 0; i < ch.size(); i += 3) {
+      ch[i] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  const PreprocessedEntry pre = preprocess_entry(obs);
+  EXPECT_TRUE(pre.no_usable_channel());
+  EXPECT_EQ(pre.detected_case, DetectedCase::kRejected);
+  const AuthResult r = authenticate(fixture().user, obs);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(r.reason, RejectReason::kNoUsableChannel);
 }
 
 TEST(Robustness, RaggedChannelsRejected) {
@@ -200,6 +259,52 @@ TEST(Robustness, WearingPositionDegradesButDoesNotBreak) {
   }
   EXPECT_LE(attacker_accepts, legit_accepts);
   EXPECT_LE(attacker_accepts, 2);
+}
+
+TEST(Robustness, FaultSweepNeverRaisesAttackerAcceptance) {
+  // Security invariant of the resilience layer: injected sensor faults
+  // may cost legitimate acceptance (FRR) but must NEVER buy an attacker
+  // acceptance.  The same attack trials (same seeds) are authenticated
+  // clean and under increasing fault severity; faulted acceptances must
+  // not exceed clean acceptances, and nothing may throw.
+  const Enrolled& f = fixture();
+  constexpr int kAttacks = 8;
+  util::Rng rng(4242);
+
+  std::vector<Observation> attacks;
+  for (int i = 0; i < kAttacks; ++i) {
+    util::Rng r = rng.fork(i);
+    sim::Trial t = sim::make_emulating_attack(
+        f.population.attackers[i % f.population.attackers.size()],
+        f.population.users[0], f.pin, sim::TrialOptions{},
+        sim::EmulationOptions{}, r);
+    attacks.push_back({std::move(t.entry), std::move(t.trace)});
+  }
+
+  int clean_accepts = 0;
+  for (const Observation& obs : attacks) {
+    clean_accepts += authenticate(f.user, obs).accepted;
+  }
+
+  for (const double severity : {0.3, 0.7, 1.0}) {
+    sim::FaultConfig cfg;
+    cfg.severity = severity;
+    int faulted_accepts = 0;
+    for (int i = 0; i < kAttacks; ++i) {
+      Observation obs = attacks[static_cast<std::size_t>(i)];
+      sim::FaultPlan plan(cfg, rng.fork("faults").fork(i));
+      const sim::FaultLog log = plan.apply(obs.trace, obs.entry);
+      if (severity >= 0.7) {
+        EXPECT_GT(log.total(), 0u);
+      }
+      EXPECT_NO_THROW({
+        const AuthResult r = authenticate(f.user, obs);
+        faulted_accepts += r.accepted;
+      });
+    }
+    EXPECT_LE(faulted_accepts, clean_accepts)
+        << "faults bought attacker acceptance at severity " << severity;
+  }
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "sim/dataset.hpp"
 
 namespace p2auth::core {
@@ -144,7 +148,7 @@ TEST(Streaming, TimeoutRejectsAndResets) {
   const auto result = auth.poll();
   ASSERT_TRUE(result.has_value());
   EXPECT_FALSE(result->accepted);
-  EXPECT_EQ(result->reason, "attempt timed out");
+  EXPECT_EQ(result->reason, RejectReason::kTimeout);
   EXPECT_EQ(auth.buffered_seconds(), 0.0);  // reset happened
 }
 
@@ -186,8 +190,8 @@ TEST(Streaming, StatsCountTimedOutAttempts) {
   EXPECT_EQ(stats.timeouts, 1u);
   EXPECT_EQ(stats.accepted, 0u);
   EXPECT_EQ(stats.rejected(), 1u);
-  ASSERT_EQ(stats.rejects_by_reason.count("attempt timed out"), 1u);
-  EXPECT_EQ(stats.rejects_by_reason.at("attempt timed out"), 1u);
+  ASSERT_EQ(stats.rejects_by_reason.count(RejectReason::kTimeout), 1u);
+  EXPECT_EQ(stats.rejects_by_reason.at(RejectReason::kTimeout), 1u);
 }
 
 TEST(Streaming, StatsCountDecisionsAndSurviveReset) {
@@ -227,6 +231,195 @@ TEST(Streaming, ValidatesConstructionAndInput) {
   EXPECT_THROW(auth.push_sample(std::vector<double>(3, 0.0)),
                std::invalid_argument);
   EXPECT_THROW(auth.push_keystroke('x', 0.0), std::invalid_argument);
+}
+
+// Regression: a rejected push_keystroke (non-digit, bad timestamp) must
+// leave the half-typed attempt untouched — the original code appended
+// the event before Pin construction threw, leaving events and PIN out of
+// sync for the rest of the attempt.
+TEST(Streaming, InvalidKeystrokeLeavesAttemptStateIntact) {
+  const Enrolled& f = fixture();
+  StreamingAuthenticator auth(f.user, 100.0, 4);
+  auth.push_keystroke('1', 0.10);
+  auth.push_keystroke('6', 0.45);
+  EXPECT_THROW(auth.push_keystroke('x', 0.80), std::invalid_argument);
+  EXPECT_THROW(auth.push_keystroke(
+                   '2', std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  // Still exactly the two valid keystrokes, and the attempt continues.
+  EXPECT_EQ(auth.num_keystrokes(), 2u);
+  EXPECT_EQ(auth.stats().keystrokes, 2u);
+  auth.push_keystroke('2', 0.80);
+  auth.push_keystroke('8', 1.15);
+  EXPECT_EQ(auth.num_keystrokes(), 4u);
+}
+
+// A stalled stream (no samples arriving) must hit the timeout on the
+// injected monotonic clock, within timeout_s of clock time — it must not
+// wait for buffered_seconds() to grow, which never happens when the
+// watch stops pushing.
+TEST(Streaming, StalledStreamTimesOutOnInjectedClock) {
+  const Enrolled& f = fixture();
+  double fake_now = 100.0;
+  StreamingOptions options;
+  options.timeout_s = 5.0;
+  options.clock = [&fake_now] { return fake_now; };
+  StreamingAuthenticator auth(f.user, 100.0, 4, options);
+  // Half-typed PIN: two keystrokes, a handful of samples, then silence.
+  const std::vector<double> sample(4, 0.5);
+  for (int i = 0; i < 20; ++i) auth.push_sample(sample);
+  auth.push_keystroke('1', 0.05);
+  auth.push_keystroke('6', 0.15);
+  // Within the timeout: still pending.
+  fake_now += 4.9;
+  EXPECT_FALSE(auth.poll().has_value());
+  // Just past the timeout: rejected with the timeout reason.
+  fake_now += 0.2;
+  const auto result = auth.poll();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->accepted);
+  EXPECT_EQ(result->reason, RejectReason::kTimeout);
+  EXPECT_EQ(auth.stats().timeouts, 1u);
+  EXPECT_EQ(auth.buffered_seconds(), 0.0);
+}
+
+// Keystrokes with no PPG at all (sensor died before the entry) still age
+// out instead of pinning the attempt forever.
+TEST(Streaming, KeystrokesOnlyAttemptTimesOut) {
+  const Enrolled& f = fixture();
+  double fake_now = 0.0;
+  StreamingOptions options;
+  options.timeout_s = 2.0;
+  options.clock = [&fake_now] { return fake_now; };
+  StreamingAuthenticator auth(f.user, 100.0, 4, options);
+  auth.push_keystroke('1', 0.1);
+  EXPECT_FALSE(auth.poll().has_value());
+  fake_now = 2.5;
+  const auto result = auth.poll();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->reason, RejectReason::kTimeout);
+}
+
+TEST(Streaming, BufferOverflowRejectsLoudly) {
+  const Enrolled& f = fixture();
+  StreamingOptions options;
+  options.max_buffer_samples = 50;
+  StreamingAuthenticator auth(f.user, 100.0, 4, options);
+  const std::vector<double> sample(4, 0.5);
+  for (int i = 0; i < 60; ++i) auth.push_sample(sample);
+  EXPECT_EQ(auth.stats().overflow_dropped, 10u);
+  EXPECT_EQ(auth.buffered_seconds(), 0.5);  // cap held
+  const auto result = auth.poll();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->accepted);
+  EXPECT_EQ(result->reason, RejectReason::kBufferOverflow);
+  // The overflow flag clears with the attempt: a fresh, in-cap attempt
+  // is pending again instead of rejecting a second time.
+  EXPECT_EQ(auth.buffered_seconds(), 0.0);
+  for (int i = 0; i < 10; ++i) auth.push_sample(sample);
+  EXPECT_FALSE(auth.poll().has_value());
+}
+
+// Non-finite readings never enter the buffer: they are sanitised at
+// ingest (previous-sample hold) and counted, and the attempt still
+// reaches a decision instead of crashing downstream.
+TEST(Streaming, NonFiniteSamplesSanitisedAtIngest) {
+  const Enrolled& f = fixture();
+  const sim::Trial trial = f.fresh_trial(41);
+  StreamingAuthenticator auth(f.user, trial.trace.rate_hz,
+                              trial.trace.num_channels());
+  std::size_t next_event = 0;
+  std::vector<double> sample(trial.trace.num_channels());
+  std::optional<AuthResult> decision;
+  for (std::size_t i = 0; i < trial.trace.length() && !decision; ++i) {
+    const double t = static_cast<double>(i) / trial.trace.rate_hz;
+    while (next_event < trial.entry.events.size() &&
+           trial.entry.events[next_event].recorded_time_s <= t) {
+      auth.push_keystroke(trial.entry.events[next_event].digit,
+                          trial.entry.events[next_event].recorded_time_s);
+      ++next_event;
+    }
+    for (std::size_t c = 0; c < sample.size(); ++c) {
+      sample[c] = trial.trace.channels[c][i];
+    }
+    // A flaky link garbles channel 1 every 50th sample.
+    if (i % 50 == 0) {
+      sample[1] = (i % 100 == 0)
+                      ? std::numeric_limits<double>::quiet_NaN()
+                      : std::numeric_limits<double>::infinity();
+    }
+    auth.push_sample(sample);
+    if (i % 25 == 0) decision = auth.poll();
+  }
+  if (!decision) decision = auth.poll();
+  EXPECT_GT(auth.stats().nonfinite_values, 0u);
+  ASSERT_TRUE(decision.has_value());  // pipeline decided, no throw
+}
+
+TEST(Streaming, LockoutEngagesAndBacksOffExponentially) {
+  const Enrolled& f = fixture();
+  double fake_now = 0.0;
+  StreamingOptions options;
+  options.timeout_s = 1.0;
+  options.lockout_threshold = 2;
+  options.lockout_base_s = 10.0;
+  options.lockout_max_s = 1000.0;
+  options.clock = [&fake_now] { return fake_now; };
+  StreamingAuthenticator auth(f.user, 100.0, 4, options);
+  const std::vector<double> sample(4, 0.5);
+
+  auto force_timeout = [&] {
+    for (int i = 0; i < 10; ++i) auth.push_sample(sample);
+    fake_now += 1.5;
+    const auto r = auth.poll();
+    ASSERT_TRUE(r.has_value());
+  };
+
+  // Two consecutive rejects arm the first lockout (10 s).
+  force_timeout();
+  EXPECT_FALSE(auth.locked_out());
+  force_timeout();
+  EXPECT_TRUE(auth.locked_out());
+  EXPECT_NEAR(auth.lockout_remaining_s(), 10.0, 1e-9);
+  EXPECT_EQ(auth.stats().lockouts, 1u);
+
+  // Attempts during the backoff are refused with kLockedOut and do not
+  // re-arm the lockout.
+  for (int i = 0; i < 10; ++i) auth.push_sample(sample);
+  const auto refused = auth.poll();
+  ASSERT_TRUE(refused.has_value());
+  EXPECT_EQ(refused->reason, RejectReason::kLockedOut);
+  EXPECT_EQ(auth.stats().lockout_rejects, 1u);
+
+  // After the backoff expires the gate reopens...
+  fake_now += 20.0;
+  EXPECT_FALSE(auth.locked_out());
+  // ...and the next lockout doubles the backoff.
+  force_timeout();
+  force_timeout();
+  EXPECT_TRUE(auth.locked_out());
+  EXPECT_NEAR(auth.lockout_remaining_s(), 20.0, 1e-9);
+  EXPECT_EQ(auth.stats().lockouts, 2u);
+}
+
+// Satellite regression: the timeout path must clear the
+// streaming.buffer_samples gauge and account the dropped samples, like
+// the decide path always did.
+TEST(Streaming, TimeoutClearsBufferGaugeAndCountsDroppedSamples) {
+  if (!obs::enabled()) GTEST_SKIP() << "observability compiled out";
+  const Enrolled& f = fixture();
+  obs::reset_metrics();
+  StreamingOptions options;
+  options.timeout_s = 0.5;
+  StreamingAuthenticator auth(f.user, 100.0, 4, options);
+  const std::vector<double> sample(4, 0.0);
+  for (int i = 0; i < 100; ++i) auth.push_sample(sample);
+  ASSERT_TRUE(auth.poll().has_value());  // timeout
+  const obs::MetricsSnapshot snap = obs::snapshot_metrics();
+  ASSERT_EQ(snap.gauges.count("streaming.buffer_samples"), 1u);
+  EXPECT_EQ(snap.gauges.at("streaming.buffer_samples"), 0.0);
+  EXPECT_EQ(snap.counter("streaming.dropped_samples"), 100u);
+  EXPECT_EQ(snap.counter("streaming.timeouts"), 1u);
 }
 
 }  // namespace
