@@ -1,8 +1,18 @@
 // google-benchmark microbenchmarks of the pipeline's primitives: the
 // per-stage costs behind the real-time claim (Table I's "lightweight"
 // argument broken down by component).
+//
+// `--quick` skips google-benchmark and instead measures MiniRocket
+// transform throughput (reference serial loop vs fast single-series vs
+// tiled batch engine), writing BENCH_primitives.json for the CI perf
+// gate (tools/check_bench_regression.py compares the speedup ratios
+// against bench/baselines/primitives_baseline.json).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+
+#include "bench_common.hpp"
 #include "linalg/ridge.hpp"
 #include "ml/minirocket.hpp"
 #include "signal/detrend.hpp"
@@ -107,6 +117,99 @@ void BM_RidgeFit(benchmark::State& state) {
 }
 BENCHMARK(BM_RidgeFit);
 
+// MiniRocket transform-throughput measurement for the CI perf gate.
+//
+// Three engines over one batch at the pipeline's realistic shape
+// (90-sample scoring windows, default ~10k feature budget):
+//   reference — ml::reference::transform in a serial per-series loop,
+//               i.e. the pre-fast-path behaviour;
+//   serial    — the fast single-series path, one series at a time;
+//   batch     — transform_batch at 8 requested threads.
+// The JSON reports per-transform times plus two dimensionless ratios the
+// regression gate actually compares (ratios survive machine changes;
+// absolute microseconds do not):
+//   fast_vs_reference_speedup — single-thread algorithmic win;
+//   batch_speedup             — reference serial loop vs the batch
+//                               engine (the ">= 2x at 8 threads"
+//                               acceptance bar).
+int run_quick_transform_throughput() {
+  constexpr std::size_t kLength = 90;
+  constexpr std::size_t kBatch = 48;
+  constexpr std::size_t kThreads = 8;
+  constexpr int kRepeats = 5;
+
+  util::Rng rng(0xbe9c4ULL, 0x12ULL);
+  std::vector<ml::Series> train(6, ml::Series(kLength));
+  for (auto& s : train) {
+    for (double& v : s) v = rng.normal();
+  }
+  ml::MiniRocket rocket;
+  rocket.fit(train, rng);
+  std::vector<ml::Series> batch(kBatch, ml::Series(kLength));
+  for (auto& s : batch) {
+    for (double& v : s) v = rng.normal();
+  }
+
+  // Warm every engine (thread scratches, pool threads) before timing.
+  (void)ml::reference::transform(rocket, batch.front());
+  (void)rocket.transform(std::span<const double>(batch.front()));
+  (void)rocket.transform_batch(batch, kThreads);
+
+  // Best-of-N wall clock per engine: the gate compares ratios, and
+  // minima are far more stable than means on shared CI runners.
+  double reference_s = 1e300, serial_s = 1e300, batch_s = 1e300;
+  for (int r = 0; r < kRepeats; ++r) {
+    reference_s = std::min(reference_s, bench::timed_s([&] {
+      for (const auto& s : batch) {
+        benchmark::DoNotOptimize(ml::reference::transform(rocket, s));
+      }
+    }));
+    serial_s = std::min(serial_s, bench::timed_s([&] {
+      for (const auto& s : batch) {
+        benchmark::DoNotOptimize(
+            rocket.transform(std::span<const double>(s)));
+      }
+    }));
+    batch_s = std::min(batch_s, bench::timed_s([&] {
+      benchmark::DoNotOptimize(rocket.transform_batch(batch, kThreads));
+    }));
+  }
+
+  const double per = 1e6 / static_cast<double>(kBatch);
+  bench::BenchReport report("primitives");
+  report.value("transform_length", static_cast<std::uint64_t>(kLength));
+  report.value("transform_batch_size", static_cast<std::uint64_t>(kBatch));
+  report.value("transform_features",
+               static_cast<std::uint64_t>(rocket.num_features()));
+  report.value("requested_threads", static_cast<std::uint64_t>(kThreads));
+  report.value("reference_transform_us", reference_s * per);
+  report.value("serial_per_transform_us", serial_s * per);
+  report.value("batch_per_transform_us", batch_s * per);
+  report.value("fast_vs_reference_speedup", reference_s / serial_s);
+  report.value("batch_speedup", reference_s / batch_s);
+  std::printf(
+      "minirocket transform (len=%zu, batch=%zu, %zu features):\n"
+      "  reference serial loop : %8.1f us/transform\n"
+      "  fast path, serial     : %8.1f us/transform  (%.2fx)\n"
+      "  batch engine, %zu thr  : %8.1f us/transform  (%.2fx)\n",
+      kLength, kBatch, rocket.num_features(), reference_s * per,
+      serial_s * per, reference_s / serial_s, kThreads, batch_s * per,
+      reference_s / batch_s);
+  report.write();
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      return run_quick_transform_throughput();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

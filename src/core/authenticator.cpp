@@ -12,11 +12,14 @@ namespace p2auth::core {
 namespace {
 
 // Verifies detected keystrokes with the per-key models and counts
-// passing votes.  Missing key models vote -1 (fail safe).
+// passing votes.  Missing key models vote -1 (fail safe).  One scratch
+// and feature buffer serve every per-key model scored in the attempt.
 std::vector<int> vote_keystrokes(const EnrolledUser& user,
                                  const PreprocessedEntry& pre,
                                  const Observation& observation,
-                                 const AuthOptions& options) {
+                                 const AuthOptions& options,
+                                 ml::TransformScratch& scratch,
+                                 linalg::Vector& features) {
   std::vector<int> votes;
   for (std::size_t i = 0; i < pre.keystroke_present.size(); ++i) {
     if (!pre.keystroke_present[i]) continue;
@@ -29,7 +32,8 @@ std::vector<int> vote_keystrokes(const EnrolledUser& user,
         extract_segment(pre.filtered, pre.calibrated_indices[i], pre.rate_hz,
                         options.segmentation);
     const std::size_t k = keystroke::key_index(digit);
-    votes.push_back(user.key_models[k]->accept(segment) ? 1 : -1);
+    votes.push_back(
+        user.key_models[k]->accept(segment, scratch, features) ? 1 : -1);
   }
   for (const int v : votes) {
     obs::add_counter(v == 1 ? "auth.votes.pass" : "auth.votes.fail");
@@ -128,6 +132,13 @@ AuthResult authenticate_impl(const EnrolledUser& user,
   // and model spans nest inside it.
   const obs::Span integration("auth.integration", "core");
 
+  // One MiniRocket scratch and one feature buffer serve every model
+  // scored in this attempt (up to four per-key models or one waveform
+  // model); warmed on the first attempt per thread, later attempts
+  // allocate nothing in the scoring hot path.
+  ml::TransformScratch& scratch = ml::thread_transform_scratch();
+  thread_local linalg::Vector features;
+
   // Scoring-window evidence checks (strict policy only).  Channel-level
   // gating above bounds global corruption; these catch faults localized
   // inside the exact raw samples a model is about to score — a dropout
@@ -162,7 +173,8 @@ AuthResult authenticate_impl(const EnrolledUser& user,
         result.reason = RejectReason::kDegradedEvidence;
         return result;
       }
-      result.votes = vote_keystrokes(user, pre, observation, options);
+      result.votes =
+          vote_keystrokes(user, pre, observation, options, scratch, features);
       result.model_path = ModelPath::kPerKeyVotes;
       result.accepted = passing(result.votes) >= 3;
       result.reason =
@@ -183,7 +195,7 @@ AuthResult authenticate_impl(const EnrolledUser& user,
                                            pre.rate_hz, options.segmentation));
       }
       const std::vector<Series> fused = fuse_segments(segments);
-      result.waveform_score = user.boost_model->decision(fused);
+      result.waveform_score = user.boost_model->decision(fused, scratch, features);
       result.model_path = ModelPath::kBoost;
       result.accepted = result.waveform_score >= 0.0;
       result.reason =
@@ -214,7 +226,7 @@ AuthResult authenticate_impl(const EnrolledUser& user,
     }
     const std::vector<Series> full = extract_full_waveform(
         pre.filtered, first, pre.rate_hz, options.segmentation);
-    result.waveform_score = user.full_model->decision(full);
+    result.waveform_score = user.full_model->decision(full, scratch, features);
     result.model_path = ModelPath::kFullWaveform;
     result.accepted = result.waveform_score >= 0.0;
     result.reason =
@@ -227,7 +239,8 @@ AuthResult authenticate_impl(const EnrolledUser& user,
     result.reason = RejectReason::kDegradedEvidence;
     return result;
   }
-  result.votes = vote_keystrokes(user, pre, observation, options);
+  result.votes =
+      vote_keystrokes(user, pre, observation, options, scratch, features);
   result.model_path = ModelPath::kPerKeyVotes;
   const std::size_t pass = passing(result.votes);
   switch (options.integration) {

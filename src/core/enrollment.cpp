@@ -94,12 +94,41 @@ WaveformModel WaveformModel::from_parts(ml::MultiChannelMiniRocket rocket,
 }
 
 double WaveformModel::decision(const std::vector<Series>& waveform) const {
+  // Reuse one feature buffer per thread so steady-state scoring does not
+  // allocate; its size tracks the largest model scored on this thread.
+  thread_local linalg::Vector features;
+  return decision(waveform, ml::thread_transform_scratch(), features);
+}
+
+double WaveformModel::decision(const std::vector<Series>& waveform,
+                               ml::TransformScratch& scratch,
+                               linalg::Vector& features) const {
   if (!trained()) throw std::logic_error("WaveformModel: not trained");
-  return ridge_.decision(rocket_.transform(waveform)) - threshold_;
+  features.resize(rocket_.num_features());
+  rocket_.transform_into(waveform, features, scratch);
+  return ridge_.decision(features) - threshold_;
 }
 
 bool WaveformModel::accept(const std::vector<Series>& waveform) const {
   return decision(waveform) >= 0.0;
+}
+
+bool WaveformModel::accept(const std::vector<Series>& waveform,
+                           ml::TransformScratch& scratch,
+                           linalg::Vector& features) const {
+  return decision(waveform, scratch, features) >= 0.0;
+}
+
+linalg::Vector WaveformModel::decisions(
+    const std::vector<std::vector<Series>>& batch,
+    std::size_t max_threads) const {
+  if (!trained()) throw std::logic_error("WaveformModel: not trained");
+  const linalg::Matrix features = rocket_.transform(batch, max_threads);
+  linalg::Vector out(batch.size(), 0.0);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    out[i] = ridge_.decision(features.row(i)) - threshold_;
+  }
+  return out;
 }
 
 bool EnrolledUser::has_key_model(char digit) const {
@@ -107,17 +136,8 @@ bool EnrolledUser::has_key_model(char digit) const {
   return key_models[k].has_value() && key_models[k]->trained();
 }
 
-namespace {
-
-// Per-entry extraction product shared by the three model families.
-struct ExtractedEntry {
-  std::vector<Series> full;                 // fixed-span full waveform
-  std::vector<std::vector<Series>> segments;  // per detected keystroke
-  std::vector<char> segment_digits;           // digit of each segment
-};
-
-ExtractedEntry extract(const Observation& obs,
-                       const EnrollmentConfig& config) {
+ExtractedEntry extract_observation(const Observation& obs,
+                                   const EnrollmentConfig& config) {
   const PreprocessedEntry pre = preprocess_entry(obs, config.preprocess);
   ExtractedEntry out;
   // Anchor the full waveform at the first *detected* keystroke; if none
@@ -144,8 +164,6 @@ ExtractedEntry extract(const Observation& obs,
   return out;
 }
 
-}  // namespace
-
 EnrolledUser enroll_user(const keystroke::Pin& pin,
                          const std::vector<Observation>& positives,
                          const std::vector<Observation>& negatives,
@@ -156,18 +174,37 @@ EnrolledUser enroll_user(const keystroke::Pin& pin,
   if (negatives.empty()) {
     throw std::invalid_argument("enroll_user: no third-party data");
   }
+  std::vector<ExtractedEntry> neg;
+  neg.reserve(negatives.size());
+  for (const auto& o : negatives) {
+    neg.push_back(extract_observation(o, config));
+  }
+  return enroll_user(pin, positives, neg, config);
+}
+
+EnrolledUser enroll_user(const keystroke::Pin& pin,
+                         const std::vector<Observation>& positives,
+                         const std::vector<ExtractedEntry>& neg,
+                         const EnrollmentConfig& config) {
+  if (positives.empty()) {
+    throw std::invalid_argument("enroll_user: no enrollment entries");
+  }
+  if (neg.empty()) {
+    throw std::invalid_argument("enroll_user: no third-party data");
+  }
 
   EnrolledUser user;
   user.pin = pin;
   user.privacy_boost = config.privacy_boost;
   util::Rng rng(config.seed, 0xe17011e4d0ULL);
 
-  // Extract everything once.
-  std::vector<ExtractedEntry> pos, neg;
+  // Extract the user's own entries; the third-party pool arrives already
+  // extracted (shared across users in evaluation sweeps).
+  std::vector<ExtractedEntry> pos;
   pos.reserve(positives.size());
-  neg.reserve(negatives.size());
-  for (const auto& o : positives) pos.push_back(extract(o, config));
-  for (const auto& o : negatives) neg.push_back(extract(o, config));
+  for (const auto& o : positives) {
+    pos.push_back(extract_observation(o, config));
+  }
 
   // --- Full-waveform model (one-handed case). ---
   if (config.train_full_model) {

@@ -51,9 +51,25 @@ class WaveformModel {
 
   bool trained() const noexcept { return ridge_.trained(); }
 
-  // Signed decision value (positive => legitimate user).
+  // Signed decision value (positive => legitimate user).  The
+  // convenience overload routes through the calling thread's reusable
+  // MiniRocket scratch, so repeated scoring on one thread reaches a
+  // zero-allocation steady state.
   double decision(const std::vector<Series>& waveform) const;
+  // Explicit-workspace variant for callers scoring many waveforms in one
+  // attempt (the authenticator's per-keystroke vote loop): `features` is
+  // resized to num_features and reused across calls.
+  double decision(const std::vector<Series>& waveform,
+                  ml::TransformScratch& scratch,
+                  linalg::Vector& features) const;
   bool accept(const std::vector<Series>& waveform) const;
+  bool accept(const std::vector<Series>& waveform,
+              ml::TransformScratch& scratch, linalg::Vector& features) const;
+
+  // Scores a batch through the tiled MiniRocket batch engine; decisions
+  // are bit-identical to per-waveform `decision` for any thread count.
+  linalg::Vector decisions(const std::vector<std::vector<Series>>& batch,
+                           std::size_t max_threads = 0) const;
 
   const ml::MultiChannelMiniRocket& rocket() const noexcept { return rocket_; }
   const linalg::RidgeClassifier& ridge() const noexcept { return ridge_; }
@@ -121,6 +137,21 @@ struct EnrolledUser {
   bool has_key_model(char digit) const;
 };
 
+// Per-entry extraction product shared by the three model families; also
+// the unit of reuse for callers that enroll many users against one
+// third-party pool (extraction depends only on preprocess/segmentation
+// options, so a pool extracted once can serve every user).
+struct ExtractedEntry {
+  std::vector<Series> full;                   // fixed-span full waveform
+  std::vector<std::vector<Series>> segments;  // per detected keystroke
+  std::vector<char> segment_digits;           // digit of each segment
+};
+
+// Runs preprocessing + segmentation on one observation using the
+// enrollment config's preprocess/segmentation options.
+ExtractedEntry extract_observation(const Observation& obs,
+                                   const EnrollmentConfig& config);
+
 // Enrolls a user from their own entries (`positives`) and the third-party
 // pool (`negatives`).  For the standard mode, positives should all enter
 // `pin`; for the no-PIN mode pass an empty `pin` and positives covering
@@ -128,6 +159,14 @@ struct EnrolledUser {
 EnrolledUser enroll_user(const keystroke::Pin& pin,
                          const std::vector<Observation>& positives,
                          const std::vector<Observation>& negatives,
+                         const EnrollmentConfig& config);
+
+// Same, with the third-party pool already extracted (must have come from
+// `extract_observation` with identical preprocess/segmentation options).
+// Produces bit-identical models to the Observation overload.
+EnrolledUser enroll_user(const keystroke::Pin& pin,
+                         const std::vector<Observation>& positives,
+                         const std::vector<ExtractedEntry>& negatives,
                          const EnrollmentConfig& config);
 
 }  // namespace p2auth::core

@@ -25,7 +25,7 @@ std::vector<Observation> to_observations(std::vector<sim::Trial> trials) {
 
 UserOutcome evaluate_user(std::size_t user_index,
                           const sim::Population& population,
-                          const std::vector<Observation>& negatives,
+                          const std::vector<ExtractedEntry>& negatives,
                           const ExperimentConfig& config) {
   const ppg::UserProfile& user = population.users[user_index];
   util::Rng rng(config.seed ^ (0xabcdef12345ULL * (user_index + 1)),
@@ -163,6 +163,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       to_observations(sim::make_third_party_pool(
           population, config.third_party_samples, pool_options, pool_rng));
 
+  // Preprocess + segment the shared pool once up front instead of once
+  // per user inside enroll_user: extraction depends only on the
+  // preprocess/segmentation options, which the sweep holds fixed (users
+  // differ only in model seed and privacy-boost flag), so every user
+  // trains on bit-identical extracted negatives.  Turns O(users x pool)
+  // extraction work into O(pool).
+  std::vector<ExtractedEntry> extracted_negatives;
+  extracted_negatives.reserve(negatives.size());
+  for (const Observation& o : negatives) {
+    extracted_negatives.push_back(extract_observation(o, config.enrollment));
+  }
+
   ExperimentResult result;
   result.per_user.resize(population.users.size());
 
@@ -176,7 +188,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         population.users.size(), /*chunk=*/1,
         [&](std::size_t i) {
           if (config.on_user_start) config.on_user_start(i);
-          result.per_user[i] = evaluate_user(i, population, negatives, config);
+          result.per_user[i] =
+              evaluate_user(i, population, extracted_negatives, config);
         },
         util::resolve_threads(config.threads));
   } catch (const util::ParallelForError& e) {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -45,6 +47,12 @@ MiniRocket MiniRocket::load(std::istream& is) {
                                    rocket.biases_per_combo_) {
     throw std::runtime_error("MiniRocket::load: inconsistent shape");
   }
+  // A dilation outside [1, input_length) could only come from a corrupted
+  // stream (fit never produces one) and would index far outside every
+  // shift partition downstream.
+  for (const int d : rocket.dilations_) {
+    if (d < 1) throw std::runtime_error("MiniRocket::load: bad dilation");
+  }
   // A corrupted template store must reject loudly here, not surface as
   // NaN feature values (and hence NaN decision scores) at auth time.
   for (const double b : rocket.biases_) {
@@ -52,6 +60,7 @@ MiniRocket MiniRocket::load(std::istream& is) {
       throw std::runtime_error("MiniRocket::load: non-finite bias");
     }
   }
+  rocket.build_bias_index();
   return rocket;
 }
 
@@ -94,12 +103,16 @@ const std::vector<std::array<int, 3>>& minirocket_kernels() {
   return kernels;
 }
 
-namespace {
+// ---------------------------------------------------------------------------
+// Reference (oracle) path: the original scalar implementation.  Its
+// per-element floating-point operation order is the bit-exactness
+// contract the fast path below must honour: each output element
+// accumulates its in-range taps in ascending tap order, starting from
+// 0.0 (nine-tap sum) or -sum9 (kernel completion).
+// ---------------------------------------------------------------------------
 
-// Nine-tap sliding sum at the given dilation with zero padding:
-// sum9[i] = sum_{j=0..8} x[i + (j-4)*d].  Shared across all 84 kernels of
-// one dilation — the key MiniRocket trick: since every kernel is
-// -1 everywhere with three +2s, its output is 3*(three taps) - sum9.
+namespace reference {
+
 Series nine_tap_sum(std::span<const double> x, int dilation) {
   const auto n = static_cast<long long>(x.size());
   Series sum(x.size(), 0.0);
@@ -114,6 +127,8 @@ Series nine_tap_sum(std::span<const double> x, int dilation) {
   }
   return sum;
 }
+
+namespace {
 
 // Completes the convolution for one kernel from the shared nine-tap sum.
 void kernel_from_sum(std::span<const double> x, std::span<const double> sum9,
@@ -135,15 +150,256 @@ void kernel_from_sum(std::span<const double> x, std::span<const double> sum9,
 
 }  // namespace
 
+linalg::Vector transform(const MiniRocket& model, std::span<const double> x) {
+  if (!model.fitted()) {
+    throw std::logic_error("reference::transform: not fitted");
+  }
+  if (x.size() != model.input_length()) {
+    throw std::invalid_argument("reference::transform: length mismatch");
+  }
+  const auto& kernels = minirocket_kernels();
+  const auto& dilations = model.dilations();
+  const std::span<const double> biases = model.biases();
+  const std::size_t biases_per_combo = model.biases_per_combo();
+  linalg::Vector features(model.num_features(), 0.0);
+  const double inv_n = 1.0 / static_cast<double>(x.size());
+  Series conv;
+  if (model.pooling() == Pooling::kMax) {
+    for (std::size_t di = 0; di < dilations.size(); ++di) {
+      const Series sum9 = nine_tap_sum(x, dilations[di]);
+      for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+        kernel_from_sum(x, sum9, kernels[ki], dilations[di], conv);
+        double peak = conv.front();
+        for (const double v : conv) peak = std::max(peak, v);
+        features[ki * dilations.size() + di] = peak;
+      }
+    }
+    return features;
+  }
+  std::vector<std::size_t> counts(biases_per_combo);
+  for (std::size_t di = 0; di < dilations.size(); ++di) {
+    const Series sum9 = nine_tap_sum(x, dilations[di]);
+    for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+      kernel_from_sum(x, sum9, kernels[ki], dilations[di], conv);
+      const std::size_t combo = ki * dilations.size() + di;
+      const double* bias = &biases[combo * biases_per_combo];
+      std::fill(counts.begin(), counts.end(), 0);
+      for (const double v : conv) {
+        for (std::size_t q = 0; q < biases_per_combo; ++q) {
+          counts[q] += (v > bias[q]) ? 1 : 0;
+        }
+      }
+      for (std::size_t q = 0; q < biases_per_combo; ++q) {
+        features[combo * biases_per_combo + q] =
+            static_cast<double>(counts[q]) * inv_n;
+      }
+    }
+  }
+  return features;
+}
+
+linalg::Matrix transform_batch(const MiniRocket& model,
+                               const std::vector<Series>& batch) {
+  linalg::Matrix out(batch.size(), model.num_features());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const linalg::Vector f = transform(model, batch[i]);
+    std::copy(f.begin(), f.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+}  // namespace reference
+
 Series dilated_convolution(std::span<const double> x,
                            const std::array<int, 3>& kernel, int dilation) {
   if (dilation < 1) {
     throw std::invalid_argument("dilated_convolution: dilation >= 1");
   }
-  const Series sum9 = nine_tap_sum(x, dilation);
-  Series out;
-  kernel_from_sum(x, sum9, kernel, dilation, out);
+  const Series sum9 = reference::nine_tap_sum(x, dilation);
+  const auto n = static_cast<long long>(x.size());
+  Series out(x.size(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = -sum9[i];
+  for (const int j : kernel) {
+    const long long shift = static_cast<long long>(j - 4) * dilation;
+    const long long lo = std::max<long long>(0, -shift);
+    const long long hi = std::min(n, n - shift);
+    for (long long i = lo; i < hi; ++i) {
+      out[static_cast<std::size_t>(i)] +=
+          3.0 * x[static_cast<std::size_t>(i + shift)];
+    }
+  }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fast path.
+//
+// Loop structure: per (series, dilation) tile, the nine-tap sliding sum
+// is computed once into scratch (shift-partitioned: guarded edge regions
+// where part of the receptive field falls outside the series, and a
+// branch-free interior the compiler can vectorize), then each of the 84
+// kernels completes its response into one reused buffer and pooling runs
+// as a contiguous scan.  Nothing is heap-allocated once the scratch is
+// warm.  Every per-element accumulation keeps the reference path's tap
+// order, so outputs are bit-identical to `reference::transform`.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void nine_tap_sum_into(const double* x, long long n, long long d,
+                       double* sum) {
+  // Guarded accumulation for elements whose receptive field crosses a
+  // series boundary; same ascending tap order as the interior.
+  const auto edge = [&](long long i) {
+    double s = 0.0;
+    for (int j = 0; j < 9; ++j) {
+      const long long idx = i + static_cast<long long>(j - 4) * d;
+      if (idx >= 0 && idx < n) s += x[idx];
+    }
+    sum[i] = s;
+  };
+  const long long lo = std::min(n, 4 * d);       // first fully interior i
+  const long long hi = std::max(lo, n - 4 * d);  // one past last interior i
+  for (long long i = 0; i < lo; ++i) edge(i);
+  for (long long i = lo; i < hi; ++i) {
+    double s = 0.0;
+    s += x[i - 4 * d];
+    s += x[i - 3 * d];
+    s += x[i - 2 * d];
+    s += x[i - d];
+    s += x[i];
+    s += x[i + d];
+    s += x[i + 2 * d];
+    s += x[i + 3 * d];
+    s += x[i + 4 * d];
+    sum[i] = s;
+  }
+  for (long long i = hi; i < n; ++i) edge(i);
+}
+
+// Completes one kernel's convolution response from the shared nine-tap
+// sum: conv[i] = -sum9[i] + 3*(the kernel's three +2 taps), in-range taps
+// added in ascending order (the bit-exactness contract).
+void kernel_conv_into(const double* x, long long n, const double* sum9,
+                      const std::array<int, 3>& kernel, long long d,
+                      double* conv) {
+  const long long sa = static_cast<long long>(kernel[0] - 4) * d;
+  const long long sb = static_cast<long long>(kernel[1] - 4) * d;
+  const long long sc = static_cast<long long>(kernel[2] - 4) * d;
+  const auto edge = [&](long long i) {
+    double v = -sum9[i];
+    if (i + sa >= 0 && i + sa < n) v += 3.0 * x[i + sa];
+    if (i + sb >= 0 && i + sb < n) v += 3.0 * x[i + sb];
+    if (i + sc >= 0 && i + sc < n) v += 3.0 * x[i + sc];
+    conv[i] = v;
+  };
+  // sa <= sb <= sc, so the lowest shift bounds the left edge and the
+  // highest bounds the right one.
+  const long long lo = std::min(n, std::max<long long>(0, -sa));
+  const long long hi = std::max(lo, std::min(n, sc > 0 ? n - sc : n));
+  for (long long i = 0; i < lo; ++i) edge(i);
+  for (long long i = lo; i < hi; ++i) {
+    double v = -sum9[i];
+    v += 3.0 * x[i + sa];
+    v += 3.0 * x[i + sb];
+    v += 3.0 * x[i + sc];
+    conv[i] = v;
+  }
+  for (long long i = hi; i < n; ++i) edge(i);
+}
+
+// Fused PPV pooling for one combo.  One binary search per element over
+// the combo's ascending biases yields j = how many thresholds lie
+// strictly below it; a histogram over j plus a suffix pass converts that
+// to per-threshold exceedance counts in O(n log q + q) instead of the
+// scan's O(n q).  Counts are order-independent integers, so the features
+// match the reference scan bit-for-bit — including non-finite elements
+// (NaN compares below every bias, so j = 0 and it counts nowhere, just
+// as "NaN > b" is false in the scan; +/-inf land at j = q / j = 0).
+//
+// The search width is a template parameter: the bias table is padded to
+// 2^kSteps - 1 entries with +inf sentinels (build_bias_index), so the
+// step loop has a compile-time trip count and GCC lowers every step to a
+// conditional move.  A runtime-width loop here is ~5x slower — the
+// compiler emits branches and the data-dependent comparisons mispredict;
+// with cmovs, consecutive elements' searches overlap in the pipeline.
+template <int kSteps>
+void ppv_pool_steps(const double* conv, long long n, const double* pad_bias,
+                    const std::uint32_t* rank, std::size_t bpc, double inv_n,
+                    std::size_t* hist, double* out) {
+  std::fill(hist, hist + bpc + 1, std::size_t{0});
+  for (long long i = 0; i < n; ++i) {
+    const double v = conv[i];
+    std::size_t j = 0;
+    for (int s = kSteps - 1; s >= 0; --s) {
+      const std::size_t w = std::size_t{1} << s;
+      j += (pad_bias[j + w - 1] < v) ? w : 0;
+    }
+    // Sentinels are +inf and never compare < v, so j <= bpc always.
+    ++hist[j];
+  }
+  // Count for sorted bias t = #elements with j > t: fold the suffix sums
+  // in place walking t downward (carry preserves the pre-overwrite
+  // hist[t] each step).
+  std::size_t count_above = 0;
+  std::size_t carry = hist[bpc];
+  for (std::size_t t = bpc; t-- > 0;) {
+    count_above += carry;
+    carry = hist[t];
+    hist[t] = count_above;
+  }
+  for (std::size_t q = 0; q < bpc; ++q) {
+    out[q] = static_cast<double>(hist[rank[q]]) * inv_n;
+  }
+}
+
+using PpvPoolFn = void (*)(const double*, long long, const double*,
+                           const std::uint32_t*, std::size_t, double,
+                           std::size_t*, double*);
+
+// steps -> specialized pooling kernel.  Index 0 is unused (bpc >= 1
+// forces at least one step); 20 steps cover 2^20 - 1 biases per combo,
+// three orders of magnitude beyond any realistic feature budget.
+template <std::size_t... kSteps>
+constexpr std::array<PpvPoolFn, sizeof...(kSteps)> make_ppv_pool_table(
+    std::index_sequence<kSteps...>) {
+  return {(kSteps == 0 ? nullptr : &ppv_pool_steps<kSteps == 0 ? 1 : kSteps>)...};
+}
+
+constexpr auto kPpvPoolTable =
+    make_ppv_pool_table(std::make_index_sequence<21>{});
+
+}  // namespace
+
+void TransformScratch::reserve(std::size_t input_length,
+                               std::size_t biases_per_combo) {
+  // Grow-only: buffers keep their high-water size, so a warm scratch
+  // never reallocates and the gauge below only fires on growth.
+  bool grew = false;
+  if (sum9.size() < input_length) {
+    sum9.resize(input_length);
+    conv.resize(input_length);
+    sorted.resize(input_length);
+    grew = true;
+  }
+  // +1: the counting histogram has one bucket per "number of sorted
+  // biases below the element" outcome, which ranges 0..biases_per_combo.
+  if (counts.size() < biases_per_combo + 1) {
+    counts.resize(biases_per_combo + 1);
+    grew = true;
+  }
+  if (grew) obs::set_gauge("minirocket.scratch_bytes", bytes());
+}
+
+std::size_t TransformScratch::bytes() const noexcept {
+  return (sum9.capacity() + conv.capacity() + sorted.capacity()) *
+             sizeof(double) +
+         counts.capacity() * sizeof(std::size_t);
+}
+
+TransformScratch& thread_transform_scratch() noexcept {
+  thread_local TransformScratch scratch;
+  return scratch;
 }
 
 MiniRocket::MiniRocket(MiniRocketOptions options) : options_(options) {
@@ -182,6 +438,7 @@ void MiniRocket::fit(const std::vector<Series>& train, util::Rng& rng) {
     // but biases_ doubles as the "fitted" flag, so keep one slot each.
     biases_per_combo_ = 1;
     biases_.assign(combos, 0.0);
+    build_bias_index();
     return;
   }
   biases_per_combo_ =
@@ -199,27 +456,74 @@ void MiniRocket::fit(const std::vector<Series>& train, util::Rng& rng) {
   // Biases come from quantiles of the convolution output on randomly
   // chosen training examples — one example per dilation, shared by the 84
   // kernels of that dilation so the expensive nine-tap sliding sum is
-  // computed once.
-  Series conv, sorted;
+  // computed once.  The fast kernels run through the same scratch the
+  // transform path uses; their outputs are bit-identical to the old
+  // per-kernel materialization, so fitted biases are unchanged.
+  TransformScratch& scratch = thread_transform_scratch();
+  scratch.reserve(input_length_, biases_per_combo_);
+  const auto n = static_cast<long long>(input_length_);
   for (std::size_t di = 0; di < dilations_.size(); ++di) {
     const Series& sample =
         train[rng.uniform_int(static_cast<std::uint32_t>(train.size()))];
-    const Series sum9 = nine_tap_sum(sample, dilations_[di]);
+    nine_tap_sum_into(sample.data(), n, dilations_[di], scratch.sum9.data());
     for (std::size_t ki = 0; ki < num_kernels; ++ki) {
-      kernel_from_sum(sample, sum9, minirocket_kernels()[ki], dilations_[di],
-                      conv);
-      sorted = conv;
-      std::sort(sorted.begin(), sorted.end());
+      kernel_conv_into(sample.data(), n, scratch.sum9.data(),
+                       minirocket_kernels()[ki], dilations_[di],
+                       scratch.conv.data());
+      double* const sorted = scratch.sorted.data();
+      std::copy(scratch.conv.data(), scratch.conv.data() + n, sorted);
+      std::sort(sorted, sorted + n);
       const std::size_t combo = ki * dilations_.size() + di;
       for (std::size_t q = 0; q < biases_per_combo_; ++q) {
         const double rank =
-            quantiles[q] * static_cast<double>(sorted.size() - 1);
+            quantiles[q] * static_cast<double>(input_length_ - 1);
         const auto lo = static_cast<std::size_t>(std::floor(rank));
-        const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+        const std::size_t hi = std::min(lo + 1, input_length_ - 1);
         const double frac = rank - static_cast<double>(lo);
         biases_[combo * biases_per_combo_ + q] =
             sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
       }
+    }
+  }
+  build_bias_index();
+}
+
+void MiniRocket::build_bias_index() {
+  if (options_.pooling != Pooling::kPpv) {
+    sorted_biases_.clear();
+    bias_rank_.clear();
+    bias_search_steps_ = 0;
+    bias_pad_stride_ = 0;
+    return;
+  }
+  // Pad every combo to 2^steps - 1 slots so ppv_pool_steps<steps> can run
+  // a fixed number of search steps; +inf sentinels never compare < any
+  // probe, so they are invisible to the counts.
+  bias_search_steps_ = 1;
+  while (((std::size_t{1} << bias_search_steps_) - 1) < biases_per_combo_) {
+    ++bias_search_steps_;
+  }
+  bias_pad_stride_ = (std::size_t{1} << bias_search_steps_) - 1;
+  const std::size_t combos = biases_.size() / biases_per_combo_;
+  sorted_biases_.assign(combos * bias_pad_stride_,
+                        std::numeric_limits<double>::infinity());
+  bias_rank_.assign(biases_.size(), 0);
+  std::vector<std::uint32_t> order(biases_per_combo_);
+  for (std::size_t combo = 0; combo < combos; ++combo) {
+    const double* b = biases_.data() + combo * biases_per_combo_;
+    for (std::size_t q = 0; q < biases_per_combo_; ++q) {
+      order[q] = static_cast<std::uint32_t>(q);
+    }
+    // Ties get arbitrary-but-stable positions; equal biases have equal
+    // counts, so any tie order produces the same features.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t x, std::uint32_t y) {
+                       return b[x] < b[y];
+                     });
+    for (std::size_t t = 0; t < biases_per_combo_; ++t) {
+      sorted_biases_[combo * bias_pad_stride_ + t] = b[order[t]];
+      bias_rank_[combo * biases_per_combo_ + order[t]] =
+          static_cast<std::uint32_t>(t);
     }
   }
 }
@@ -228,70 +532,125 @@ std::size_t MiniRocket::num_features() const noexcept {
   return biases_.size();
 }
 
-linalg::Vector MiniRocket::transform(std::span<const double> x) const {
+void MiniRocket::transform_into(std::span<const double> x,
+                                std::span<double> out,
+                                TransformScratch& scratch) const {
   if (!fitted()) throw std::logic_error("MiniRocket::transform: not fitted");
   if (x.size() != input_length_) {
     throw std::invalid_argument("MiniRocket::transform: length mismatch");
   }
+  if (out.size() != num_features()) {
+    throw std::invalid_argument("MiniRocket::transform: bad output size");
+  }
+  scratch.reserve(input_length_, biases_per_combo_);
+  const auto n = static_cast<long long>(x.size());
+  const std::size_t num_dilations = dilations_.size();
+  const auto& kernels = minirocket_kernels();
+  const double inv_n = 1.0 / static_cast<double>(x.size());
+  for (std::size_t di = 0; di < num_dilations; ++di) {
+    nine_tap_sum_into(x.data(), n, dilations_[di], scratch.sum9.data());
+    if (options_.pooling == Pooling::kMax) {
+      for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+        kernel_conv_into(x.data(), n, scratch.sum9.data(), kernels[ki],
+                         dilations_[di], scratch.conv.data());
+        const double* conv = scratch.conv.data();
+        double peak = conv[0];
+        for (long long i = 1; i < n; ++i) peak = std::max(peak, conv[i]);
+        out[ki * num_dilations + di] = peak;
+      }
+      continue;
+    }
+    const PpvPoolFn pool = kPpvPoolTable[bias_search_steps_];
+    for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+      kernel_conv_into(x.data(), n, scratch.sum9.data(), kernels[ki],
+                       dilations_[di], scratch.conv.data());
+      const std::size_t combo = ki * num_dilations + di;
+      pool(scratch.conv.data(), n,
+           sorted_biases_.data() + combo * bias_pad_stride_,
+           bias_rank_.data() + combo * biases_per_combo_, biases_per_combo_,
+           inv_n, scratch.counts.data(),
+           out.data() + combo * biases_per_combo_);
+    }
+  }
+}
+
+linalg::Vector MiniRocket::transform(std::span<const double> x) const {
   const obs::Span span("minirocket.transform", "ml");
   obs::add_counter("minirocket.transforms");
   linalg::Vector features(num_features(), 0.0);
-  const auto& kernels = minirocket_kernels();
-  const double inv_n = 1.0 / static_cast<double>(x.size());
-  Series conv;
-  if (options_.pooling == Pooling::kMax) {
-    for (std::size_t di = 0; di < dilations_.size(); ++di) {
-      // One "kernel batch" = the 84 kernels sharing this dilation's
-      // nine-tap sliding sum; the histogram exposes the per-batch cost
-      // the paper's real-time argument rests on.
-      const obs::ScopedLatency batch("minirocket.kernel_batch_us");
-      const Series sum9 = nine_tap_sum(x, dilations_[di]);
-      for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
-        kernel_from_sum(x, sum9, kernels[ki], dilations_[di], conv);
-        double peak = conv.front();
-        for (const double v : conv) peak = std::max(peak, v);
-        features[ki * dilations_.size() + di] = peak;
-      }
-    }
-    return features;
-  }
-  std::vector<std::size_t> counts(biases_per_combo_);
-  for (std::size_t di = 0; di < dilations_.size(); ++di) {
-    const obs::ScopedLatency batch("minirocket.kernel_batch_us");
-    const Series sum9 = nine_tap_sum(x, dilations_[di]);
-    for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
-      kernel_from_sum(x, sum9, kernels[ki], dilations_[di], conv);
-      const std::size_t combo = ki * dilations_.size() + di;
-      const double* bias = &biases_[combo * biases_per_combo_];
-      std::fill(counts.begin(), counts.end(), 0);
-      for (const double v : conv) {
-        for (std::size_t q = 0; q < biases_per_combo_; ++q) {
-          counts[q] += (v > bias[q]) ? 1 : 0;
-        }
-      }
-      for (std::size_t q = 0; q < biases_per_combo_; ++q) {
-        features[combo * biases_per_combo_ + q] =
-            static_cast<double>(counts[q]) * inv_n;
-      }
-    }
-  }
+  transform_into(x, features, thread_transform_scratch());
   return features;
 }
 
-linalg::Matrix MiniRocket::transform(const std::vector<Series>& batch) const {
-  const obs::Span span("minirocket.transform_batch", "ml");
-  linalg::Matrix out(batch.size(), num_features());
-  // Samples are independent and each task writes one row, so the result
-  // is identical for any thread count.
+void MiniRocket::transform_batch_into(std::span<const Series* const> batch,
+                                      double* out, std::size_t row_stride,
+                                      std::size_t max_threads) const {
+  if (!fitted()) throw std::logic_error("MiniRocket::transform: not fitted");
+  for (const Series* s : batch) {
+    if (s == nullptr || s->size() != input_length_) {
+      throw std::invalid_argument(
+          "MiniRocket::transform_batch: length mismatch");
+    }
+  }
+  // One task per (series, dilation) tile: each writes the disjoint
+  // feature slots of its combo column within its series' row, so the
+  // matrix is bit-identical to per-series transforms for any thread
+  // count.  Per-thread scratch stays warm across tiles and batches
+  // (pool workers persist), giving the allocation-free steady state.
+  const std::size_t num_dilations = dilations_.size();
+  const std::size_t tiles = batch.size() * num_dilations;
+  const auto n = static_cast<long long>(input_length_);
+  const auto& kernels = minirocket_kernels();
+  const double inv_n = 1.0 / static_cast<double>(input_length_);
   try {
-    util::parallel_for(batch.size(), /*chunk=*/1, [&](std::size_t i) {
-      const linalg::Vector f = transform(batch[i]);
-      std::copy(f.begin(), f.end(), out.row(i).begin());
-    });
+    util::parallel_for(
+        tiles, /*chunk=*/1,
+        [&](std::size_t t) {
+          const std::size_t s = t / num_dilations;
+          const std::size_t di = t % num_dilations;
+          const double* x = batch[s]->data();
+          double* row = out + s * row_stride;
+          TransformScratch& scratch = thread_transform_scratch();
+          scratch.reserve(input_length_, biases_per_combo_);
+          nine_tap_sum_into(x, n, dilations_[di], scratch.sum9.data());
+          for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+            kernel_conv_into(x, n, scratch.sum9.data(), kernels[ki],
+                             dilations_[di], scratch.conv.data());
+            const double* conv = scratch.conv.data();
+            const std::size_t combo = ki * num_dilations + di;
+            if (options_.pooling == Pooling::kMax) {
+              double peak = conv[0];
+              for (long long i = 1; i < n; ++i) peak = std::max(peak, conv[i]);
+              row[combo] = peak;
+              continue;
+            }
+            kPpvPoolTable[bias_search_steps_](
+                conv, n, sorted_biases_.data() + combo * bias_pad_stride_,
+                bias_rank_.data() + combo * biases_per_combo_,
+                biases_per_combo_, inv_n, scratch.counts.data(),
+                row + combo * biases_per_combo_);
+          }
+        },
+        max_threads);
   } catch (const util::ParallelForError& e) {
     e.rethrow_cause();
   }
+}
+
+linalg::Matrix MiniRocket::transform_batch(std::span<const Series> batch,
+                                           std::size_t max_threads) const {
+  const obs::Span span("minirocket.transform_batch", "ml");
+  const obs::ScopedLatency latency("minirocket.batch_us");
+  obs::add_counter("minirocket.transforms", batch.size());
+  linalg::Matrix out(batch.size(), num_features());
+  std::vector<const Series*> ptrs(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) ptrs[i] = &batch[i];
+  transform_batch_into(ptrs, out.data().data(), out.cols(), max_threads);
   return out;
+}
+
+linalg::Matrix MiniRocket::transform(const std::vector<Series>& batch) const {
+  return transform_batch(std::span<const Series>(batch));
 }
 
 MultiChannelMiniRocket::MultiChannelMiniRocket(MiniRocketOptions options)
@@ -333,8 +692,9 @@ std::size_t MultiChannelMiniRocket::num_features() const {
   return total;
 }
 
-linalg::Vector MultiChannelMiniRocket::transform(
-    const std::vector<Series>& sample) const {
+void MultiChannelMiniRocket::transform_into(
+    const std::vector<Series>& sample, std::span<double> out,
+    TransformScratch& scratch) const {
   if (!fitted()) {
     throw std::logic_error("MultiChannelMiniRocket::transform: not fitted");
   }
@@ -342,26 +702,51 @@ linalg::Vector MultiChannelMiniRocket::transform(
     throw std::invalid_argument(
         "MultiChannelMiniRocket::transform: channel count mismatch");
   }
-  linalg::Vector out;
-  out.reserve(num_features());
-  for (std::size_t c = 0; c < per_channel_.size(); ++c) {
-    const linalg::Vector f = per_channel_[c].transform(sample[c]);
-    out.insert(out.end(), f.begin(), f.end());
+  if (out.size() != num_features()) {
+    throw std::invalid_argument(
+        "MultiChannelMiniRocket::transform: bad output size");
   }
+  const obs::Span span("minirocket.transform", "ml");
+  obs::add_counter("minirocket.transforms");
+  std::size_t offset = 0;
+  for (std::size_t c = 0; c < per_channel_.size(); ++c) {
+    const std::size_t nf = per_channel_[c].num_features();
+    per_channel_[c].transform_into(sample[c], out.subspan(offset, nf),
+                                   scratch);
+    offset += nf;
+  }
+}
+
+linalg::Vector MultiChannelMiniRocket::transform(
+    const std::vector<Series>& sample) const {
+  linalg::Vector out(num_features(), 0.0);
+  transform_into(sample, out, thread_transform_scratch());
   return out;
 }
 
 linalg::Matrix MultiChannelMiniRocket::transform(
-    const std::vector<std::vector<Series>>& batch) const {
+    const std::vector<std::vector<Series>>& batch,
+    std::size_t max_threads) const {
+  if (!fitted()) {
+    throw std::logic_error("MultiChannelMiniRocket::transform: not fitted");
+  }
   const obs::Span span("minirocket.transform_batch", "ml");
+  const obs::ScopedLatency latency("minirocket.batch_us");
+  obs::add_counter("minirocket.transforms", batch.size());
+  for (const auto& sample : batch) {
+    if (sample.size() != per_channel_.size()) {
+      throw std::invalid_argument(
+          "MultiChannelMiniRocket::transform: channel count mismatch");
+    }
+  }
   linalg::Matrix out(batch.size(), num_features());
-  try {
-    util::parallel_for(batch.size(), /*chunk=*/1, [&](std::size_t i) {
-      const linalg::Vector f = transform(batch[i]);
-      std::copy(f.begin(), f.end(), out.row(i).begin());
-    });
-  } catch (const util::ParallelForError& e) {
-    e.rethrow_cause();
+  std::vector<const Series*> ptrs(batch.size());
+  std::size_t offset = 0;
+  for (std::size_t c = 0; c < per_channel_.size(); ++c) {
+    for (std::size_t i = 0; i < batch.size(); ++i) ptrs[i] = &batch[i][c];
+    per_channel_[c].transform_batch_into(ptrs, out.data().data() + offset,
+                                         out.cols(), max_threads);
+    offset += per_channel_[c].num_features();
   }
   return out;
 }

@@ -13,6 +13,21 @@
 // data, so fit() must see training series before transform() is used.
 // The default feature budget (~10 000, paper: "feature vector of length
 // 10K") is spread evenly over kernels, dilations and bias quantiles.
+//
+// Two implementations coexist:
+//
+//   * The fast path — an allocation-free, cache-blocked batch engine.
+//     All working memory lives in a reusable `TransformScratch`; the
+//     inner loops are shift-partitioned (guarded edges, branch-free
+//     interior) so they auto-vectorize, and pooling is fused into the
+//     convolution completion so no per-kernel response is materialized
+//     beyond one reused buffer.  `transform_batch` tiles
+//     (series x dilation) blocks across `util::parallel_for`.
+//   * `minirocket::reference` — the original straightforward scalar
+//     implementation, kept compiled-in as the oracle.  The fast path
+//     must agree with it bit-for-bit (same floating-point operation
+//     order per output element); the differential test suite pins this
+//     contract.
 #pragma once
 
 #include <array>
@@ -55,6 +70,32 @@ const std::vector<std::array<int, 3>>& minirocket_kernels();
 Series dilated_convolution(std::span<const double> x,
                            const std::array<int, 3>& kernel, int dilation);
 
+// Reusable workspace for the allocation-free transform path.  Buffers
+// grow on first use (or when a longer series / larger quantile budget
+// arrives) and are then reused verbatim: the steady state performs zero
+// heap allocations.  One scratch serves one thread at a time; use
+// `thread_transform_scratch()` for a per-thread instance that stays warm
+// across calls.
+struct TransformScratch {
+  Series sum9;    // shared nine-tap sliding sum for one dilation
+  Series conv;    // one kernel's convolution response
+  Series sorted;  // fit-time sorted-quantile workspace
+  std::vector<std::size_t> counts;  // fused PPV tallies (one per quantile)
+
+  // Grows the buffers to serve series of `input_length` with
+  // `biases_per_combo` quantiles; no-op (and allocation-free) when they
+  // already suffice.
+  void reserve(std::size_t input_length, std::size_t biases_per_combo);
+  // Current heap footprint of the buffers, for the
+  // `minirocket.scratch_bytes` gauge.
+  std::size_t bytes() const noexcept;
+};
+
+// The calling thread's reusable scratch.  Pool worker threads persist
+// across `parallel_for` calls, so batch transforms reach a zero-allocation
+// steady state after the first tile per thread.
+TransformScratch& thread_transform_scratch() noexcept;
+
 class MiniRocket {
  public:
   explicit MiniRocket(MiniRocketOptions options = {});
@@ -68,12 +109,42 @@ class MiniRocket {
   std::size_t num_features() const noexcept;
   std::size_t input_length() const noexcept { return input_length_; }
   const std::vector<int>& dilations() const noexcept { return dilations_; }
+  // Bias quantiles per (kernel, dilation) combo and the flat bias table
+  // (combo-major: kernel index * num_dilations + dilation index), exposed
+  // for the reference oracle and the differential tests.
+  std::size_t biases_per_combo() const noexcept { return biases_per_combo_; }
+  std::span<const double> biases() const noexcept { return biases_; }
+  Pooling pooling() const noexcept { return options_.pooling; }
 
   // Transforms one series (must match the fitted length) into the PPV
   // feature vector.
   linalg::Vector transform(std::span<const double> x) const;
 
-  // Transforms a batch into a feature matrix (rows = samples).
+  // Allocation-free core: writes exactly num_features() values into
+  // `out` using only `scratch` for working memory.  With a warm scratch
+  // the call performs zero heap allocations (the differential suite
+  // verifies this with an allocation-counting hook).  Emits no telemetry;
+  // the public wrappers record the batch-level counters.
+  void transform_into(std::span<const double> x, std::span<double> out,
+                      TransformScratch& scratch) const;
+
+  // Transforms a batch into a feature matrix (rows = samples), tiling
+  // (series x dilation) blocks across the shared thread pool.  Output is
+  // bit-identical to per-series `transform` for any thread count.
+  // `max_threads` follows the `util::parallel_for` convention (0 = the
+  // resolve_threads default).
+  linalg::Matrix transform_batch(std::span<const Series> batch,
+                                 std::size_t max_threads = 0) const;
+  // Same engine writing into caller-owned row-strided storage: row i of
+  // the output starts at out + i * row_stride.  `batch` is a span of
+  // pointers so non-contiguous inputs (e.g. one channel plucked from
+  // multi-channel samples) can be transformed without gathering copies.
+  void transform_batch_into(std::span<const Series* const> batch, double* out,
+                            std::size_t row_stride,
+                            std::size_t max_threads = 0) const;
+
+  // Batch convenience retained for existing callers; forwards to
+  // transform_batch.
   linalg::Matrix transform(const std::vector<Series>& batch) const;
 
   // Persists / restores a fitted transform (dilations + biases).
@@ -81,6 +152,19 @@ class MiniRocket {
   static MiniRocket load(std::istream& is);
 
  private:
+  // Derived PPV counting index (not serialized; rebuilt by fit/load).
+  // The fast path counts "conv[i] > bias_q" for all quantiles of a combo
+  // in one binary-search pass per element over the combo's *sorted*
+  // biases — O(n log q) instead of the scan's O(n q) — then maps the
+  // per-sorted-position counts back through `bias_rank_`.  Counts are
+  // exact integers, so the features stay bit-identical to the scan.
+  //
+  // Each combo's sorted biases are padded to a power-of-two-minus-one
+  // stride with +inf sentinels so the search runs a fixed, compile-time
+  // number of conditional-move steps (branch-free: sentinels compare
+  // false against every probe, including +inf and NaN).
+  void build_bias_index();
+
   MiniRocketOptions options_;
   std::size_t input_length_ = 0;
   std::vector<int> dilations_;
@@ -88,6 +172,13 @@ class MiniRocket {
   // biases_[combo * biases_per_combo_ + q] where combo = kernel-major
   // (kernel index * num_dilations + dilation index).
   std::vector<double> biases_;
+  // Per-combo ascending biases (stride `bias_pad_stride_`, +inf padded)
+  // and the original-q -> sorted-position map (stride biases_per_combo_).
+  std::vector<double> sorted_biases_;
+  std::vector<std::uint32_t> bias_rank_;
+  // Search geometry: bias_pad_stride_ = 2^bias_search_steps_ - 1 >= bpc.
+  std::size_t bias_search_steps_ = 0;
+  std::size_t bias_pad_stride_ = 0;
 };
 
 // Multi-channel convenience wrapper: one independent MiniRocket per
@@ -104,9 +195,14 @@ class MultiChannelMiniRocket {
   bool fitted() const noexcept { return !per_channel_.empty(); }
   std::size_t num_features() const;
   std::size_t num_channels() const noexcept { return per_channel_.size(); }
+  const MiniRocket& channel(std::size_t c) const { return per_channel_.at(c); }
 
   linalg::Vector transform(const std::vector<Series>& sample) const;
-  linalg::Matrix transform(const std::vector<std::vector<Series>>& batch) const;
+  // Allocation-free single-sample path; `out` must hold num_features().
+  void transform_into(const std::vector<Series>& sample,
+                      std::span<double> out, TransformScratch& scratch) const;
+  linalg::Matrix transform(const std::vector<std::vector<Series>>& batch,
+                           std::size_t max_threads = 0) const;
 
   void save(std::ostream& os) const;
   static MultiChannelMiniRocket load(std::istream& is);
@@ -115,5 +211,27 @@ class MultiChannelMiniRocket {
   MiniRocketOptions options_;
   std::vector<MiniRocket> per_channel_;
 };
+
+// The original scalar implementation, kept as the differential-testing
+// oracle for the fast path.  Contract: for any fitted model and input,
+// `reference::transform` and the fast `MiniRocket::transform` /
+// `transform_batch` produce bit-identical feature vectors (the two
+// paths share the per-element floating-point operation order even though
+// their loop structures differ).
+namespace reference {
+
+// Nine-tap sliding sum at the given dilation with zero padding (the
+// shared-work trick: every kernel output is 3*(its three +2 taps) - sum9).
+Series nine_tap_sum(std::span<const double> x, int dilation);
+
+// One series through the scalar path of `model` (PPV or max pooling).
+linalg::Vector transform(const MiniRocket& model, std::span<const double> x);
+
+// Serial per-series batch loop — the pre-fast-path behaviour benches
+// compare against.
+linalg::Matrix transform_batch(const MiniRocket& model,
+                               const std::vector<Series>& batch);
+
+}  // namespace reference
 
 }  // namespace p2auth::ml

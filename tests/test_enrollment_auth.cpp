@@ -91,7 +91,8 @@ TEST(Enrollment, PrivacyBoostTrainsBoostModel) {
 
 TEST(Enrollment, ErrorsOnMissingData) {
   EnrollmentConfig config;
-  EXPECT_THROW(enroll_user(keystroke::Pin("1111"), {}, {}, config),
+  EXPECT_THROW(enroll_user(keystroke::Pin("1111"), std::vector<Observation>{},
+                           std::vector<Observation>{}, config),
                std::invalid_argument);
 }
 

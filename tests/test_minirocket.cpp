@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
 #include <set>
+#include <span>
 #include <sstream>
+#include <string_view>
+#include <utility>
 
 #include "util/rng.hpp"
 
@@ -349,6 +353,154 @@ TEST(MiniRocketSerialization, NonFiniteBiasThrows) {
     FAIL() << "expected std::runtime_error";
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos)
+        << e.what();
+  }
+}
+
+// Fuzz-style round-trip: randomized model shapes (length, budget,
+// pooling, training-set size) must survive save/load with bit-exact
+// parameters and bit-exact transforms.
+TEST(MiniRocketSerialization, FuzzRoundTripBitExact) {
+  util::Rng rng(0xf022ULL, 0x5e2ULL);
+  for (std::size_t trial = 0; trial < 40; ++trial) {
+    const std::size_t length = 9 + rng.uniform_int(292);  // [9, 300]
+    MiniRocketOptions options;
+    options.num_features = 84 + rng.uniform_int(1917);  // [84, 2000]
+    options.max_dilations = 1 + rng.uniform_int(6);
+    options.pooling = rng.uniform_int(2) == 0 ? Pooling::kPpv : Pooling::kMax;
+    MiniRocket rocket(options);
+    std::vector<Series> train;
+    const std::size_t train_count = 1 + rng.uniform_int(4);
+    for (std::size_t i = 0; i < train_count; ++i) {
+      train.push_back(noise_series(length, rng.next_u64()));
+    }
+    rocket.fit(train, rng);
+    std::stringstream ss;
+    rocket.save(ss);
+    const MiniRocket restored = MiniRocket::load(ss);
+    ASSERT_EQ(restored.input_length(), rocket.input_length());
+    ASSERT_EQ(restored.dilations(), rocket.dilations());
+    ASSERT_EQ(restored.biases_per_combo(), rocket.biases_per_combo());
+    ASSERT_EQ(restored.pooling(), rocket.pooling());
+    const std::span<const double> a = rocket.biases();
+    const std::span<const double> b = restored.biases();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "bias " << i << " trial " << trial;
+    }
+    const Series probe = noise_series(length, rng.next_u64());
+    const linalg::Vector before = rocket.transform(probe);
+    const linalg::Vector after = restored.transform(probe);
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      ASSERT_EQ(before[i], after[i]) << "feature " << i << " trial " << trial;
+    }
+  }
+}
+
+// Every whitespace-boundary truncation of a valid stream must surface as
+// a typed std::runtime_error from load, never a crash, hang or silently
+// half-initialised model.
+TEST(MiniRocketSerialization, TruncatedStreamsRejected) {
+  std::vector<Series> train = {noise_series(40, 191)};
+  util::Rng rng(192);
+  MiniRocketOptions options;
+  options.num_features = 84;  // keep the serialized text small
+  MiniRocket rocket(options);
+  rocket.fit(train, rng);
+  std::stringstream ss;
+  rocket.save(ss);
+  const std::string text = ss.str();
+  std::size_t tested = 0;
+  // The final cut position (the trailing newline) is excluded: stream
+  // extraction does not need it, so that "truncation" still parses.
+  for (std::size_t cut = 0; cut + 1 < text.size(); ++cut) {
+    // Truncating mid-token is covered by the nearest boundary cut; token
+    // boundaries are where the reader's state machine actually lands.
+    if (cut != 0 && !std::isspace(static_cast<unsigned char>(text[cut]))) {
+      continue;
+    }
+    std::istringstream bad(text.substr(0, cut));
+    EXPECT_THROW(MiniRocket::load(bad), std::runtime_error)
+        << "cut at " << cut;
+    ++tested;
+  }
+  EXPECT_GT(tested, 10u);
+  // Sanity: the untruncated stream still loads.
+  std::istringstream good(text);
+  EXPECT_NO_THROW(MiniRocket::load(good));
+}
+
+// Swapping two tagged fields must be caught by the tag check of whichever
+// field is read first, as a typed error naming the expected tag.
+TEST(MiniRocketSerialization, FieldReorderedStreamsRejected) {
+  std::vector<Series> train = {noise_series(40, 193)};
+  util::Rng rng(194);
+  MiniRocketOptions options;
+  options.num_features = 84;
+  MiniRocket rocket(options);
+  rocket.fit(train, rng);
+  std::stringstream ss;
+  rocket.save(ss);
+  const std::string text = ss.str();
+  // A u64 field serializes as "tag value\n"; swap two such fields while
+  // leaving everything between them in place.
+  const auto swap_fields = [&](std::string_view first,
+                               std::string_view second) {
+    const std::size_t a = text.find(first);
+    const std::size_t a_end = text.find('\n', a) + 1;
+    const std::size_t b = text.find(second);
+    const std::size_t b_end = text.find('\n', b) + 1;
+    EXPECT_NE(a, std::string::npos);
+    EXPECT_NE(b, std::string::npos);
+    EXPECT_LE(a_end, b);
+    return text.substr(0, a) + text.substr(b, b_end - b) +
+           text.substr(a_end, b - a_end) + text.substr(a, a_end - a) +
+           text.substr(b_end);
+  };
+  for (const auto& [first, second] :
+       std::vector<std::pair<std::string_view, std::string_view>>{
+           {"max_dilations", "pooling"},
+           {"input_length", "biases_per_combo"}}) {
+    std::istringstream bad(swap_fields(first, second));
+    try {
+      MiniRocket::load(bad);
+      FAIL() << "expected std::runtime_error swapping " << first << "/"
+             << second;
+    } catch (const std::runtime_error& e) {
+      // The error must name the tag the reader expected.
+      EXPECT_NE(std::string(e.what()).find(std::string(first)),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+// A stream whose dilation came back corrupted to a non-positive value is
+// rejected before it can index outside every shift partition.
+TEST(MiniRocketSerialization, NonPositiveDilationRejected) {
+  std::vector<Series> train = {noise_series(40, 195)};
+  util::Rng rng(196);
+  MiniRocketOptions options;
+  options.num_features = 84;
+  MiniRocket rocket(options);
+  rocket.fit(train, rng);
+  std::stringstream ss;
+  rocket.save(ss);
+  std::string text = ss.str();
+  // "\ndilations" skips over the earlier "max_dilations" field.
+  const std::size_t tag = text.find("\ndilations") + 1;
+  ASSERT_NE(tag, std::string::npos + 1);
+  const std::size_t count_start = text.find(' ', tag) + 1;
+  const std::size_t value_start = text.find(' ', count_start) + 1;
+  const std::size_t value_end = text.find(' ', value_start);
+  text.replace(value_start, value_end - value_start, "-3");
+  std::istringstream bad(text);
+  try {
+    MiniRocket::load(bad);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("dilation"), std::string::npos)
         << e.what();
   }
 }

@@ -4,13 +4,17 @@
 // shape consistency, and factor ordering.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <sstream>
 
 #include "core/authenticator.hpp"
 #include "core/enrollment.hpp"
 #include "core/preprocess.hpp"
+#include "ml/minirocket.hpp"
 #include "sim/attacks.hpp"
 #include "sim/dataset.hpp"
+#include "util/serialize.hpp"
 
 namespace p2auth::core {
 namespace {
@@ -168,6 +172,170 @@ TEST(PipelineInvariants, WrongPinNeverAuthenticates) {
         authenticate(f.user, {std::move(t.entry), std::move(t.trace)});
     EXPECT_FALSE(r.accepted);
     EXPECT_EQ(r.reason, RejectReason::kWrongPin);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MiniRocket transform invariants (randomized, seeded).
+// ---------------------------------------------------------------------------
+
+ml::Series random_series(std::size_t n, util::Rng& rng) {
+  ml::Series x(n);
+  for (double& v : x) v = rng.normal();
+  return x;
+}
+
+// Naive dilated convolution straight from the weight definition (six -1
+// and three +2 taps, zero padding) — independent of both shipped paths.
+ml::Series naive_dilated_convolution(const ml::Series& x,
+                                     const std::array<int, 3>& kernel,
+                                     int dilation) {
+  const auto n = static_cast<long long>(x.size());
+  ml::Series out(x.size(), 0.0);
+  for (long long i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < 9; ++j) {
+      const long long idx = i + static_cast<long long>(j - 4) * dilation;
+      if (idx < 0 || idx >= n) continue;
+      const bool is_two = (j == kernel[0] || j == kernel[1] || j == kernel[2]);
+      acc += (is_two ? 2.0 : -1.0) * x[static_cast<std::size_t>(idx)];
+    }
+    out[static_cast<std::size_t>(i)] = acc;
+  }
+  return out;
+}
+
+// PPV features are proportions: every one must lie in [0, 1] for any
+// input, including inputs far outside the training distribution.
+TEST(MiniRocketProperties, PpvFeaturesAlwaysInUnitInterval) {
+  util::Rng rng(0x99f1ULL, 0x77ULL);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t length = 9 + rng.uniform_int(200);
+    ml::MiniRocketOptions options;
+    options.num_features = 500;
+    ml::MiniRocket model(options);
+    std::vector<ml::Series> train = {random_series(length, rng),
+                                     random_series(length, rng)};
+    model.fit(train, rng);
+    ml::Series probe = random_series(length, rng);
+    // Stress with off-distribution magnitudes on odd trials.
+    if (trial % 2 == 1) {
+      for (double& v : probe) v *= 1e6;
+    }
+    for (const double f : model.transform(probe)) {
+      ASSERT_GE(f, 0.0);
+      ASSERT_LE(f, 1.0);
+    }
+  }
+}
+
+// Zero padding means out-of-range taps contribute exactly 0 — so
+// appending literal zero samples must reproduce the original convolution
+// values bit-for-bit over the shared prefix (the appended zeros are
+// indistinguishable from the padding they replace).
+TEST(MiniRocketProperties, AppendedZerosArePaddingNeutral) {
+  util::Rng rng(0x2e20ULL, 0x88ULL);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 20 + rng.uniform_int(120);
+    const ml::Series x = random_series(n, rng);
+    ml::Series padded = x;
+    padded.resize(n + 8 * (1 + rng.uniform_int(4)), 0.0);
+    const auto& kernels = ml::minirocket_kernels();
+    const auto& kernel = kernels[rng.uniform_int(
+        static_cast<std::uint32_t>(kernels.size()))];
+    const int dilation = 1 << rng.uniform_int(3);
+    const ml::Series a = ml::dilated_convolution(x, kernel, dilation);
+    const ml::Series b = ml::dilated_convolution(padded, kernel, dilation);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(a[i], b[i]) << "prefix index " << i;
+    }
+  }
+}
+
+// Degenerate receptive fields: when 8*dilation >= length, every output
+// element is an edge case (no branch-free interior exists).  The shipped
+// convolution must still match the naive definition (near-equality: the
+// naive triple loop accumulates 2/-1 weights directly, a different FP
+// operation order than the shipped -sum9 + 3*taps form), and a model
+// carrying such a dilation must transform identically through the fast
+// and reference paths (exact — see the load-based test below; fit()
+// never produces one of these, 8*d < length is its loop condition).
+TEST(MiniRocketProperties, DilationExceedingLengthMatchesNaive) {
+  util::Rng rng(0xedd3ULL, 0x99ULL);
+  for (const std::size_t length : {9u, 10u, 16u, 31u}) {
+    const ml::Series x = random_series(length, rng);
+    for (const int dilation : {2, 4, 8, 16}) {
+      if (8 * dilation < static_cast<int>(length)) continue;
+      for (const auto& kernel : ml::minirocket_kernels()) {
+        const ml::Series got = ml::dilated_convolution(x, kernel, dilation);
+        const ml::Series want = naive_dilated_convolution(x, kernel, dilation);
+        for (std::size_t i = 0; i < length; ++i) {
+          ASSERT_NEAR(got[i], want[i], 1e-10)
+              << "len=" << length << " d=" << dilation << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(MiniRocketProperties, LoadedOversizedDilationTransformsBitExact) {
+  // Hand-assemble a model whose second dilation's receptive field
+  // (8*4=32) exceeds the input length (10): all-edge shift partitions in
+  // the fast path must still match the reference oracle bit-for-bit.
+  const std::size_t length = 10;
+  const std::vector<int> dilations = {1, 4};
+  const std::size_t combos = ml::minirocket_kernels().size() * dilations.size();
+  util::Rng rng(0x10adULL, 0xaaULL);
+  std::stringstream ss;
+  util::write_string(ss, "minirocket.v1", "");
+  util::write_u64(ss, "num_features_opt", combos);
+  util::write_u64(ss, "max_dilations", 32);
+  util::write_u64(ss, "pooling", 0);  // kPpv
+  util::write_u64(ss, "input_length", length);
+  util::write_int_vector(ss, "dilations", dilations);
+  util::write_u64(ss, "biases_per_combo", 1);
+  std::vector<double> biases(combos);
+  for (double& b : biases) b = rng.normal();
+  util::write_vector(ss, "biases", biases);
+  const ml::MiniRocket model = ml::MiniRocket::load(ss);
+  for (int trial = 0; trial < 20; ++trial) {
+    const ml::Series x = random_series(length, rng);
+    const linalg::Vector fast = model.transform(x);
+    const linalg::Vector ref = ml::reference::transform(model, x);
+    ASSERT_EQ(fast.size(), ref.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      ASSERT_EQ(fast[i], ref[i]) << "trial " << trial << " feature " << i;
+    }
+  }
+}
+
+// The batch engine and the per-sample decision path are the same
+// computation: WaveformModel::decisions must reproduce decision() exactly
+// for every waveform and thread count.
+TEST(MiniRocketProperties, BatchDecisionsMatchSingleDecisions) {
+  const Enrolled& f = fixture();
+  ASSERT_TRUE(f.user.full_model.has_value());
+  const WaveformModel& model = *f.user.full_model;
+  util::Rng rng(0xba7cdecULL, 0xbbULL);
+  sim::TrialOptions options;
+  std::vector<std::vector<Series>> waveforms;
+  for (int i = 0; i < 5; ++i) {
+    util::Rng tr = rng.fork(i);
+    sim::Trial t = sim::make_trial(f.population.users[0], f.pin, options, tr);
+    const Observation obs{std::move(t.entry), std::move(t.trace)};
+    const PreprocessedEntry pre = preprocess_entry(obs, {});
+    std::size_t first = pre.calibrated_indices.empty()
+                            ? 0
+                            : pre.calibrated_indices.front();
+    waveforms.push_back(
+        extract_full_waveform(pre.filtered, first, pre.rate_hz, {}));
+  }
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const linalg::Vector batch = model.decisions(waveforms, threads);
+    ASSERT_EQ(batch.size(), waveforms.size());
+    for (std::size_t i = 0; i < waveforms.size(); ++i) {
+      EXPECT_EQ(batch[i], model.decision(waveforms[i])) << "waveform " << i;
+    }
   }
 }
 

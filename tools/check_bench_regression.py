@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for bench JSON reports.
+
+Compares the dimensionless speedup ratios in a fresh bench report (the
+``values`` block of a ``p2auth.report.v1`` JSON, e.g.
+``BENCH_primitives.json`` from ``bench_primitives --quick``) against a
+checked-in baseline.  Only ratios are gated: they survive machine
+changes, while absolute microseconds do not.
+
+The baseline file lists which keys are gated::
+
+    {
+      "gated_ratios": ["fast_vs_reference_speedup", "batch_speedup"],
+      "values": { "fast_vs_reference_speedup": 5.0, ... }
+    }
+
+A gated ratio fails when ``current < tolerance * baseline`` — with the
+default tolerance of 0.75, a >25% drop in transform throughput relative
+to the recorded baseline fails the build.
+
+Usage:
+    check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.75]
+
+Exit status: 0 when every gated ratio is within tolerance, 1 otherwise
+(or when a gated key is missing from either file).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_values(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "values" not in doc:
+        raise SystemExit(f"{path}: no 'values' block (not a bench report?)")
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh bench report JSON")
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.75,
+        help="minimum allowed current/baseline ratio (default 0.75, "
+        "i.e. a >25%% regression fails)",
+    )
+    args = parser.parse_args()
+
+    current = load_values(args.current)
+    baseline = load_values(args.baseline)
+    gated = baseline.get("gated_ratios")
+    if not gated:
+        raise SystemExit(f"{args.baseline}: no 'gated_ratios' list")
+
+    failures = []
+    print(f"perf gate: {args.current} vs {args.baseline} "
+          f"(tolerance {args.tolerance:g})")
+    for key in gated:
+        base = baseline["values"].get(key)
+        cur = current["values"].get(key)
+        if base is None or cur is None:
+            failures.append(key)
+            print(f"  {key}: MISSING (current={cur}, baseline={base})")
+            continue
+        floor = args.tolerance * base
+        ok = cur >= floor
+        status = "ok" if ok else "REGRESSION"
+        print(f"  {key}: current {cur:.3f} vs baseline {base:.3f} "
+              f"(floor {floor:.3f}) ... {status}")
+        if not ok:
+            failures.append(key)
+
+    if failures:
+        print(f"perf gate FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
