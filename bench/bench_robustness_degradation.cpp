@@ -214,8 +214,26 @@ int main(int argc, char** argv) {
   report.value("far_clean",
                static_cast<double>(clean_far_accepts) / trials);
   report.value("far_never_rises", ok);
+  // Gated numeric invariants for the CI baseline
+  // (bench/baselines/robustness_baseline.json); both are
+  // higher-is-better, matching check_bench_regression.py's floor gate.
+  int total_decided = 0;
+  int worst_attack_accepts = 0;
+  for (const SeverityResult& r : results) {
+    total_decided += r.decided;
+    if (r.attack_accepts > worst_attack_accepts) {
+      worst_attack_accepts = r.attack_accepts;
+    }
+  }
+  report.value("decision_rate",
+               static_cast<double>(total_decided) /
+                   (2.0 * trials * static_cast<double>(results.size())));
+  report.value("attack_rejection_floor",
+               1.0 - static_cast<double>(worst_attack_accepts) / trials);
 
-  if (!stalled_stream_times_out(user, report)) ok = false;
+  const bool stalled_ok = stalled_stream_times_out(user, report);
+  report.value("stalled_stream_timeout_ok", stalled_ok);
+  if (!stalled_ok) ok = false;
 
   const double total_s = clock.seconds();
   std::printf("total runtime: %.1f s\n", total_s);

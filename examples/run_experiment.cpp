@@ -4,8 +4,9 @@
 //   run_experiment [--users N] [--case one|double3|double2]
 //                  [--channels 1..4] [--rate HZ] [--boost] [--no-pin]
 //                  [--third-party N] [--enroll N] [--test N]
-//                  [--wearing inner|back] [--seed S]
-//                  [--report PATH] [--trace PATH]
+//                  [--wearing inner|back] [--activity static|walking]
+//                  [--seed S] [--report PATH] [--trace PATH]
+//                  [--audit-log PATH] [--prometheus PATH] [--drift]
 //
 // Prints per-user and mean accuracy / TRR for the configuration, i.e. a
 // custom row of the paper's Fig. 10-style tables.  A machine-readable
@@ -13,14 +14,25 @@
 // written to --report (default run_experiment_report.json); --trace
 // additionally dumps the full span timeline in Chrome trace-event format
 // (load it in chrome://tracing or https://ui.perfetto.dev).
+//
+// Observability extras: --audit-log records every authentication
+// decision into a CRC-framed flight-recorder log (inspect it with
+// tools/audit_inspect), --prometheus writes the final metrics snapshot
+// in Prometheus text exposition format, and --drift runs the online
+// FRR/FAR drift monitor against the enrollment baselines and embeds its
+// verdict (live estimates + typed alerts) in the run report.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/evaluation.hpp"
+#include "obs/audit.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/table.hpp"
@@ -37,7 +49,10 @@ namespace {
                "[--third-party N]\n"
                "          [--enroll N] [--test N] [--wearing inner|back] "
                "[--seed S]\n"
-               "          [--report PATH] [--trace PATH]\n",
+               "          [--activity static|walking] [--report PATH] "
+               "[--trace PATH]\n"
+               "          [--audit-log PATH] [--prometheus PATH] "
+               "[--drift]\n",
                argv0);
   std::exit(2);
 }
@@ -56,6 +71,8 @@ int main(int argc, char** argv) {
   cfg.seed = 1;
   std::string report_path = "run_experiment_report.json";
   std::string trace_path;
+  std::string audit_path;
+  std::string prometheus_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -107,10 +124,25 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--seed") {
       cfg.seed = static_cast<std::uint64_t>(parse_long(argv[0], next()));
+    } else if (arg == "--activity") {
+      const std::string a = next();
+      if (a == "static") {
+        cfg.test_activity = ppg::ActivityState::kStatic;
+      } else if (a == "walking") {
+        cfg.test_activity = ppg::ActivityState::kWalking;
+      } else {
+        usage(argv[0]);
+      }
     } else if (arg == "--report") {
       report_path = next();
     } else if (arg == "--trace") {
       trace_path = next();
+    } else if (arg == "--audit-log") {
+      audit_path = next();
+    } else if (arg == "--prometheus") {
+      prometheus_path = next();
+    } else if (arg == "--drift") {
+      cfg.monitor_drift = true;
     } else {
       usage(argv[0]);
     }
@@ -123,7 +155,30 @@ int main(int argc, char** argv) {
               cfg.third_party_samples, cfg.privacy_boost ? ", boost" : "",
               cfg.no_pin ? ", no-PIN" : "");
 
+  // Flight recorder: every authentication decision of the sweep lands in
+  // the audit log; uninstalled before destruction (see obs/audit.hpp).
+  std::unique_ptr<obs::AuditRecorder> recorder;
+  if (!audit_path.empty()) {
+    try {
+      recorder = std::make_unique<obs::AuditRecorder>(audit_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    obs::install_audit_recorder(recorder.get());
+  }
+
   const core::ExperimentResult result = run_experiment(cfg);
+
+  if (recorder) {
+    obs::install_audit_recorder(nullptr);
+    recorder->flush();
+    const obs::AuditStats stats = recorder->stats();
+    std::printf("audit log: %llu decisions (%llu dropped) -> %s\n",
+                static_cast<unsigned long long>(stats.written),
+                static_cast<unsigned long long>(stats.dropped),
+                audit_path.c_str());
+  }
   util::Table table(
       {"user", "accuracy", "TRR (random)", "TRR (emulating)"});
   for (const auto& u : result.per_user) {
@@ -160,8 +215,31 @@ int main(int argc, char** argv) {
   report.set("mean_trr_random", result.mean_trr_random());
   report.set("mean_trr_emulating", result.mean_trr_emulating());
   report.add_table("per_user", table);
+  if (result.drift.has_value()) {
+    report.root().set("drift", result.drift->summary());
+    const auto alerts = result.drift->check();
+    std::printf("\ndrift monitor: est. FRR %.3f, est. FAR %.3f, "
+                "%zu alert(s)\n",
+                result.drift->estimated_frr(),
+                result.drift->estimated_far(), alerts.size());
+    for (const auto& alert : alerts) {
+      std::printf("  [%s] %s\n", obs::drift_alert_slug(alert.kind),
+                  alert.detail.c_str());
+    }
+  }
   report.attach_metrics(obs::snapshot_metrics());
   report.attach_span_summary(obs::snapshot_trace());
+  if (!prometheus_path.empty()) {
+    std::ofstream prom(prometheus_path);
+    if (!prom) {
+      std::fprintf(stderr, "error: cannot open %s\n",
+                   prometheus_path.c_str());
+      return 1;
+    }
+    obs::write_prometheus_text(prom, obs::snapshot_metrics());
+    std::printf("prometheus metrics written to %s\n",
+                prometheus_path.c_str());
+  }
   try {
     report.write_file(report_path);
     std::printf("\nrun report written to %s\n", report_path.c_str());

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "keystroke/pinpad.hpp"
+#include "obs/audit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -74,7 +75,7 @@ void record_outcome(const AuthResult& result) {
 
 AuthResult authenticate_impl(const EnrolledUser& user,
                              const Observation& observation,
-                             const AuthOptions& options) {
+                             const AuthOptions& options, bool timed) {
   AuthResult result;
 
   // --- Structural sanity: the phone's keystroke log must agree with the
@@ -88,22 +89,45 @@ AuthResult authenticate_impl(const EnrolledUser& user,
   // --- Factor 1: PIN verification. ---
   {
     const obs::Span pin_span("auth.pin_check", "core");
+    const std::int64_t pin_start = timed ? obs::now_us() : 0;
+    bool wrong_pin = false;
     if (!user.pin.empty() && !options.skip_pin_check) {
       result.pin_checked = true;
       result.pin_ok = (observation.entry.pin == user.pin);
-      if (!result.pin_ok) {
-        result.reason = RejectReason::kWrongPin;
-        return result;
-      }
+      wrong_pin = !result.pin_ok;
     } else {
       result.pin_ok = true;  // no-PIN mode: factor 1 not used
+    }
+    if (timed) {
+      result.latencies.pin_us =
+          static_cast<double>(obs::now_us() - pin_start);
+    }
+    if (wrong_pin) {
+      result.reason = RejectReason::kWrongPin;
+      return result;
     }
   }
 
   // --- Preprocessing & input case identification. ---
+  const std::int64_t pre_start = timed ? obs::now_us() : 0;
   const PreprocessedEntry pre =
       preprocess_entry(observation, options.preprocess);
   result.detected_case = pre.detected_case;
+  // Channel-health view for the flight recorder: bit c set = channel c
+  // survived gating.
+  if (!pre.health.channels.empty()) {
+    result.channels_assessed = static_cast<std::uint8_t>(
+        std::min<std::size_t>(pre.health.channels.size(), 32));
+    for (std::size_t c = 0; c < result.channels_assessed; ++c) {
+      if (pre.health.channels[c].usable) {
+        result.channel_mask |= (1u << c);
+      }
+    }
+  }
+  if (timed) {
+    result.latencies.preprocess_us =
+        static_cast<double>(obs::now_us() - pre_start);
+  }
   if (pre.detected_case == DetectedCase::kRejected) {
     result.reason = pre.no_usable_channel()
                         ? RejectReason::kNoUsableChannel
@@ -272,9 +296,54 @@ AuthResult authenticate(const EnrolledUser& user,
                         const AuthOptions& options) {
   const obs::Span span("authenticate", "core");
   const obs::ScopedLatency latency("auth.latency_us");
-  const AuthResult result = authenticate_impl(user, observation, options);
+  // Stage timing is paid only when someone will consume it: the obs
+  // runtime switch or an installed flight recorder.
+  const bool timed = obs::enabled() || obs::audit_recorder() != nullptr;
+  const std::int64_t start = timed ? obs::now_us() : 0;
+  AuthResult result = authenticate_impl(user, observation, options, timed);
+  if (timed) {
+    result.latencies.total_us = static_cast<double>(obs::now_us() - start);
+    // The model stage is everything past preprocessing (scoring +
+    // results integration); attempts that never reach it get 0.
+    const double staged =
+        result.latencies.pin_us + result.latencies.preprocess_us;
+    result.latencies.model_us =
+        std::max(0.0, result.latencies.total_us - staged);
+  }
   record_outcome(result);
+  audit_decision(user.user_id, result);
   return result;
+}
+
+void audit_decision(std::uint32_t user_id, const AuthResult& result) {
+  obs::AuditRecorder* recorder = obs::audit_recorder();
+  if (recorder == nullptr) return;
+  obs::DecisionRecord record;
+  record.timestamp_us = obs::now_us();
+  record.user_id = user_id;
+  record.accepted = result.accepted ? 1 : 0;
+  record.pin_checked = result.pin_checked ? 1 : 0;
+  record.pin_ok = result.pin_ok ? 1 : 0;
+  record.reason = audit_code(result.reason);
+  record.model_path = audit_code(result.model_path);
+  record.detected_case = audit_code(result.detected_case);
+  const std::size_t votes =
+      std::min(result.votes.size(), obs::kAuditMaxVotes);
+  record.num_votes = static_cast<std::uint8_t>(votes);
+  for (std::size_t i = 0; i < votes && i < obs::kAuditMaxVotes; ++i) {
+    record.votes[i] = static_cast<std::int8_t>(result.votes[i]);
+  }
+  record.channels = result.channels_assessed;
+  record.channel_mask = result.channel_mask;
+  // Models are threshold-adjusted at training time, so every recorded
+  // score is compared against an accept boundary at 0.
+  record.score = static_cast<float>(result.waveform_score);
+  record.threshold = 0.0f;
+  record.pin_us = static_cast<float>(result.latencies.pin_us);
+  record.preprocess_us = static_cast<float>(result.latencies.preprocess_us);
+  record.model_us = static_cast<float>(result.latencies.model_us);
+  record.total_us = static_cast<float>(result.latencies.total_us);
+  recorder->record(record);
 }
 
 }  // namespace p2auth::core

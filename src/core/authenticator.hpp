@@ -14,6 +14,7 @@
 //     one-handed entry; two-handed rules as above).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,15 @@ struct AuthOptions {
   bool allow_degraded_evidence = false;
 };
 
+// Per-stage wall-time breakdown of one attempt (microseconds).  Zeros
+// when observability is disabled or the stage was never reached.
+struct AuthStageLatencies {
+  double pin_us = 0.0;         // factor-1 PIN verification
+  double preprocess_us = 0.0;  // filtering + case identification + gating
+  double model_us = 0.0;       // biometric scoring + results integration
+  double total_us = 0.0;       // end-to-end authenticate() wall time
+};
+
 struct AuthResult {
   bool accepted = false;
   bool pin_checked = false;  // false in no-PIN mode
@@ -62,6 +72,13 @@ struct AuthResult {
   // that produced the biometric decision (kNone when none was reached).
   RejectReason reason = RejectReason::kNone;
   ModelPath model_path = ModelPath::kNone;
+  // Channel-health view of the attempt: bit c set when PPG channel c
+  // stayed healthy; `channels_assessed` == 0 means preprocessing was
+  // never reached (wrong PIN, malformed entry).
+  std::uint32_t channel_mask = 0;
+  std::uint8_t channels_assessed = 0;
+  // Stage latency breakdown for the decision flight recorder.
+  AuthStageLatencies latencies;
 
   // Human-readable reason ("wrong PIN", "attempt timed out", ...).
   std::string reason_text() const { return to_string(reason); }
@@ -71,5 +88,12 @@ struct AuthResult {
 AuthResult authenticate(const EnrolledUser& user,
                         const Observation& observation,
                         const AuthOptions& options = {});
+
+// Submits one decided attempt to the installed decision flight recorder
+// (obs/audit); no-op when none is installed.  `authenticate` calls this
+// itself — it is exposed for call sites that decide attempts without
+// reaching the pipeline (the streaming layer's timeout/lockout/overflow
+// rejects).
+void audit_decision(std::uint32_t user_id, const AuthResult& result);
 
 }  // namespace p2auth::core

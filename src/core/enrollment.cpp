@@ -76,6 +76,27 @@ WaveformModel::QualityEstimate WaveformModel::estimate_quality() const {
   return q;
 }
 
+WaveformModel::LooScores WaveformModel::loo_scores() const {
+  LooScores scores;
+  if (!trained()) return scores;
+  const linalg::Vector& loo = ridge_.loo_decisions();
+  if (loo.empty() || trained_positives_ == 0 ||
+      trained_positives_ >= loo.size()) {
+    return scores;  // deserialised model: no LOO diagnostics
+  }
+  scores.genuine.reserve(trained_positives_);
+  scores.imposter.reserve(loo.size() - trained_positives_);
+  for (std::size_t i = 0; i < loo.size(); ++i) {
+    const double adjusted = loo[i] - threshold_;
+    if (i < trained_positives_) {
+      scores.genuine.push_back(adjusted);
+    } else {
+      scores.imposter.push_back(adjusted);
+    }
+  }
+  return scores;
+}
+
 WaveformModel WaveformModel::from_parts(ml::MultiChannelMiniRocket rocket,
                                         linalg::RidgeClassifier ridge,
                                         double threshold) {
@@ -300,6 +321,27 @@ EnrolledUser enroll_user(const keystroke::Pin& pin,
       e.rethrow_cause();
     }
     user.stats.key_models_trained += tasks.size();
+  }
+
+  // --- Enrollment-time score baseline for the drift monitor: the
+  // trained waveform models' threshold-adjusted leave-one-out decisions
+  // (honest held-out scores, the same diagnostics estimate_quality
+  // reads).  The live feed observes waveform-model scores, so the
+  // baseline pools only those; per-key models contribute only in no-PIN
+  // setups that train nothing else. ---
+  auto fold_baseline = [&user](const WaveformModel& model) {
+    const WaveformModel::LooScores scores = model.loo_scores();
+    for (const double s : scores.genuine) user.score_baseline.genuine.add(s);
+    for (const double s : scores.imposter) {
+      user.score_baseline.imposter.add(s);
+    }
+  };
+  if (user.full_model) fold_baseline(*user.full_model);
+  if (user.boost_model) fold_baseline(*user.boost_model);
+  if (!user.full_model && !user.boost_model) {
+    for (const auto& key_model : user.key_models) {
+      if (key_model) fold_baseline(*key_model);
+    }
   }
   return user;
 }

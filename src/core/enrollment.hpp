@@ -27,6 +27,7 @@
 #include "core/types.hpp"
 #include "linalg/ridge.hpp"
 #include "ml/minirocket.hpp"
+#include "obs/drift.hpp"
 #include "util/rng.hpp"
 
 namespace p2auth::core {
@@ -95,6 +96,17 @@ class WaveformModel {
   // diagnostics exist only on the freshly trained instance).
   QualityEstimate estimate_quality() const;
 
+  // Threshold-adjusted held-out decision values from training (>= 0
+  // accepts): the leave-one-out decision of each enrollment sample minus
+  // the chosen operating point, split by true class.  These seed the
+  // drift monitor's enrollment-time score baseline.  Empty on
+  // deserialised models (no LOO diagnostics survive persistence).
+  struct LooScores {
+    std::vector<double> genuine;   // held-out positives
+    std::vector<double> imposter;  // held-out negatives
+  };
+  LooScores loo_scores() const;
+
  private:
   ml::MultiChannelMiniRocket rocket_;
   linalg::RidgeClassifier ridge_;
@@ -133,6 +145,13 @@ struct EnrolledUser {
   // Index = digit ('0'..'9'); engaged only for digits with training data.
   std::array<std::optional<WaveformModel>, 10> key_models;
   EnrollmentStats stats;
+  // Caller-assigned identity carried into audit records (0 = unset).
+  std::uint32_t user_id = 0;
+  // Enrollment-time decision-score distributions (threshold-adjusted LOO
+  // decisions pooled across the trained models) — the reference the
+  // online drift monitor compares live scores against.  Empty for users
+  // reassembled from persisted models.
+  obs::ScoreBaseline score_baseline;
 
   bool has_key_model(char digit) const;
 };

@@ -58,9 +58,10 @@ UserOutcome evaluate_user(std::size_t user_index,
   EnrollmentConfig enrollment = config.enrollment;
   enrollment.privacy_boost = config.privacy_boost;
   enrollment.seed = rng.fork("model-seed").next_u64();
-  const EnrolledUser enrolled =
+  EnrolledUser enrolled =
       enroll_user(config.no_pin ? keystroke::Pin() : user_pin, positives,
                   negatives, enrollment);
+  enrolled.user_id = user.user_id;
 
   AuthOptions auth = config.auth;
   auth.preprocess = enrollment.preprocess;
@@ -68,6 +69,31 @@ UserOutcome evaluate_user(std::size_t user_index,
 
   UserOutcome outcome;
   outcome.user_id = user.user_id;
+  if (config.monitor_drift) {
+    outcome.drift.emplace(enrolled.score_baseline, config.drift);
+  }
+
+  // Oracle feed: the harness knows each attempt's true stream, so the
+  // drift monitor gets ground-truth labels here (deployed code relies on
+  // the PIN-factor proxy instead, see core/streaming.cpp).
+  const auto decided = [&](AttemptKind kind, const AuthResult& result) {
+    if (outcome.drift) {
+      const bool scored = result.model_path == ModelPath::kFullWaveform ||
+                          result.model_path == ModelPath::kBoost;
+      if (scored) {
+        if (kind == AttemptKind::kLegitimate) {
+          outcome.drift->observe_genuine(result.waveform_score);
+        } else {
+          outcome.drift->observe_imposter(result.waveform_score);
+        }
+      }
+      if (result.channels_assessed > 0) {
+        outcome.drift->observe_channels(result.channel_mask,
+                                        result.channels_assessed);
+      }
+    }
+    if (config.on_decision) config.on_decision(user_index, kind, result);
+  };
 
   // --- Legitimate test attempts. ---
   sim::TrialOptions test_options = enroll_options;
@@ -80,7 +106,9 @@ UserOutcome evaluate_user(std::size_t user_index,
     util::Rng trial_rng = test_rng.fork(0x7e57ULL + t);
     const Observation obs = to_observation(
         sim::make_trial(user, pin, test_options, trial_rng));
-    outcome.metrics.legitimate.add(authenticate(enrolled, obs, auth).accepted);
+    const AuthResult result = authenticate(enrolled, obs, auth);
+    outcome.metrics.legitimate.add(result.accepted);
+    decided(AttemptKind::kLegitimate, result);
   }
 
   // --- Random attacks. ---
@@ -93,8 +121,9 @@ UserOutcome evaluate_user(std::size_t user_index,
     util::Rng trial_rng = ra_rng.fork(0x4aULL + a);
     const Observation obs = to_observation(
         sim::make_random_attack(attacker, test_options, trial_rng));
-    outcome.metrics.random_attack.add(
-        authenticate(enrolled, obs, ra_auth).accepted);
+    const AuthResult result = authenticate(enrolled, obs, ra_auth);
+    outcome.metrics.random_attack.add(result.accepted);
+    decided(AttemptKind::kRandomAttack, result);
   }
 
   // --- Emulating attacks (correct PIN, imitated cadence). ---
@@ -107,8 +136,9 @@ UserOutcome evaluate_user(std::size_t user_index,
     const Observation obs = to_observation(sim::make_emulating_attack(
         attacker, user, ea_pin, test_options, sim::EmulationOptions{},
         trial_rng));
-    outcome.metrics.emulating_attack.add(
-        authenticate(enrolled, obs, auth).accepted);
+    const AuthResult result = authenticate(enrolled, obs, auth);
+    outcome.metrics.emulating_attack.add(result.accepted);
+    decided(AttemptKind::kEmulatingAttack, result);
   }
   return outcome;
 }
@@ -207,6 +237,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   for (const auto& u : result.per_user) result.pooled.merge(u.metrics);
+  if (config.monitor_drift) {
+    for (const auto& u : result.per_user) {
+      if (!u.drift) continue;
+      if (!result.drift) {
+        result.drift = u.drift;
+      } else {
+        result.drift->merge(*u.drift);
+      }
+    }
+  }
   return result;
 }
 

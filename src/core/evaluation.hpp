@@ -11,16 +11,22 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/authenticator.hpp"
 #include "core/enrollment.hpp"
 #include "core/metrics.hpp"
 #include "keystroke/timing.hpp"
+#include "obs/drift.hpp"
 #include "ppg/sensor.hpp"
 #include "sim/population.hpp"
 
 namespace p2auth::core {
+
+// Ground-truth label of one harness attempt (the harness knows which
+// stream it simulated; deployed code never does).
+enum class AttemptKind { kLegitimate, kRandomAttack, kEmulatingAttack };
 
 struct ExperimentConfig {
   sim::PopulationConfig population{};
@@ -58,16 +64,36 @@ struct ExperimentConfig {
   // progress reporting; an exception thrown here aborts the sweep exactly
   // like a failure inside the evaluation itself.
   std::function<void(std::size_t user_index)> on_user_start;
+  // Called after every authentication decision with its ground-truth
+  // label (possibly concurrently for distinct users; attempts of one
+  // user arrive in order from a single worker).  Gives observability
+  // harnesses the oracle view the deployed system never has.
+  std::function<void(std::size_t user_index, AttemptKind kind,
+                     const AuthResult& result)>
+      on_decision;
+  // Feed per-user drift monitors with ground-truth labels during the
+  // sweep and roll them up into ExperimentResult::drift: legitimate
+  // waveform scores -> genuine side, attack scores -> imposter side.
+  // The evaluation then acts as the oracle the online monitor is
+  // validated against (tests/test_drift.cpp).
+  bool monitor_drift = false;
+  obs::DriftOptions drift{};
 };
 
 struct UserOutcome {
   std::uint32_t user_id = 0;
   AuthMetrics metrics;
+  // Engaged when config.monitor_drift: this user's monitor, seeded with
+  // their enrollment-time baseline and fed with ground-truth labels.
+  std::optional<obs::DriftMonitor> drift;
 };
 
 struct ExperimentResult {
   std::vector<UserOutcome> per_user;
   AuthMetrics pooled;
+  // Engaged when config.monitor_drift: population-wide roll-up (merged
+  // per-user monitors).
+  std::optional<obs::DriftMonitor> drift;
 
   double mean_accuracy() const;
   double stddev_accuracy() const;

@@ -117,6 +117,52 @@ std::string to_string(ModelPath p) {
   return "?";
 }
 
+const char* model_path_slug(ModelPath p) noexcept {
+  switch (p) {
+    case ModelPath::kNone:
+      return "none";
+    case ModelPath::kFullWaveform:
+      return "full_waveform";
+    case ModelPath::kBoost:
+      return "boost";
+    case ModelPath::kPerKeyVotes:
+      return "per_key_votes";
+  }
+  return "?";
+}
+
+const char* detected_case_slug(DetectedCase c) noexcept {
+  switch (c) {
+    case DetectedCase::kOneHanded:
+      return "one_handed";
+    case DetectedCase::kTwoHandedThree:
+      return "two_handed_3";
+    case DetectedCase::kTwoHandedTwo:
+      return "two_handed_2";
+    case DetectedCase::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+const char* reject_reason_slug_from_code(std::uint8_t code) noexcept {
+  return code < kRejectReasonCodes
+             ? reject_reason_slug(static_cast<RejectReason>(code))
+             : "unknown";
+}
+
+const char* detected_case_slug_from_code(std::uint8_t code) noexcept {
+  return code < kDetectedCaseCodes
+             ? detected_case_slug(static_cast<DetectedCase>(code))
+             : "unknown";
+}
+
+const char* model_path_slug_from_code(std::uint8_t code) noexcept {
+  return code < kModelPathCodes
+             ? model_path_slug(static_cast<ModelPath>(code))
+             : "unknown";
+}
+
 DetectedCase classify_case(std::size_t detected_count) noexcept {
   switch (detected_count) {
     case 4:

@@ -51,6 +51,9 @@ StreamingAuthenticator::StreamingAuthenticator(const EnrolledUser& user,
           : static_cast<std::size_t>(2.0 * options_.timeout_s * rate_hz_);
   trace_.rate_hz = rate_hz;
   trace_.channels.assign(channels, {});
+  if (options_.monitor_drift) {
+    drift_.emplace(user_.score_baseline, options_.drift);
+  }
 }
 
 double StreamingAuthenticator::now() const {
@@ -144,6 +147,33 @@ AuthResult StreamingAuthenticator::make_reject(RejectReason reason) {
 AuthResult StreamingAuthenticator::finish_attempt(AuthResult result) {
   ++stats_.attempts;
   obs::add_counter("streaming.attempts");
+  // Streaming-only rejects (timeout/lockout/overflow) never reach
+  // authenticate(), which audits its own decisions; record them here so
+  // the flight recorder sees every decided attempt exactly once.
+  switch (result.reason) {
+    case RejectReason::kTimeout:
+    case RejectReason::kBufferOverflow:
+    case RejectReason::kLockedOut:
+    case RejectReason::kIncomplete:
+      audit_decision(user_.user_id, result);
+      break;
+    default:
+      break;
+  }
+  if (drift_) {
+    // Proxy labeling for deployment: an attempt that passed the PIN
+    // factor and was scored by a waveform model is overwhelmingly likely
+    // genuine (an attacker without the PIN never reaches the model).
+    if (result.pin_ok && (result.model_path == ModelPath::kFullWaveform ||
+                          result.model_path == ModelPath::kBoost)) {
+      drift_->observe_genuine(result.waveform_score);
+    }
+    if (result.channels_assessed > 0) {
+      drift_->observe_channels(result.channel_mask,
+                               result.channels_assessed);
+    }
+    stats_.drift_alerts += drift_->poll_new_alerts().size();
+  }
   if (result.accepted) {
     ++stats_.accepted;
     obs::add_counter("streaming.accepted");

@@ -29,6 +29,7 @@
 
 #include "core/authenticator.hpp"
 #include "core/enrollment.hpp"
+#include "obs/drift.hpp"
 
 namespace p2auth::core {
 
@@ -59,6 +60,11 @@ struct StreamingOptions {
   std::size_t lockout_threshold = 5;
   double lockout_base_s = 30.0;
   double lockout_max_s = 3600.0;
+  // Online drift monitoring: compare live decision-score sketches
+  // against the user's enrollment-time baseline and raise typed alerts
+  // (see obs/drift.hpp).  Disabled instances pay nothing per decision.
+  bool monitor_drift = false;
+  obs::DriftOptions drift{};
 };
 
 // Lifetime health counters of one StreamingAuthenticator (never reset by
@@ -76,6 +82,9 @@ struct StreamingStats {
   // Attempts refused while the lockout backoff was in force.
   std::uint64_t lockout_rejects = 0;
   std::uint64_t lockouts = 0;  // times the lockout engaged
+  // New drift alerts raised by the monitor (edge-triggered; 0 when
+  // monitoring is off).
+  std::uint64_t drift_alerts = 0;
   // Rejections keyed by typed reason (RejectReason::kTimeout, ...).
   std::map<RejectReason, std::uint64_t> rejects_by_reason;
 
@@ -125,6 +134,16 @@ class StreamingAuthenticator {
   // Lifetime health counters (see StreamingStats).
   const StreamingStats& stats() const noexcept { return stats_; }
 
+  // Drift monitor, when options.monitor_drift enabled it (else nullptr).
+  // The mutable overload lets callers with out-of-band labels (evaluation
+  // harnesses, honeypot entries) feed the imposter side directly.
+  const obs::DriftMonitor* drift_monitor() const noexcept {
+    return drift_ ? &*drift_ : nullptr;
+  }
+  obs::DriftMonitor* drift_monitor() noexcept {
+    return drift_ ? &*drift_ : nullptr;
+  }
+
  private:
   // Bookkeeping shared by the timeout and regular decision paths; also
   // advances the consecutive-reject lockout state machine.
@@ -155,6 +174,7 @@ class StreamingAuthenticator {
   std::size_t lockout_level_ = 0;  // exponent of the next backoff
   double locked_until_ = 0.0;
   bool locked_ = false;
+  std::optional<obs::DriftMonitor> drift_;
 };
 
 }  // namespace p2auth::core

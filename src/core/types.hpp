@@ -1,6 +1,7 @@
 // Shared types of the P2Auth core pipeline.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -70,5 +71,37 @@ enum class ModelPath {
 };
 
 std::string to_string(ModelPath p);
+
+// Stable snake_case slugs for ModelPath / DetectedCase, mirroring
+// reject_reason_slug (obs counter keys, audit-log exports).
+const char* model_path_slug(ModelPath p) noexcept;
+const char* detected_case_slug(DetectedCase c) noexcept;
+
+// ---------------------------------------------------------------------------
+// Audit-log codes.  obs/audit.hpp stores these enums as raw u8 codes (obs
+// layers below core and cannot see the enums); the codes are the
+// declaration order above and are part of the on-disk audit format:
+// append new enumerators, never reorder or remove.  Pinned by
+// tests/test_audit.cpp.
+
+inline constexpr std::uint8_t kRejectReasonCodes = 13;
+inline constexpr std::uint8_t kDetectedCaseCodes = 4;
+inline constexpr std::uint8_t kModelPathCodes = 4;
+
+inline constexpr std::uint8_t audit_code(RejectReason r) noexcept {
+  return static_cast<std::uint8_t>(r);
+}
+inline constexpr std::uint8_t audit_code(DetectedCase c) noexcept {
+  return static_cast<std::uint8_t>(c);
+}
+inline constexpr std::uint8_t audit_code(ModelPath p) noexcept {
+  return static_cast<std::uint8_t>(p);
+}
+
+// Decoders for audit-log codes; out-of-range codes (logs written by a
+// newer build) come back as the slug "unknown".
+const char* reject_reason_slug_from_code(std::uint8_t code) noexcept;
+const char* detected_case_slug_from_code(std::uint8_t code) noexcept;
+const char* model_path_slug_from_code(std::uint8_t code) noexcept;
 
 }  // namespace p2auth::core

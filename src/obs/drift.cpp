@@ -1,0 +1,193 @@
+#include "obs/drift.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace p2auth::obs {
+
+const char* to_string(DriftAlertKind kind) noexcept {
+  switch (kind) {
+    case DriftAlertKind::kEstimatedFrrRising:
+      return "EstimatedFrrRising";
+    case DriftAlertKind::kImposterScoreCreep:
+      return "ImposterScoreCreep";
+    case DriftAlertKind::kChannelHealthDegrading:
+      return "ChannelHealthDegrading";
+  }
+  return "Unknown";
+}
+
+const char* drift_alert_slug(DriftAlertKind kind) noexcept {
+  switch (kind) {
+    case DriftAlertKind::kEstimatedFrrRising:
+      return "estimated_frr_rising";
+    case DriftAlertKind::kImposterScoreCreep:
+      return "imposter_score_creep";
+    case DriftAlertKind::kChannelHealthDegrading:
+      return "channel_health_degrading";
+  }
+  return "unknown";
+}
+
+DriftMonitor::DriftMonitor(ScoreBaseline baseline, DriftOptions options)
+    : baseline_(std::move(baseline)),
+      options_(options),
+      live_genuine_(baseline_.genuine.options()),
+      live_imposter_(baseline_.imposter.options()) {}
+
+void DriftMonitor::observe_genuine(double score) {
+  live_genuine_.add(score);
+}
+
+void DriftMonitor::observe_imposter(double score) {
+  live_imposter_.add(score);
+}
+
+void DriftMonitor::observe_channels(std::uint32_t usable_mask,
+                                    std::size_t channels) {
+  if (channels == 0) return;
+  ++channel_attempts_;
+  const std::uint32_t all =
+      channels >= 32 ? ~0u : ((1u << channels) - 1u);
+  if ((usable_mask & all) != all) ++degraded_attempts_;
+}
+
+std::vector<DriftAlert> DriftMonitor::check() const {
+  std::vector<DriftAlert> alerts;
+
+  // 1. Estimated FRR rising: genuine mass below the boundary exceeds the
+  //    enrollment-time estimate by more than the configured rise.
+  if (baseline_.valid() && live_genuine_.count() >= options_.min_genuine) {
+    const double base_frr = baseline_.estimated_frr();
+    const double live_frr = estimated_frr();
+    if (live_frr > base_frr + options_.frr_rise) {
+      DriftAlert alert;
+      alert.kind = DriftAlertKind::kEstimatedFrrRising;
+      alert.live = live_frr;
+      alert.baseline = base_frr;
+      alert.detail = "estimated FRR " + std::to_string(live_frr) +
+                     " vs enrollment baseline " + std::to_string(base_frr);
+      alerts.push_back(std::move(alert));
+    }
+  }
+
+  // 2. Imposter score creep: the watched upper quantile of the live
+  //    imposter distribution has closed a meaningful fraction of the gap
+  //    between the baseline tail and the accept boundary at 0.  When the
+  //    baseline tail already touches the boundary the gap is degenerate,
+  //    so fall back to an estimated-FAR rise check.
+  if (baseline_.imposter.count() > 0 &&
+      live_imposter_.count() >= options_.min_imposter) {
+    const double base_tail =
+        baseline_.imposter.quantile(options_.imposter_quantile);
+    const double live_tail =
+        live_imposter_.quantile(options_.imposter_quantile);
+    bool creeping = false;
+    if (base_tail < 0.0) {
+      // Gap from the baseline tail up to the boundary; creep means the
+      // live tail moved at least `creep_gap_fraction` of it.
+      const double gap = -base_tail;
+      creeping = live_tail - base_tail >= options_.creep_gap_fraction * gap;
+    } else {
+      creeping = estimated_far() >
+                 baseline_.estimated_far() + options_.far_rise;
+    }
+    if (creeping) {
+      DriftAlert alert;
+      alert.kind = DriftAlertKind::kImposterScoreCreep;
+      alert.live = live_tail;
+      alert.baseline = base_tail;
+      alert.detail = "imposter q" +
+                     std::to_string(static_cast<int>(
+                         options_.imposter_quantile * 100.0)) +
+                     " " + std::to_string(live_tail) +
+                     " vs enrollment baseline " + std::to_string(base_tail);
+      alerts.push_back(std::move(alert));
+    }
+  }
+
+  // 3. Channel health: too many attempts arriving with masked channels.
+  if (channel_attempts_ >= options_.min_channel_attempts) {
+    const double fraction = masked_attempt_fraction();
+    if (fraction > options_.masked_fraction) {
+      DriftAlert alert;
+      alert.kind = DriftAlertKind::kChannelHealthDegrading;
+      alert.live = fraction;
+      alert.baseline = options_.masked_fraction;
+      alert.detail = "masked-channel attempt fraction " +
+                     std::to_string(fraction) + " above budget " +
+                     std::to_string(options_.masked_fraction);
+      alerts.push_back(std::move(alert));
+    }
+  }
+
+  return alerts;
+}
+
+std::vector<DriftAlert> DriftMonitor::poll_new_alerts() {
+  std::array<bool, kDriftAlertKinds> firing{};
+  std::vector<DriftAlert> all = check();
+  std::vector<DriftAlert> fresh;
+  for (auto& alert : all) {
+    const auto slot = static_cast<std::size_t>(alert.kind);
+    firing[slot] = true;
+    if (!active_[slot]) {
+      if (enabled()) {
+        add_counter(std::string("drift.alert.") +
+                    drift_alert_slug(alert.kind));
+      }
+      fresh.push_back(std::move(alert));
+    }
+  }
+  active_ = firing;
+  return fresh;
+}
+
+void DriftMonitor::merge(const DriftMonitor& other) {
+  baseline_.genuine.merge(other.baseline_.genuine);
+  baseline_.imposter.merge(other.baseline_.imposter);
+  live_genuine_.merge(other.live_genuine_);
+  live_imposter_.merge(other.live_imposter_);
+  channel_attempts_ += other.channel_attempts_;
+  degraded_attempts_ += other.degraded_attempts_;
+}
+
+Json DriftMonitor::summary() const {
+  Json doc = Json::object();
+
+  Json baseline = Json::object();
+  baseline.set("genuine", baseline_.genuine.summary());
+  baseline.set("imposter", baseline_.imposter.summary());
+  baseline.set("estimated_frr", baseline_.estimated_frr());
+  baseline.set("estimated_far", baseline_.estimated_far());
+  doc.set("baseline", std::move(baseline));
+
+  Json live = Json::object();
+  live.set("genuine", live_genuine_.summary());
+  live.set("imposter", live_imposter_.summary());
+  live.set("estimated_frr", estimated_frr());
+  live.set("estimated_far", estimated_far());
+  live.set("channel_attempts",
+           static_cast<std::int64_t>(channel_attempts_));
+  live.set("degraded_attempts",
+           static_cast<std::int64_t>(degraded_attempts_));
+  live.set("masked_attempt_fraction", masked_attempt_fraction());
+  doc.set("live", std::move(live));
+
+  Json alerts = Json::array();
+  for (const auto& alert : check()) {
+    Json entry = Json::object();
+    entry.set("kind", std::string(drift_alert_slug(alert.kind)));
+    entry.set("live", alert.live);
+    entry.set("baseline", alert.baseline);
+    entry.set("detail", alert.detail);
+    alerts.push(std::move(entry));
+  }
+  doc.set("alerts", std::move(alerts));
+
+  return doc;
+}
+
+}  // namespace p2auth::obs

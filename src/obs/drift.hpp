@@ -1,0 +1,149 @@
+// Online FRR/FAR drift monitoring.
+//
+// The paper's 8-week pilot showed per-user PPG templates age, and the
+// related smartwatch studies show score distributions shift with
+// daily-life conditions and physiological state.  This monitor compares
+// *live* score sketches against *enrollment-time* baselines (the
+// leave-one-out decision values recorded when the models were fit) and
+// raises typed alerts when the deployed models look like they are
+// silently degrading — the confidence signal an adaptive re-enrollment
+// policy and the continuous-auth mode will consume.
+//
+// Label model: scores are threshold-adjusted (>= 0 accepts).
+//   * genuine side  — model-scored attempts whose PIN factor passed.  An
+//     attacker without the PIN never reaches the biometric model, so in
+//     deployment this stream is overwhelmingly genuine; its mass below 0
+//     estimates the live FRR.
+//   * imposter side — attempts known or presumed hostile: evaluation
+//     ground truth, lockout-flagged sessions, honeypot entries.  Its
+//     mass at/above 0 estimates the live FAR; its upper quantile
+//     creeping toward 0 flags imposter-score-creep before the first
+//     false accept.
+//   * channel health — fraction of attempts with any masked channel,
+//     against an enrollment baseline of all-healthy sensors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/sketch.hpp"
+
+namespace p2auth::obs {
+
+// Enrollment-time score distributions (threshold-adjusted: >= 0 accepts).
+struct ScoreBaseline {
+  QuantileSketch genuine;
+  QuantileSketch imposter;
+
+  bool valid() const noexcept { return genuine.count() > 0; }
+  // Mass of the genuine baseline below the accept boundary.
+  double estimated_frr() const noexcept {
+    return genuine.fraction_below(0.0);
+  }
+  // Mass of the imposter baseline at/above the accept boundary.
+  double estimated_far() const noexcept {
+    return imposter.count() == 0 ? 0.0
+                                 : 1.0 - imposter.fraction_below(0.0);
+  }
+};
+
+enum class DriftAlertKind {
+  kEstimatedFrrRising,       // genuine scores sliding below the boundary
+  kImposterScoreCreep,       // imposter tail closing in on the boundary
+  kChannelHealthDegrading,   // masked-channel attempts above budget
+};
+inline constexpr std::size_t kDriftAlertKinds = 3;
+
+const char* to_string(DriftAlertKind kind) noexcept;
+const char* drift_alert_slug(DriftAlertKind kind) noexcept;
+
+struct DriftAlert {
+  DriftAlertKind kind = DriftAlertKind::kEstimatedFrrRising;
+  double live = 0.0;      // live value that tripped the alert
+  double baseline = 0.0;  // enrollment-time reference
+  std::string detail;     // human-readable one-liner
+};
+
+struct DriftOptions {
+  // Minimum live observations per side before the monitor judges.
+  std::size_t min_genuine = 24;
+  std::size_t min_imposter = 24;
+  std::size_t min_channel_attempts = 32;
+  // Absolute rise of the estimated FRR over baseline that alerts.
+  double frr_rise = 0.10;
+  // Imposter tail quantile watched for creep, and the fraction of the
+  // (baseline-tail -> boundary) gap it must close to alert.  Falls back
+  // to an estimated-FAR rise check when the baseline tail already
+  // touches the boundary.
+  double imposter_quantile = 0.95;
+  double creep_gap_fraction = 0.25;
+  double far_rise = 0.05;
+  // Live fraction of attempts with any masked channel that alerts.
+  double masked_fraction = 0.25;
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(ScoreBaseline baseline, DriftOptions options = {});
+
+  // --- live feeds (forward from the decision path) ---
+  void observe_genuine(double score);
+  void observe_imposter(double score);
+  // One decided attempt's channel-health view: `usable_mask` bit c set
+  // when channel c stayed healthy, `channels` the number assessed.
+  void observe_channels(std::uint32_t usable_mask, std::size_t channels);
+
+  // All currently-firing alerts (pure; recomputed from the sketches).
+  std::vector<DriftAlert> check() const;
+
+  // Edge-triggered variant: returns only alerts whose condition was not
+  // firing at the previous poll, and bumps the "drift.alert.<slug>" obs
+  // counters for them.
+  std::vector<DriftAlert> poll_new_alerts();
+
+  // --- live estimates ---
+  double estimated_frr() const noexcept {
+    return live_genuine_.fraction_below(0.0);
+  }
+  double estimated_far() const noexcept {
+    return live_imposter_.count() == 0
+               ? 0.0
+               : 1.0 - live_imposter_.fraction_below(0.0);
+  }
+  double masked_attempt_fraction() const noexcept {
+    return channel_attempts_ == 0
+               ? 0.0
+               : static_cast<double>(degraded_attempts_) /
+                     static_cast<double>(channel_attempts_);
+  }
+
+  const ScoreBaseline& baseline() const noexcept { return baseline_; }
+  const QuantileSketch& live_genuine() const noexcept {
+    return live_genuine_;
+  }
+  const QuantileSketch& live_imposter() const noexcept {
+    return live_imposter_;
+  }
+  const DriftOptions& options() const noexcept { return options_; }
+
+  // Folds another monitor's live sketches into this one (per-user ->
+  // population-wide roll-up).  Baselines are merged too.
+  void merge(const DriftMonitor& other);
+
+  // {"baseline": {...}, "live": {...}, "alerts": [...]} for run reports.
+  Json summary() const;
+
+ private:
+  ScoreBaseline baseline_;
+  DriftOptions options_;
+  QuantileSketch live_genuine_;
+  QuantileSketch live_imposter_;
+  std::uint64_t channel_attempts_ = 0;
+  std::uint64_t degraded_attempts_ = 0;
+  std::array<bool, kDriftAlertKinds> active_{};
+};
+
+}  // namespace p2auth::obs

@@ -10,34 +10,96 @@ namespace p2auth::obs {
 
 namespace detail {
 
+namespace {
+
+// Length of the valid UTF-8 sequence starting at s[i], or 0 when the
+// bytes there are not well-formed UTF-8 (truncated tail, stray
+// continuation byte, overlong encoding, surrogate, > U+10FFFF).
+std::size_t utf8_sequence_length(std::string_view s, std::size_t i) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned char>(s[k]);
+  };
+  const unsigned char lead = byte(i);
+  std::size_t need = 0;
+  unsigned char lo = 0x80, hi = 0xbf;  // bounds for the first continuation
+  if (lead <= 0x7f) return 1;
+  if (lead >= 0xc2 && lead <= 0xdf) {
+    need = 1;
+  } else if (lead >= 0xe0 && lead <= 0xef) {
+    need = 2;
+    if (lead == 0xe0) lo = 0xa0;        // reject overlong
+    if (lead == 0xed) hi = 0x9f;        // reject surrogates
+  } else if (lead >= 0xf0 && lead <= 0xf4) {
+    need = 3;
+    if (lead == 0xf0) lo = 0x90;        // reject overlong
+    if (lead == 0xf4) hi = 0x8f;        // reject > U+10FFFF
+  } else {
+    return 0;  // 0x80-0xc1 (continuation/overlong lead) or 0xf5-0xff
+  }
+  if (i + need >= s.size()) return 0;  // truncated sequence
+  if (byte(i + 1) < lo || byte(i + 1) > hi) return 0;
+  for (std::size_t k = 2; k <= need; ++k) {
+    const unsigned char b = byte(i + k);
+    if (b < 0x80 || b > 0xbf) return 0;
+  }
+  return need + 1;
+}
+
+}  // namespace
+
 void write_json_string(std::ostream& os, std::string_view s) {
   os << '"';
-  for (const char c : s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
     switch (c) {
       case '"':
         os << "\\\"";
-        break;
+        ++i;
+        continue;
       case '\\':
         os << "\\\\";
-        break;
+        ++i;
+        continue;
       case '\n':
         os << "\\n";
-        break;
+        ++i;
+        continue;
       case '\r':
         os << "\\r";
-        break;
+        ++i;
+        continue;
       case '\t':
         os << "\\t";
-        break;
+        ++i;
+        continue;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          os << buf;
-        } else {
-          os << c;
-        }
+        break;
+    }
+    const auto byte = static_cast<unsigned char>(c);
+    if (byte < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(byte));
+      os << buf;
+      ++i;
+      continue;
+    }
+    if (byte < 0x80) {
+      os << c;
+      ++i;
+      continue;
+    }
+    // Non-ASCII: pass well-formed UTF-8 through untouched; anything else
+    // (a raw sensor name, a corrupted slug) becomes U+FFFD so the
+    // emitted document stays valid JSON instead of smuggling the bad
+    // bytes into every downstream parser.
+    const std::size_t len = utf8_sequence_length(s, i);
+    if (len == 0) {
+      os << "\\ufffd";
+      ++i;
+    } else {
+      os << s.substr(i, len);
+      i += len;
     }
   }
   os << '"';

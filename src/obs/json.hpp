@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -24,7 +25,17 @@ class Json {
       : type_(Type::kNumber), integral_(true), int_(value),
         number_(static_cast<double>(value)) {}
   Json(int value) : Json(static_cast<std::int64_t>(value)) {}
-  Json(std::uint64_t value) : Json(static_cast<std::int64_t>(value)) {}
+  // Values beyond int64 range fall back to double (closest JSON number)
+  // instead of wrapping negative; counters large enough to hit this have
+  // long since lost exactness anyway.
+  Json(std::uint64_t value) {
+    if (value <= static_cast<std::uint64_t>(
+                     std::numeric_limits<std::int64_t>::max())) {
+      *this = Json(static_cast<std::int64_t>(value));
+    } else {
+      *this = Json(static_cast<double>(value));
+    }
+  }
   Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
   Json(const char* value) : Json(std::string(value)) {}
 

@@ -1,0 +1,31 @@
+// Prometheus text-exposition-format rendering of a metrics snapshot, so
+// a deployment can scrape the same counters/gauges/histograms the run
+// reports embed.  Pure formatting: no sockets, no clocks — callers feed
+// the output to whatever transport they have (the demo tools write it to
+// a file or stdout).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace p2auth::obs {
+
+// Mangles an internal dotted metric name ("auth.accept") into a
+// Prometheus-legal one ("p2auth_auth_accept"): prefixes "p2auth_", maps
+// every character outside [a-zA-Z0-9_] to '_', and prepends '_' when the
+// mangled body would start with a digit.
+std::string prometheus_name(std::string_view name);
+
+// Renders the snapshot:
+//   * counters  -> `# TYPE <name>_total counter` + one sample
+//   * gauges    -> `# TYPE <name> gauge` + one sample
+//   * histograms-> `# TYPE <name>_us histogram` + cumulative `le` buckets
+//                  (upper bounds in microseconds, final `+Inf`), `_sum`
+//                  and `_count`
+// Deterministic: metric families render in snapshot (map) order.
+void write_prometheus_text(std::ostream& os, const MetricsSnapshot& snapshot);
+std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+}  // namespace p2auth::obs

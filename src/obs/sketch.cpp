@@ -1,0 +1,183 @@
+#include "obs/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p2auth::obs {
+
+QuantileSketch::QuantileSketch(SketchOptions options) : options_(options) {
+  if (!(options_.relative_accuracy > 0.0) ||
+      !(options_.relative_accuracy < 1.0)) {
+    throw std::invalid_argument(
+        "QuantileSketch: relative_accuracy must be in (0, 1)");
+  }
+  if (!(options_.min_trackable > 0.0)) {
+    throw std::invalid_argument(
+        "QuantileSketch: min_trackable must be positive");
+  }
+  if (options_.max_buckets_per_sign < 2) {
+    throw std::invalid_argument("QuantileSketch: need >= 2 buckets");
+  }
+  const double gamma =
+      (1.0 + options_.relative_accuracy) / (1.0 - options_.relative_accuracy);
+  log_gamma_ = std::log(gamma);
+}
+
+std::int32_t QuantileSketch::index_of(double magnitude) const noexcept {
+  return static_cast<std::int32_t>(
+      std::ceil(std::log(magnitude) / log_gamma_));
+}
+
+double QuantileSketch::representative(std::int32_t index) const noexcept {
+  // Midpoint (in relative terms) of the bucket (gamma^(i-1), gamma^i]:
+  // 2 * gamma^i / (gamma + 1), which is within alpha of every value the
+  // bucket can hold.
+  const double gamma = std::exp(log_gamma_);
+  return 2.0 * std::exp(static_cast<double>(index) * log_gamma_) /
+         (gamma + 1.0);
+}
+
+void QuantileSketch::collapse(Buckets& buckets, bool negative_side) {
+  // Fold buckets *farthest from zero on the uninteresting end* until the
+  // bound holds.  Scores live around an accept boundary at 0, so the
+  // informative region of each sign is the end nearest zero: on the
+  // positive side the far tail is large indices (collapse is harmless to
+  // boundary quantiles there only if mass is near zero, so we collapse
+  // the smallest indices like DDSketch and keep the upper tail exact);
+  // on the negative side large indices are very negative scores far from
+  // the boundary, so those collapse first and near-boundary buckets keep
+  // full resolution.
+  while (buckets.size() > options_.max_buckets_per_sign) {
+    if (negative_side) {
+      auto highest = std::prev(buckets.end());
+      auto into = std::prev(highest);
+      into->second += highest->second;
+      buckets.erase(highest);
+    } else {
+      auto lowest = buckets.begin();
+      auto next = std::next(lowest);
+      next->second += lowest->second;
+      buckets.erase(lowest);
+    }
+  }
+}
+
+void QuantileSketch::add(double x, std::uint64_t weight) {
+  if (weight == 0) return;
+  if (!std::isfinite(x)) {
+    discarded_ += weight;
+    return;
+  }
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  count_ += weight;
+  sum_ += x * static_cast<double>(weight);
+  const double magnitude = std::fabs(x);
+  if (magnitude < options_.min_trackable) {
+    zero_ += weight;
+    return;
+  }
+  Buckets& side = x < 0.0 ? negative_ : positive_;
+  side[index_of(magnitude)] += weight;
+  collapse(side, x < 0.0);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.options_.relative_accuracy != options_.relative_accuracy ||
+      other.options_.min_trackable != options_.min_trackable) {
+    throw std::invalid_argument(
+        "QuantileSketch::merge: incompatible bucketing options");
+  }
+  if (other.count_ == 0 && other.discarded_ == 0) return;
+  if (count_ == 0 && other.count_ > 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else if (other.count_ > 0) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  discarded_ += other.discarded_;
+  sum_ += other.sum_;
+  zero_ += other.zero_;
+  for (const auto& [index, weight] : other.negative_) {
+    negative_[index] += weight;
+  }
+  for (const auto& [index, weight] : other.positive_) {
+    positive_[index] += weight;
+  }
+  collapse(negative_, true);
+  collapse(positive_, false);
+}
+
+double QuantileSketch::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  // The extremes are tracked exactly; answer them without bucket error.
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // Rank of the q-quantile among `count_` ordered observations.
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t cumulative = 0;
+  // Negative side: most negative first = largest |x| index first.
+  for (auto it = negative_.rbegin(); it != negative_.rend(); ++it) {
+    cumulative += it->second;
+    if (cumulative > rank) {
+      return std::clamp(-representative(it->first), min_, max_);
+    }
+  }
+  cumulative += zero_;
+  if (cumulative > rank) return std::clamp(0.0, min_, max_);
+  for (const auto& [index, weight] : positive_) {
+    cumulative += weight;
+    if (cumulative > rank) {
+      return std::clamp(representative(index), min_, max_);
+    }
+  }
+  return max_;
+}
+
+double QuantileSketch::fraction_below(double threshold) const noexcept {
+  if (count_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (const auto& [index, weight] : negative_) {
+    if (-representative(index) < threshold) below += weight;
+  }
+  if (0.0 < threshold) below += zero_;
+  for (const auto& [index, weight] : positive_) {
+    if (representative(index) < threshold) below += weight;
+  }
+  return static_cast<double>(below) / static_cast<double>(count_);
+}
+
+void QuantileSketch::clear() {
+  negative_.clear();
+  positive_.clear();
+  zero_ = 0;
+  count_ = 0;
+  discarded_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+Json QuantileSketch::summary() const {
+  Json doc = Json::object();
+  doc.set("count", static_cast<std::int64_t>(count_));
+  doc.set("mean", mean());
+  doc.set("min", min());
+  doc.set("max", max());
+  doc.set("p05", quantile(0.05));
+  doc.set("p25", quantile(0.25));
+  doc.set("p50", quantile(0.50));
+  doc.set("p75", quantile(0.75));
+  doc.set("p95", quantile(0.95));
+  return doc;
+}
+
+}  // namespace p2auth::obs

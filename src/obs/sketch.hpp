@@ -1,0 +1,103 @@
+// Mergeable streaming quantile sketches for decision-score distributions.
+//
+// DDSketch-style relative-accuracy sketch: values are hashed into
+// logarithmic buckets (index = ceil(log_gamma |x|), gamma derived from
+// the configured relative accuracy), kept separately for the negative and
+// positive halves plus an exact near-zero count, so score distributions
+// that straddle an accept boundary at 0 keep their sign structure.  Any
+// quantile estimate is within `relative_accuracy` of the true value in
+// relative terms (until bucket collapse, see below).
+//
+// Fixed memory: each sign keeps at most `max_buckets_per_sign` buckets;
+// on overflow the smallest-magnitude buckets are collapsed together, so
+// the tails furthest from zero (the interesting end for drift detection)
+// keep full resolution while worst-case memory stays bounded.
+//
+// Mergeable: two sketches built with the same options merge bucket-wise
+// into the exact sketch of the concatenated streams (modulo the same
+// collapse bound), which is what lets per-user sketches roll up into
+// population-wide ones.  Deterministic: no clocks, no randomness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "obs/json.hpp"
+
+namespace p2auth::obs {
+
+struct SketchOptions {
+  // Relative accuracy alpha of quantile estimates (0 < alpha < 1).
+  double relative_accuracy = 0.01;
+  // Magnitudes below this are counted in the exact zero bucket.
+  double min_trackable = 1e-6;
+  // Memory bound per sign; smallest-magnitude buckets collapse first.
+  std::size_t max_buckets_per_sign = 512;
+};
+
+class QuantileSketch {
+ public:
+  // Non-explicit default so aggregates holding a sketch (e.g. enrollment
+  // baselines) still brace-initialize cleanly.
+  QuantileSketch() : QuantileSketch(SketchOptions{}) {}
+  explicit QuantileSketch(SketchOptions options);
+
+  // Adds `weight` observations of value `x`.  Non-finite values are
+  // counted in `discarded()` instead of poisoning the quantiles.
+  void add(double x, std::uint64_t weight = 1);
+
+  // Folds `other` into this sketch.  Throws std::invalid_argument when
+  // the two sketches were built with different bucketing options.
+  void merge(const QuantileSketch& other);
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t discarded() const noexcept { return discarded_; }
+  double sum() const noexcept { return sum_; }
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  // Quantile estimate for q in [0, 1]; 0 when empty.  Clamped to the
+  // observed [min, max].
+  double quantile(double q) const noexcept;
+
+  // Estimated fraction of observations strictly below `threshold`
+  // (each bucket counts via its representative value; the exact zero
+  // bucket counts below only when threshold > 0).  0 when empty.
+  double fraction_below(double threshold) const noexcept;
+
+  // Number of live buckets (both signs), for memory-bound tests.
+  std::size_t bucket_count() const noexcept {
+    return negative_.size() + positive_.size();
+  }
+
+  void clear();
+
+  const SketchOptions& options() const noexcept { return options_; }
+
+  // {"count": N, "mean": ..., "min": ..., "max": ..., "p05": ...,
+  //  "p25": ..., "p50": ..., "p75": ..., "p95": ...} for run reports.
+  Json summary() const;
+
+ private:
+  using Buckets = std::map<std::int32_t, std::uint64_t>;
+
+  std::int32_t index_of(double magnitude) const noexcept;
+  double representative(std::int32_t index) const noexcept;
+  void collapse(Buckets& buckets, bool negative_side);
+
+  SketchOptions options_;
+  double log_gamma_ = 0.0;  // log((1+alpha)/(1-alpha)) precomputed
+  Buckets negative_;        // keyed by index of |x|, values < 0
+  Buckets positive_;
+  std::uint64_t zero_ = 0;  // |x| < min_trackable
+  std::uint64_t count_ = 0;
+  std::uint64_t discarded_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace p2auth::obs

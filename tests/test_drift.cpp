@@ -1,0 +1,302 @@
+// Online FRR/FAR drift monitor: typed-alert logic against synthetic
+// score streams, edge-triggered polling, roll-up merging, and the
+// evaluation-harness integration where the monitor's estimate is checked
+// against measured ground truth in a seeded aging (walking) scenario.
+#include "obs/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/evaluation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "util/rng.hpp"
+
+namespace p2auth::obs {
+namespace {
+
+// Baseline from a healthy enrollment: genuine scores comfortably above
+// the accept boundary 0, imposter scores comfortably below.
+ScoreBaseline healthy_baseline(int n = 100) {
+  ScoreBaseline baseline;
+  util::Rng rng(1);
+  for (int i = 0; i < n; ++i) {
+    baseline.genuine.add(1.0 + 0.2 * rng.normal());
+    baseline.imposter.add(-2.0 + 0.2 * rng.normal());
+  }
+  return baseline;
+}
+
+DriftOptions fast_options() {
+  DriftOptions options;
+  options.min_genuine = 10;
+  options.min_imposter = 10;
+  options.min_channel_attempts = 10;
+  return options;
+}
+
+bool has_alert(const std::vector<DriftAlert>& alerts, DriftAlertKind kind) {
+  for (const DriftAlert& a : alerts) {
+    if (a.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(Drift, StationaryStreamRaisesNoAlerts) {
+  DriftMonitor monitor(healthy_baseline(), fast_options());
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    monitor.observe_genuine(1.0 + 0.2 * rng.normal());
+    monitor.observe_imposter(-2.0 + 0.2 * rng.normal());
+    monitor.observe_channels(0b111, 3);  // all channels healthy
+  }
+  EXPECT_TRUE(monitor.check().empty());
+  EXPECT_TRUE(monitor.poll_new_alerts().empty());
+  EXPECT_NEAR(monitor.estimated_frr(), 0.0, 0.02);
+  EXPECT_NEAR(monitor.estimated_far(), 0.0, 0.02);
+}
+
+TEST(Drift, GenuineScoresSlidingBelowBoundaryRaiseFrrAlert) {
+  DriftMonitor monitor(healthy_baseline(), fast_options());
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    // Aged template: 40% of genuine attempts now score below 0.
+    monitor.observe_genuine(i % 5 < 2 ? -0.5 : 0.8 + 0.1 * rng.normal());
+  }
+  const std::vector<DriftAlert> alerts = monitor.check();
+  ASSERT_TRUE(has_alert(alerts, DriftAlertKind::kEstimatedFrrRising));
+  for (const DriftAlert& a : alerts) {
+    if (a.kind != DriftAlertKind::kEstimatedFrrRising) continue;
+    EXPECT_NEAR(a.live, 0.40, 0.02);
+    EXPECT_NEAR(a.baseline, monitor.baseline().estimated_frr(), 1e-12);
+    EXPECT_FALSE(a.detail.empty());
+  }
+}
+
+TEST(Drift, ImposterTailCreepingTowardBoundaryAlertsBeforeFalseAccepts) {
+  DriftMonitor monitor(healthy_baseline(), fast_options());
+  util::Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    // Imposters scoring much closer to 0 than at enrollment, but still
+    // rejected: FAR is unchanged, yet the tail closed most of the gap.
+    monitor.observe_imposter(-0.2 + 0.05 * rng.normal());
+  }
+  EXPECT_NEAR(monitor.estimated_far(), 0.0, 0.05);
+  EXPECT_TRUE(
+      has_alert(monitor.check(), DriftAlertKind::kImposterScoreCreep));
+}
+
+TEST(Drift, FarRiseFallbackWhenBaselineTailTouchesBoundary) {
+  // Baseline imposters already straddle 0 (weak enrollment pool): the
+  // creep rule has no gap to watch, so a live FAR rise must alert.
+  ScoreBaseline baseline = healthy_baseline();
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    baseline.imposter.add(0.5 + 0.2 * rng.normal());
+  }
+  DriftMonitor monitor(baseline, fast_options());
+  for (int i = 0; i < 100; ++i) {
+    monitor.observe_imposter(i % 10 < 9 ? 0.5 : -1.0);  // live FAR ~0.9
+  }
+  EXPECT_TRUE(
+      has_alert(monitor.check(), DriftAlertKind::kImposterScoreCreep));
+}
+
+TEST(Drift, MaskedChannelsAboveBudgetAlert) {
+  DriftMonitor monitor(healthy_baseline(), fast_options());
+  for (int i = 0; i < 60; ++i) {
+    // 50% of attempts arrive with channel 1 masked (budget is 25%).
+    monitor.observe_channels(i % 2 == 0 ? 0b101u : 0b111u, 3);
+  }
+  EXPECT_NEAR(monitor.masked_attempt_fraction(), 0.5, 1e-12);
+  EXPECT_TRUE(
+      has_alert(monitor.check(), DriftAlertKind::kChannelHealthDegrading));
+}
+
+TEST(Drift, TooFewObservationsNeverAlert) {
+  DriftMonitor monitor(healthy_baseline(), fast_options());
+  for (int i = 0; i < 9; ++i) {  // below every min_* floor
+    monitor.observe_genuine(-5.0);
+    monitor.observe_imposter(5.0);
+    monitor.observe_channels(0, 3);
+  }
+  EXPECT_TRUE(monitor.check().empty());
+}
+
+TEST(Drift, EmptyBaselineDisablesFrrJudgement) {
+  const ScoreBaseline empty_baseline;
+  DriftMonitor monitor(empty_baseline, fast_options());
+  for (int i = 0; i < 50; ++i) monitor.observe_genuine(-1.0);
+  EXPECT_FALSE(
+      has_alert(monitor.check(), DriftAlertKind::kEstimatedFrrRising));
+}
+
+TEST(Drift, PollIsEdgeTriggeredAndBumpsCounters) {
+  if (!kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  set_enabled(true);
+  reset_metrics();
+  DriftMonitor monitor(healthy_baseline(), fast_options());
+  for (int i = 0; i < 50; ++i) monitor.observe_genuine(-1.0);
+  const std::vector<DriftAlert> first = monitor.poll_new_alerts();
+  ASSERT_TRUE(has_alert(first, DriftAlertKind::kEstimatedFrrRising));
+  // Still firing: the edge-triggered poll stays quiet.
+  EXPECT_TRUE(monitor.poll_new_alerts().empty());
+  // Condition clears, then re-fires: a new edge is reported again.
+  for (int i = 0; i < 5000; ++i) monitor.observe_genuine(2.0);
+  EXPECT_TRUE(monitor.poll_new_alerts().empty());
+  for (int i = 0; i < 50000; ++i) monitor.observe_genuine(-1.0);
+  EXPECT_TRUE(has_alert(monitor.poll_new_alerts(),
+                        DriftAlertKind::kEstimatedFrrRising));
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  EXPECT_EQ(snapshot.counter("drift.alert.estimated_frr_rising"), 2u);
+  reset_metrics();
+}
+
+TEST(Drift, MergeRollsUpLiveStreamsAndBaselines) {
+  DriftMonitor a(healthy_baseline(), fast_options());
+  DriftMonitor b(healthy_baseline(), fast_options());
+  for (int i = 0; i < 20; ++i) {
+    a.observe_genuine(1.0);
+    b.observe_genuine(-1.0);
+    a.observe_channels(0b11, 2);
+    b.observe_channels(0b01, 2);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.live_genuine().count(), 40u);
+  EXPECT_NEAR(a.estimated_frr(), 0.5, 1e-12);
+  EXPECT_NEAR(a.masked_attempt_fraction(), 0.5, 1e-12);
+  EXPECT_EQ(a.baseline().genuine.count(), 200u);
+}
+
+TEST(Drift, SummaryCarriesBaselineLiveAndAlerts) {
+  DriftMonitor monitor(healthy_baseline(), fast_options());
+  for (int i = 0; i < 50; ++i) monitor.observe_genuine(-1.0);
+  const Json summary = monitor.summary();
+  ASSERT_NE(summary.find("baseline"), nullptr);
+  ASSERT_NE(summary.find("live"), nullptr);
+  const Json* alerts = summary.find("alerts");
+  ASSERT_NE(alerts, nullptr);
+  EXPECT_GE(alerts->size(), 1u);
+  EXPECT_NE(summary.dump_string(0).find("estimated_frr_rising"),
+            std::string::npos);
+}
+
+TEST(Drift, AlertKindStringsAndSlugsAreStable) {
+  EXPECT_STREQ(drift_alert_slug(DriftAlertKind::kEstimatedFrrRising),
+               "estimated_frr_rising");
+  EXPECT_STREQ(drift_alert_slug(DriftAlertKind::kImposterScoreCreep),
+               "imposter_score_creep");
+  EXPECT_STREQ(drift_alert_slug(DriftAlertKind::kChannelHealthDegrading),
+               "channel_health_degrading");
+  for (const DriftAlertKind kind :
+       {DriftAlertKind::kEstimatedFrrRising,
+        DriftAlertKind::kImposterScoreCreep,
+        DriftAlertKind::kChannelHealthDegrading}) {
+    EXPECT_STRNE(to_string(kind), "?");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation-harness integration: the experiment sweep is the ground-
+// truth oracle the online monitor is validated against.
+
+core::ExperimentConfig oracle_config() {
+  core::ExperimentConfig cfg;
+  cfg.population.num_users = 2;
+  cfg.population.num_third_parties = 6;
+  cfg.enroll_entries = 5;
+  cfg.test_entries = 6;
+  cfg.third_party_samples = 20;
+  cfg.random_attacks_per_user = 2;
+  cfg.emulating_attacks_per_user = 2;
+  cfg.enrollment.rocket.num_features = 2000;
+  cfg.seed = 4242;
+  cfg.monitor_drift = true;
+  // Tiny run: lower the judgement floors to the attempt counts.
+  cfg.drift.min_genuine = 6;
+  cfg.drift.min_imposter = 4;
+  cfg.drift.min_channel_attempts = 8;
+  return cfg;
+}
+
+// Measured FRR over the legitimate ground-truth stream.
+double measured_frr(const core::ExperimentResult& result) {
+  const auto& tally = result.pooled.legitimate;
+  return tally.total == 0
+             ? 0.0
+             : 1.0 - static_cast<double>(tally.accepted) /
+                         static_cast<double>(tally.total);
+}
+
+TEST(DriftOracle, StationaryRunMatchesBaselineAndStaysQuiet) {
+  const core::ExperimentResult result =
+      core::run_experiment(oracle_config());
+  ASSERT_TRUE(result.drift.has_value());
+  const obs::DriftMonitor& monitor = *result.drift;
+  // Live streams were fed: every scored legitimate attempt is genuine,
+  // every attack imposter.
+  EXPECT_GT(monitor.live_genuine().count(), 0u);
+  EXPECT_GT(monitor.live_imposter().count(), 0u);
+  // Test-time conditions equal enrollment conditions, so the monitor's
+  // FRR estimate must agree with the measured ground truth.
+  EXPECT_NEAR(monitor.estimated_frr(), measured_frr(result), 0.25);
+  // And no drift alert fires on a stationary stream.
+  EXPECT_FALSE(has_alert(monitor.check(),
+                         DriftAlertKind::kEstimatedFrrRising));
+}
+
+TEST(DriftOracle, WalkingAgingScenarioTracksMeasuredFrrDrift) {
+  core::ExperimentConfig cfg = oracle_config();
+  const core::ExperimentResult still = core::run_experiment(cfg);
+  cfg.test_activity = ppg::ActivityState::kWalking;
+  const core::ExperimentResult walking = core::run_experiment(cfg);
+  ASSERT_TRUE(still.drift.has_value());
+  ASSERT_TRUE(walking.drift.has_value());
+
+  // Ground truth: gait artifacts degrade legitimate acceptance.
+  const double frr_still = measured_frr(still);
+  const double frr_walking = measured_frr(walking);
+  EXPECT_GE(frr_walking, frr_still);
+
+  // The online estimate tracks the measured drift direction: the
+  // walking monitor sees at least as much genuine mass below the
+  // boundary as the stationary one.
+  EXPECT_GE(walking.drift->estimated_frr() + 1e-12,
+            still.drift->estimated_frr());
+
+  // When the measured degradation is substantial the monitor must both
+  // estimate a substantial FRR and raise the typed alert.
+  if (frr_walking >= frr_still + 0.2 &&
+      walking.drift->live_genuine().count() >=
+          cfg.drift.min_genuine) {
+    EXPECT_GT(walking.drift->estimated_frr(), frr_still);
+    EXPECT_TRUE(has_alert(walking.drift->check(),
+                          DriftAlertKind::kEstimatedFrrRising));
+  }
+}
+
+TEST(DriftOracle, PerUserMonitorsRollUpIntoPopulationMonitor) {
+  const core::ExperimentResult result =
+      core::run_experiment(oracle_config());
+  ASSERT_TRUE(result.drift.has_value());
+  std::uint64_t per_user_genuine = 0;
+  for (const core::UserOutcome& user : result.per_user) {
+    ASSERT_TRUE(user.drift.has_value());
+    per_user_genuine += user.drift->live_genuine().count();
+  }
+  EXPECT_EQ(result.drift->live_genuine().count(), per_user_genuine);
+}
+
+TEST(DriftOracle, MonitorOffByDefault) {
+  core::ExperimentConfig cfg = oracle_config();
+  cfg.monitor_drift = false;
+  const core::ExperimentResult result = core::run_experiment(cfg);
+  EXPECT_FALSE(result.drift.has_value());
+  for (const core::UserOutcome& user : result.per_user) {
+    EXPECT_FALSE(user.drift.has_value());
+  }
+}
+
+}  // namespace
+}  // namespace p2auth::obs

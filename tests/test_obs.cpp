@@ -151,6 +151,71 @@ TEST_F(ObsTest, HistogramBucketsAndPercentiles) {
   EXPECT_DOUBLE_EQ(h.percentile_us(1.0), h.max_us);
 }
 
+TEST(ObsHistogram, GoldenEmptyHistogramPercentilesAreZero) {
+  const HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.percentile_us(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile_us(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile_us(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile_us(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean_us(), 0.0);
+}
+
+TEST(ObsHistogram, GoldenSingleSampleIsEveryPercentile) {
+  HistogramSnapshot h;
+  h.count = 1;
+  h.sum_us = 15.0;
+  h.min_us = h.max_us = 15.0;
+  h.buckets[4] = 1;  // the (10, 20] bucket
+  // Interpolation inside the bucket is clamped to the observed range, so
+  // one sample answers 15.0 for any p — including the endpoints.
+  for (const double p : {0.0, 0.01, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile_us(p), 15.0) << "p=" << p;
+  }
+}
+
+TEST(ObsHistogram, GoldenExactBoundaryP99StaysInFastBucket) {
+  // 99 fast + 1 slow: the p99 target rank (99) lands exactly on the fast
+  // bucket's cumulative edge, so p99 reports that bucket's upper bound —
+  // it must not spill into the slow outlier's bucket.
+  HistogramSnapshot h;
+  h.count = 100;
+  h.sum_us = 99 * 15.0 + 900.0;
+  h.min_us = 15.0;
+  h.max_us = 900.0;
+  h.buckets[4] = 99;  // (10, 20]
+  h.buckets[9] = 1;   // (500, 1000]
+  EXPECT_DOUBLE_EQ(h.p99_us(), 20.0);
+  // One more sample in the slow bucket pushes the rank past the edge.
+  h.count = 101;
+  h.buckets[9] = 2;
+  EXPECT_GT(h.p99_us(), 500.0);
+  EXPECT_LE(h.p99_us(), 900.0);
+}
+
+TEST(ObsHistogram, GoldenOutOfRangePClampsToEndpoints) {
+  HistogramSnapshot h;
+  h.count = 10;
+  h.sum_us = 150.0;
+  h.min_us = 12.0;
+  h.max_us = 18.0;
+  h.buckets[4] = 10;
+  EXPECT_DOUBLE_EQ(h.percentile_us(-0.5), 12.0);
+  EXPECT_DOUBLE_EQ(h.percentile_us(1.5), 18.0);
+}
+
+TEST_F(ObsTest, ObservationAtBucketBoundaryLandsInLowerBucket) {
+  // lower_bound semantics: a latency exactly on a bound belongs to the
+  // bucket that bound closes, i.e. 20 us -> (10, 20], not (20, 50].
+  observe_latency_us("boundary", 20.0);
+  observe_latency_us("boundary", 10.0);
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  ASSERT_EQ(snapshot.histograms.count("boundary"), 1u);
+  const HistogramSnapshot& h = snapshot.histograms.at("boundary");
+  EXPECT_EQ(h.buckets[4], 1u);  // 20.0
+  EXPECT_EQ(h.buckets[3], 1u);  // 10.0
+  EXPECT_EQ(h.buckets[5], 0u);
+}
+
 TEST_F(ObsTest, ScopedLatencyRecordsOneObservation) {
   { const ScopedLatency timer("scoped.latency_us"); }
   const MetricsSnapshot snapshot = snapshot_metrics();
@@ -205,6 +270,58 @@ TEST(ObsJson, GoldenCompactDump) {
             "{\"int\":42,\"neg\":-3,\"real\":2.5,"
             "\"text\":\"line\\n\\\"quoted\\\"\",\"flag\":true,"
             "\"none\":null,\"arr\":[1,\"two\"]}");
+}
+
+TEST(ObsJson, GoldenControlCharacterEscapes) {
+  // Every byte below 0x20 must leave as an escape, never raw: named
+  // escapes for the common ones, \u00XX for the rest.
+  Json doc = Json::array();
+  doc.push(std::string("a\x01" "b\x1f"));
+  doc.push(std::string("bell\x07tab\tnl\ncr\r"));
+  doc.push(std::string("nul\0byte", 8));  // embedded NUL survives
+  EXPECT_EQ(doc.dump_string(0),
+            "[\"a\\u0001b\\u001f\","
+            "\"bell\\u0007tab\\tnl\\ncr\\r\","
+            "\"nul\\u0000byte\"]");
+}
+
+TEST(ObsJson, WellFormedUtf8PassesThroughUntouched) {
+  // 2-, 3-, and 4-byte sequences: é, ✓, 🔒.
+  const std::string text = "caf\xc3\xa9 \xe2\x9c\x93 \xf0\x9f\x94\x92";
+  Json doc = Json::array();
+  doc.push(text);
+  EXPECT_EQ(doc.dump_string(0), "[\"" + text + "\"]");
+}
+
+TEST(ObsJson, MalformedUtf8BecomesReplacementCharacter) {
+  const auto dumped = [](const std::string& s) {
+    Json doc = Json::array();
+    doc.push(s);
+    return doc.dump_string(0);
+  };
+  // Stray continuation byte, truncated lead, overlong lead (0xC0),
+  // CESU-8 surrogate (ED A0 80), out-of-range lead (0xF5): each bad
+  // byte escapes as \ufffd so the document stays parseable JSON.
+  EXPECT_EQ(dumped("a\x80z"), "[\"a\\ufffdz\"]");
+  EXPECT_EQ(dumped("a\xc3"), "[\"a\\ufffd\"]");
+  EXPECT_EQ(dumped("a\xc0\xafz"), "[\"a\\ufffd\\ufffdz\"]");
+  EXPECT_EQ(dumped("a\xed\xa0\x80z"),
+            "[\"a\\ufffd\\ufffd\\ufffdz\"]");
+  EXPECT_EQ(dumped("a\xf5\x90z"), "[\"a\\ufffd\\ufffdz\"]");
+  // A valid sequence right after a bad byte is preserved.
+  EXPECT_EQ(dumped("\xff\xc3\xa9"), "[\"\\ufffd\xc3\xa9\"]");
+}
+
+TEST(ObsJson, Uint64BeyondInt64FallsBackToDoubleNotNegative) {
+  Json doc = Json::array();
+  doc.push(std::uint64_t{42});
+  doc.push(std::uint64_t{9223372036854775807ull});  // int64 max: exact
+  doc.push(std::uint64_t{18446744073709551615ull});  // would wrap to -1
+  const std::string json = doc.dump_string(0);
+  EXPECT_NE(json.find("42,9223372036854775807,"), std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("-1"), std::string::npos) << json;
+  EXPECT_NE(json.find("1.84467440737e+19"), std::string::npos) << json;
 }
 
 TEST(ObsJson, NonFiniteNumbersSerializeAsNull) {

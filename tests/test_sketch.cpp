@@ -1,0 +1,180 @@
+// Streaming quantile sketch: relative-accuracy guarantee, mergeability,
+// the fixed-memory collapse bound, and the fraction_below() estimate the
+// drift monitor builds its FRR/FAR numbers on.
+#include "obs/sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace p2auth::obs {
+namespace {
+
+// Exact quantile of a sorted sample (nearest-rank).
+double exact_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank > 0) --rank;
+  return values[std::min(rank, n - 1)];
+}
+
+TEST(Sketch, EmptySketchIsInert) {
+  const QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.fraction_below(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.mean(), 0.0);
+  EXPECT_EQ(sketch.bucket_count(), 0u);
+}
+
+TEST(Sketch, RelativeAccuracyOnLogUniformSample) {
+  SketchOptions options;
+  options.relative_accuracy = 0.01;
+  QuantileSketch sketch(options);
+  util::Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform over ~4 decades, both signs.
+    const double magnitude = std::exp(rng.uniform(std::log(1e-2),
+                                                  std::log(1e2)));
+    const double x = rng.uniform(0.0, 1.0) < 0.5 ? -magnitude : magnitude;
+    values.push_back(x);
+    sketch.add(x);
+  }
+  ASSERT_EQ(sketch.count(), values.size());
+  for (const double q : {0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+    const double exact = exact_quantile(values, q);
+    const double estimate = sketch.quantile(q);
+    // DDSketch guarantee: |estimate - exact| <= alpha * |exact| (a hair
+    // of slack for the nearest-rank exact reference being discrete).
+    EXPECT_NEAR(estimate, exact, 0.025 * std::fabs(exact) + 1e-9)
+        << "q=" << q;
+  }
+}
+
+TEST(Sketch, QuantileEndpointsClampToObservedRange) {
+  QuantileSketch sketch;
+  for (const double x : {-3.0, -1.0, 0.5, 2.0, 8.0}) sketch.add(x);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), -3.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(sketch.min(), -3.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 8.0);
+}
+
+TEST(Sketch, NonFiniteValuesAreDiscardedNotPoisonous) {
+  QuantileSketch sketch;
+  sketch.add(1.0);
+  sketch.add(std::numeric_limits<double>::quiet_NaN());
+  sketch.add(std::numeric_limits<double>::infinity());
+  sketch.add(2.0);
+  EXPECT_EQ(sketch.count(), 2u);
+  EXPECT_EQ(sketch.discarded(), 2u);
+  EXPECT_TRUE(std::isfinite(sketch.quantile(0.5)));
+}
+
+TEST(Sketch, WeightedAddCountsWeight) {
+  QuantileSketch sketch;
+  sketch.add(1.0, 9);
+  sketch.add(100.0, 1);
+  EXPECT_EQ(sketch.count(), 10u);
+  EXPECT_LT(sketch.quantile(0.5), 2.0);
+  EXPECT_GT(sketch.quantile(1.0), 50.0);
+  EXPECT_NEAR(sketch.mean(), 10.9, 1e-12);
+}
+
+TEST(Sketch, FractionBelowEstimatesSignSplitMass) {
+  QuantileSketch sketch;
+  for (int i = 0; i < 30; ++i) sketch.add(-1.0 - 0.01 * i);  // 30 rejects
+  for (int i = 0; i < 70; ++i) sketch.add(1.0 + 0.01 * i);   // 70 accepts
+  // Mass below the accept boundary 0 is exactly the negative count: the
+  // sign split makes this estimate exact regardless of bucketing.
+  EXPECT_DOUBLE_EQ(sketch.fraction_below(0.0), 0.30);
+  EXPECT_NEAR(sketch.fraction_below(1e9), 1.0, 1e-12);
+  EXPECT_NEAR(sketch.fraction_below(-1e9), 0.0, 1e-12);
+}
+
+TEST(Sketch, ZeroBucketCountsBelowOnlyForPositiveThreshold) {
+  QuantileSketch sketch;
+  sketch.add(0.0, 5);   // exactly-zero scores (boundary accepts)
+  sketch.add(-1.0, 2);
+  sketch.add(1.0, 3);
+  // threshold 0: only strictly-negative mass is below.
+  EXPECT_DOUBLE_EQ(sketch.fraction_below(0.0), 0.2);
+  // threshold > 0: the zero bucket is below it.
+  EXPECT_DOUBLE_EQ(sketch.fraction_below(0.5), 0.7);
+}
+
+TEST(Sketch, MergeMatchesConcatenatedStream) {
+  SketchOptions options;
+  QuantileSketch a(options), b(options), whole(options);
+  util::Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.normal(1.0, 3.0);
+    (i % 2 == 0 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  // Sums accumulate in different orders; identical up to rounding.
+  EXPECT_NEAR(a.sum(), whole.sum(), 1e-8 * std::fabs(whole.sum()));
+  for (const double q : {0.05, 0.5, 0.95}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), whole.quantile(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(a.fraction_below(0.0), whole.fraction_below(0.0));
+}
+
+TEST(Sketch, MergeRejectsMismatchedOptions) {
+  SketchOptions coarse;
+  coarse.relative_accuracy = 0.1;
+  QuantileSketch a, b(coarse);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Sketch, CollapseBoundsMemoryAndKeepsFarTail) {
+  SketchOptions options;
+  options.relative_accuracy = 0.001;  // many buckets per decade
+  options.max_buckets_per_sign = 32;
+  QuantileSketch sketch(options);
+  util::Rng rng(13);
+  for (int i = 0; i < 50000; ++i) {
+    sketch.add(std::exp(rng.uniform(std::log(1e-3), std::log(1e3))));
+  }
+  EXPECT_LE(sketch.bucket_count(), 2 * options.max_buckets_per_sign);
+  // Collapse erases the buckets nearest zero; the far tail (the end that
+  // matters for drift detection) keeps its relative accuracy.
+  EXPECT_GT(sketch.quantile(0.999), 1e2);
+  EXPECT_LE(sketch.quantile(1.0), sketch.max());
+}
+
+TEST(Sketch, ClearResetsEverything) {
+  QuantileSketch sketch;
+  sketch.add(5.0);
+  sketch.add(std::nan(""));
+  sketch.clear();
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.discarded(), 0u);
+  EXPECT_EQ(sketch.bucket_count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+}
+
+TEST(Sketch, SummaryReportsQuantileFields) {
+  QuantileSketch sketch;
+  for (int i = 1; i <= 100; ++i) sketch.add(static_cast<double>(i));
+  const Json summary = sketch.summary();
+  ASSERT_NE(summary.find("count"), nullptr);
+  ASSERT_NE(summary.find("p50"), nullptr);
+  ASSERT_NE(summary.find("p95"), nullptr);
+  const std::string json = summary.dump_string(0);
+  EXPECT_NE(json.find("\"count\":100"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace p2auth::obs

@@ -1,0 +1,153 @@
+// audit_inspect: decode, CRC-verify, filter and summarize decision
+// flight-recorder logs (obs/audit binary format).
+//
+//   audit_inspect <log> [--jsonl] [--summary] [--verify]
+//                 [--user <id>] [--rejects] [--reason <slug>] [--limit <n>]
+//
+//   --jsonl          one JSON object per record on stdout (default)
+//   --summary        aggregate view (accept rate, per-reason tallies,
+//                    score/latency quantiles)
+//   --verify         decode only; exit 0 when the log is clean, 1 when
+//                    any frame is corrupt (typed error printed to stderr)
+//   --user <id>      keep only records of this user id
+//   --rejects        keep only rejected attempts
+//   --reason <slug>  keep only records with this reject-reason slug
+//                    (e.g. wrong_pin, timeout; see core/types.hpp)
+//   --limit <n>      stop after the first n records (after filtering)
+//
+// Links p2auth_core for the enum slug names; the obs reader itself stays
+// core-free and reports raw codes.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "obs/audit.hpp"
+
+namespace {
+
+using p2auth::obs::AuditCodeNames;
+using p2auth::obs::AuditReadResult;
+using p2auth::obs::DecisionRecord;
+
+struct Filter {
+  std::optional<std::uint32_t> user;
+  bool rejects_only = false;
+  std::optional<std::string> reason_slug;
+  std::optional<std::size_t> limit;
+};
+
+AuditCodeNames core_names() {
+  AuditCodeNames names;
+  names.reason = [](std::uint8_t code) {
+    return std::string(p2auth::core::reject_reason_slug_from_code(code));
+  };
+  names.model_path = [](std::uint8_t code) {
+    return std::string(p2auth::core::model_path_slug_from_code(code));
+  };
+  names.detected_case = [](std::uint8_t code) {
+    return std::string(p2auth::core::detected_case_slug_from_code(code));
+  };
+  return names;
+}
+
+std::vector<DecisionRecord> apply_filter(
+    const std::vector<DecisionRecord>& records, const Filter& filter) {
+  std::vector<DecisionRecord> kept;
+  for (const DecisionRecord& r : records) {
+    if (filter.user && r.user_id != *filter.user) continue;
+    if (filter.rejects_only && r.accepted != 0) continue;
+    if (filter.reason_slug &&
+        p2auth::core::reject_reason_slug_from_code(r.reason) !=
+            *filter.reason_slug) {
+      continue;
+    }
+    kept.push_back(r);
+    if (filter.limit && kept.size() >= *filter.limit) break;
+  }
+  return kept;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <log> [--jsonl] [--summary] [--verify] [--user <id>]"
+               " [--rejects] [--reason <slug>] [--limit <n>]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+
+  std::string path;
+  bool jsonl = false;
+  bool summary = false;
+  bool verify = false;
+  Filter filter;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "audit_inspect: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jsonl") {
+      jsonl = true;
+    } else if (arg == "--summary") {
+      summary = true;
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--rejects") {
+      filter.rejects_only = true;
+    } else if (arg == "--user") {
+      filter.user = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--reason") {
+      filter.reason_slug = next();
+    } else if (arg == "--limit") {
+      filter.limit = static_cast<std::size_t>(std::stoul(next()));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "audit_inspect: unknown option " << arg << "\n";
+      return usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+  if (!jsonl && !summary && !verify) jsonl = true;
+
+  const AuditReadResult read = p2auth::obs::read_audit_log(path);
+  if (!read.ok()) {
+    std::cerr << "audit_inspect: " << path << ": "
+              << p2auth::obs::to_string(read.error) << " at byte offset "
+              << read.error_offset << " (" << read.records.size()
+              << " records decoded before the error)\n";
+  }
+  if (verify && !jsonl && !summary) {
+    if (read.ok()) {
+      std::cout << path << ": OK, " << read.records.size() << " records\n";
+    }
+    return read.ok() ? 0 : 1;
+  }
+
+  const AuditCodeNames names = core_names();
+  const std::vector<DecisionRecord> kept =
+      apply_filter(read.records, filter);
+
+  if (jsonl) {
+    p2auth::obs::write_audit_jsonl(std::cout, kept, names);
+  }
+  if (summary) {
+    p2auth::obs::summarize_audit(kept, names).dump(std::cout, 2);
+    std::cout << "\n";
+  }
+  return read.ok() ? 0 : 1;
+}
