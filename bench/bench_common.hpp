@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "backend/policy.hpp"
 #include "core/evaluation.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -69,6 +70,9 @@ class BenchReport {
     // different machines / P2AUTH_THREADS settings stay comparable.
     report_.set("threads",
                 static_cast<std::uint64_t>(util::resolve_threads(0)));
+    // SIMD backend the kernels dispatched to, so numbers from hosts with
+    // different ISAs (or forced P2AUTH_BACKEND runs) stay attributable.
+    report_.set("backend", std::string(backend::kernels().name));
     report_.attach_metrics(obs::snapshot_metrics());
     report_.attach_span_summary(obs::snapshot_trace());
     const std::string path = "BENCH_" + report_.name() + ".json";

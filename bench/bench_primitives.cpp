@@ -11,7 +11,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
+#include <string_view>
 
+#include "backend/policy.hpp"
 #include "bench_common.hpp"
 #include "linalg/ridge.hpp"
 #include "ml/minirocket.hpp"
@@ -132,7 +135,7 @@ BENCHMARK(BM_RidgeFit);
 //   batch_speedup             — reference serial loop vs the batch
 //                               engine (the ">= 2x at 8 threads"
 //                               acceptance bar).
-int run_quick_transform_throughput() {
+int run_quick_transform_throughput(std::optional<backend::Isa> requested) {
   constexpr std::size_t kLength = 90;
   constexpr std::size_t kBatch = 48;
   constexpr std::size_t kThreads = 8;
@@ -149,6 +152,12 @@ int run_quick_transform_throughput() {
   for (auto& s : batch) {
     for (double& v : s) v = rng.normal();
   }
+
+  // The gated three-engine comparison runs with dispatch forced to the
+  // scalar backend: that table is the PR-5 autovectorized fast path, so
+  // fast_vs_reference_speedup / batch_speedup measure the algorithmic
+  // win alone and stay comparable across hosts whatever SIMD they have.
+  backend::force_isa(backend::Isa::kScalar);
 
   // Warm every engine (thread scratches, pool threads) before timing.
   (void)ml::reference::transform(rocket, batch.front());
@@ -195,6 +204,41 @@ int run_quick_transform_throughput() {
       kLength, kBatch, rocket.num_features(), reference_s * per,
       serial_s * per, reference_s / serial_s, kThreads, batch_s * per,
       reference_s / batch_s);
+
+  // Per-backend serial fast path on the same workload: one section per
+  // ISA this host can run (or just the one --backend requested).  The
+  // scalar serial time above is the denominator, so each ratio is that
+  // backend's SIMD win over the autovectorized scalar kernels.  Ratios
+  // are reported in the JSON but not gated — CI hardware is not pinned
+  // to an ISA, so the gate only compares the scalar numbers above.
+  const std::vector<backend::Isa> isas =
+      requested ? std::vector<backend::Isa>{*requested}
+                : backend::available_isas();
+  std::printf("per-backend serial fast path:\n");
+  for (const backend::Isa isa : isas) {
+    backend::force_isa(isa);
+    (void)rocket.transform(std::span<const double>(batch.front()));
+    double isa_s = 1e300;
+    for (int r = 0; r < kRepeats; ++r) {
+      isa_s = std::min(isa_s, bench::timed_s([&] {
+        for (const auto& s : batch) {
+          benchmark::DoNotOptimize(
+              rocket.transform(std::span<const double>(s)));
+        }
+      }));
+    }
+    const std::string name = backend::isa_name(isa);
+    report.value("backend_" + name + "_per_transform_us", isa_s * per);
+    report.value("backend_" + name + "_speedup_vs_scalar",
+                 serial_s / isa_s);
+    std::printf("  %-8s: %8.1f us/transform  (%.2fx vs scalar)\n",
+                name.c_str(), isa_s * per, serial_s / isa_s);
+  }
+
+  // Drop the measurement forcing before write() stamps the "backend"
+  // key: the report names the requested (or environment-resolved)
+  // backend, not whichever ISA happened to be timed last.
+  backend::force_isa(requested);
   report.write();
   return 0;
 }
@@ -202,11 +246,39 @@ int run_quick_transform_throughput() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool quick = false;
+  std::optional<backend::Isa> requested;
+  int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      return run_quick_transform_throughput();
+    const std::string_view arg(argv[i]);
+    if (arg == "--quick") {
+      quick = true;
+      continue;
     }
+    if (arg.rfind("--backend=", 0) == 0) {
+      // Strict: a benchmark silently falling back to another ISA would
+      // record numbers under the wrong label.
+      const auto isa = backend::parse_isa(arg.substr(10));
+      if (!isa) {
+        std::fprintf(stderr,
+                     "bench_primitives: unknown backend '%s' "
+                     "(expected scalar|sse2|avx2|avx512|neon)\n",
+                     std::string(arg.substr(10)).c_str());
+        return 2;
+      }
+      try {
+        backend::force_isa(*isa);
+      } catch (const backend::BackendError& e) {
+        std::fprintf(stderr, "bench_primitives: %s\n", e.what());
+        return 2;
+      }
+      requested = *isa;
+      continue;
+    }
+    argv[kept++] = argv[i];
   }
+  argc = kept;
+  if (quick) return run_quick_transform_throughput(requested);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -29,6 +29,7 @@
 #include <memory>
 #include <string>
 
+#include "backend/policy.hpp"
 #include "core/evaluation.hpp"
 #include "obs/audit.hpp"
 #include "obs/metrics.hpp"
@@ -211,6 +212,9 @@ int main(int argc, char** argv) {
   config.set("no_pin", cfg.no_pin);
   config.set("seed", static_cast<std::uint64_t>(cfg.seed));
   report.root().set("config", std::move(config));
+  // SIMD backend the hot kernels dispatched to for this run.
+  report.set("backend",
+             std::string(p2auth::backend::kernels().name));
   report.set("mean_accuracy", result.mean_accuracy());
   report.set("mean_trr_random", result.mean_trr_random());
   report.set("mean_trr_emulating", result.mean_trr_emulating());

@@ -1,0 +1,206 @@
+// AVX2 kernel backend (256-bit, four doubles per vector).  Compiled
+// with -mavx2 -mno-fma -ffp-contract=off: FMA contraction would change
+// rounding and break the bit-identity contract, so multiplies and adds
+// stay separate instructions.  Edges and vector tails run the shared
+// scalar helpers; interiors run four lanes wide in the scalar
+// per-element operation order.  PPV pooling counts threshold
+// exceedances directly with packed compares (exact integers, so the
+// features stay bit-identical); gathers are deliberately avoided — a
+// vectorized binary search needs one gather per step and measures
+// slower than the scalar cmov search on every x86 core we tried.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "backend/kernels.hpp"
+#include "backend/kernels_detail.hpp"
+
+namespace p2auth::backend {
+
+namespace {
+
+void nine_tap_sum_avx2(const double* x, long long n, long long d,
+                       double* sum) {
+  const auto [lo, hi] = detail::nine_tap_partition(n, d);
+  for (long long i = 0; i < lo; ++i) detail::nine_tap_edge(x, n, d, i, sum);
+  long long i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    // Ascending tap order starting from 0.0, as in the scalar interior.
+    __m256d s = _mm256_setzero_pd();
+    s = _mm256_add_pd(s, _mm256_loadu_pd(x + i - 4 * d));
+    s = _mm256_add_pd(s, _mm256_loadu_pd(x + i - 3 * d));
+    s = _mm256_add_pd(s, _mm256_loadu_pd(x + i - 2 * d));
+    s = _mm256_add_pd(s, _mm256_loadu_pd(x + i - d));
+    s = _mm256_add_pd(s, _mm256_loadu_pd(x + i));
+    s = _mm256_add_pd(s, _mm256_loadu_pd(x + i + d));
+    s = _mm256_add_pd(s, _mm256_loadu_pd(x + i + 2 * d));
+    s = _mm256_add_pd(s, _mm256_loadu_pd(x + i + 3 * d));
+    s = _mm256_add_pd(s, _mm256_loadu_pd(x + i + 4 * d));
+    _mm256_storeu_pd(sum + i, s);
+  }
+  detail::nine_tap_interior(x, d, i, hi, sum);
+  for (i = hi; i < n; ++i) detail::nine_tap_edge(x, n, d, i, sum);
+}
+
+void kernel_conv_avx2(const double* x, long long n, const double* sum9,
+                      int k0, int k1, int k2, long long d, double* conv) {
+  const long long sa = static_cast<long long>(k0 - 4) * d;
+  const long long sb = static_cast<long long>(k1 - 4) * d;
+  const long long sc = static_cast<long long>(k2 - 4) * d;
+  const auto [lo, hi] = detail::conv_partition(n, sa, sc);
+  for (long long i = 0; i < lo; ++i) {
+    detail::conv_edge(x, n, sum9, sa, sb, sc, i, conv);
+  }
+  const __m256d three = _mm256_set1_pd(3.0);
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  long long i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    // -sum9[i] as a sign flip (bit-exact negation), then the three
+    // multiply-add pairs in ascending shift order.
+    __m256d v = _mm256_xor_pd(_mm256_loadu_pd(sum9 + i), sign);
+    v = _mm256_add_pd(v, _mm256_mul_pd(three, _mm256_loadu_pd(x + i + sa)));
+    v = _mm256_add_pd(v, _mm256_mul_pd(three, _mm256_loadu_pd(x + i + sb)));
+    v = _mm256_add_pd(v, _mm256_mul_pd(three, _mm256_loadu_pd(x + i + sc)));
+    _mm256_storeu_pd(conv + i, v);
+  }
+  detail::conv_interior(x, sum9, sa, sb, sc, i, hi, conv);
+  for (i = hi; i < n; ++i) {
+    detail::conv_edge(x, n, sum9, sa, sb, sc, i, conv);
+  }
+}
+
+// Sums the four 64-bit lanes of a packed counter.
+inline std::size_t hsum_epi64(__m256i c) {
+  alignas(32) long long lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), c);
+  return static_cast<std::size_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+}
+
+// Direct exceedance counting: for each sorted threshold t,
+// hist[t] = #elements with conv[i] > pad_bias[t], accumulated four
+// elements per compare, two thresholds per pass so each conv load is
+// reused.  _CMP_GT_OQ is false on NaN exactly like the scalar `>`, so
+// the integer counts — and hence the emitted features — are
+// bit-identical to the scalar search-plus-fold path.  O(n * bpc / 8)
+// fully pipelined ops beat the scalar O(n log bpc) cmov search at the
+// realistic bias counts (tens per combo); for degenerate huge bpc the
+// asymptotics flip and the scalar path takes over (ppv_pool_avx2).
+void avx2_ppv_count(const double* conv, long long n, const double* pad_bias,
+                    const std::uint32_t* rank, std::size_t bpc, double inv_n,
+                    std::size_t* hist, double* out) {
+  // Six thresholds per pass: six broadcast + six counter registers stay
+  // resident, so each conv load is amortised over 24 element-threshold
+  // compares and the per-pass reduction overhead is paid bpc/6 times.
+  std::size_t t = 0;
+  for (; t + 6 <= bpc; t += 6) {
+    const __m256d b0 = _mm256_set1_pd(pad_bias[t]);
+    const __m256d b1 = _mm256_set1_pd(pad_bias[t + 1]);
+    const __m256d b2 = _mm256_set1_pd(pad_bias[t + 2]);
+    const __m256d b3 = _mm256_set1_pd(pad_bias[t + 3]);
+    const __m256d b4 = _mm256_set1_pd(pad_bias[t + 4]);
+    const __m256d b5 = _mm256_set1_pd(pad_bias[t + 5]);
+    __m256i c0 = _mm256_setzero_si256();
+    __m256i c1 = _mm256_setzero_si256();
+    __m256i c2 = _mm256_setzero_si256();
+    __m256i c3 = _mm256_setzero_si256();
+    __m256i c4 = _mm256_setzero_si256();
+    __m256i c5 = _mm256_setzero_si256();
+    long long i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d v = _mm256_loadu_pd(conv + i);
+      // A true compare is all-ones (-1): subtracting the mask counts.
+      c0 = _mm256_sub_epi64(
+          c0, _mm256_castpd_si256(_mm256_cmp_pd(v, b0, _CMP_GT_OQ)));
+      c1 = _mm256_sub_epi64(
+          c1, _mm256_castpd_si256(_mm256_cmp_pd(v, b1, _CMP_GT_OQ)));
+      c2 = _mm256_sub_epi64(
+          c2, _mm256_castpd_si256(_mm256_cmp_pd(v, b2, _CMP_GT_OQ)));
+      c3 = _mm256_sub_epi64(
+          c3, _mm256_castpd_si256(_mm256_cmp_pd(v, b3, _CMP_GT_OQ)));
+      c4 = _mm256_sub_epi64(
+          c4, _mm256_castpd_si256(_mm256_cmp_pd(v, b4, _CMP_GT_OQ)));
+      c5 = _mm256_sub_epi64(
+          c5, _mm256_castpd_si256(_mm256_cmp_pd(v, b5, _CMP_GT_OQ)));
+    }
+    std::size_t counts[6] = {hsum_epi64(c0), hsum_epi64(c1), hsum_epi64(c2),
+                             hsum_epi64(c3), hsum_epi64(c4), hsum_epi64(c5)};
+    for (; i < n; ++i) {
+      const double v = conv[i];
+      for (int k = 0; k < 6; ++k) counts[k] += v > pad_bias[t + k] ? 1 : 0;
+    }
+    for (int k = 0; k < 6; ++k) hist[t + k] = counts[k];
+  }
+  for (; t < bpc; ++t) {
+    const __m256d b0 = _mm256_set1_pd(pad_bias[t]);
+    __m256i c0 = _mm256_setzero_si256();
+    long long i = 0;
+    for (; i + 4 <= n; i += 4) {
+      c0 = _mm256_sub_epi64(
+          c0, _mm256_castpd_si256(_mm256_cmp_pd(_mm256_loadu_pd(conv + i),
+                                                b0, _CMP_GT_OQ)));
+    }
+    std::size_t n0 = hsum_epi64(c0);
+    for (; i < n; ++i) n0 += conv[i] > pad_bias[t] ? 1 : 0;
+    hist[t] = n0;
+  }
+  for (std::size_t q = 0; q < bpc; ++q) {
+    out[q] = static_cast<double>(hist[rank[q]]) * inv_n;
+  }
+}
+
+void ppv_pool_avx2(const double* conv, long long n, const double* pad_bias,
+                   const std::uint32_t* rank, std::size_t bpc,
+                   std::size_t steps, double inv_n, std::size_t* hist,
+                   double* out) {
+  // Past ~128 biases per combo (far beyond any realistic feature
+  // budget) the O(n log bpc) scalar search wins; below it the packed
+  // count does.  Both produce the same exact integers.
+  if (bpc > 128) {
+    detail::scalar_ppv_pool(conv, n, pad_bias, rank, bpc, steps, inv_n,
+                            hist, out);
+    return;
+  }
+  avx2_ppv_count(conv, n, pad_bias, rank, bpc, inv_n, hist, out);
+}
+
+double dot_avx2(const double* a, const double* b, std::size_t n) {
+  // One accumulator vector whose lanes are the four stripes; the final
+  // (acc0 + acc1) + (acc2 + acc3) combine matches the scalar contract.
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_loadu_pd(a + i),
+                                           _mm256_loadu_pd(b + i)));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy_avx2(double alpha, const double* x, double* y, std::size_t n) {
+  const __m256d av = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d yv = _mm256_add_pd(
+        _mm256_loadu_pd(y + i), _mm256_mul_pd(av, _mm256_loadu_pd(x + i)));
+    _mm256_storeu_pd(y + i, yv);
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace
+
+const KernelTable& avx2_kernel_table() noexcept {
+  static constexpr KernelTable kTable{
+      Isa::kAvx2,         "avx2",         &nine_tap_sum_avx2,
+      &kernel_conv_avx2,  &ppv_pool_avx2, &dot_avx2,
+      &axpy_avx2,
+  };
+  return kTable;
+}
+
+}  // namespace p2auth::backend
+
+#endif  // x86

@@ -1,0 +1,57 @@
+// Scalar kernel backend: the always-compiled portable fallback and the
+// bit-identity reference every SIMD table is differentially tested
+// against.  The loop bodies are the PR-5 fast-path kernels verbatim
+// (shift-partitioned edges + branch-free interiors, cmov binary-search
+// PPV pooling); this TU is built -O3 like the old minirocket.cpp so the
+// "scalar" backend is exactly the autovectorized fast path it replaces.
+#include "backend/kernels.hpp"
+#include "backend/kernels_detail.hpp"
+
+namespace p2auth::backend {
+
+namespace {
+
+void nine_tap_sum_scalar(const double* x, long long n, long long d,
+                         double* sum) {
+  const auto [lo, hi] = detail::nine_tap_partition(n, d);
+  for (long long i = 0; i < lo; ++i) detail::nine_tap_edge(x, n, d, i, sum);
+  detail::nine_tap_interior(x, d, lo, hi, sum);
+  for (long long i = hi; i < n; ++i) detail::nine_tap_edge(x, n, d, i, sum);
+}
+
+void kernel_conv_scalar(const double* x, long long n, const double* sum9,
+                        int k0, int k1, int k2, long long d, double* conv) {
+  const long long sa = static_cast<long long>(k0 - 4) * d;
+  const long long sb = static_cast<long long>(k1 - 4) * d;
+  const long long sc = static_cast<long long>(k2 - 4) * d;
+  const auto [lo, hi] = detail::conv_partition(n, sa, sc);
+  for (long long i = 0; i < lo; ++i) {
+    detail::conv_edge(x, n, sum9, sa, sb, sc, i, conv);
+  }
+  detail::conv_interior(x, sum9, sa, sb, sc, lo, hi, conv);
+  for (long long i = hi; i < n; ++i) {
+    detail::conv_edge(x, n, sum9, sa, sb, sc, i, conv);
+  }
+}
+
+double dot_scalar(const double* a, const double* b, std::size_t n) {
+  return detail::striped_dot(a, b, n);
+}
+
+void axpy_scalar(double alpha, const double* x, double* y, std::size_t n) {
+  detail::scalar_axpy(alpha, x, y, n);
+}
+
+}  // namespace
+
+const KernelTable& scalar_kernel_table() noexcept {
+  static constexpr KernelTable kTable{
+      Isa::kScalar,          "scalar",
+      &nine_tap_sum_scalar,  &kernel_conv_scalar,
+      &detail::scalar_ppv_pool, &dot_scalar,
+      &axpy_scalar,
+  };
+  return kTable;
+}
+
+}  // namespace p2auth::backend

@@ -1,0 +1,116 @@
+// SSE2 kernel backend (128-bit, two doubles per vector).  Compiled with
+// -msse2 only; edges and vector-width tails run the shared scalar
+// helpers, interiors run two lanes wide with the exact per-element
+// operation order of the scalar reference (separate multiply and add —
+// never fused — and sign-bit negation).  PPV pooling reuses the scalar
+// cmov search: SSE2 has no vector gather, and the counts are integers so
+// reuse is bit-exact by definition.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <emmintrin.h>
+
+#include "backend/kernels.hpp"
+#include "backend/kernels_detail.hpp"
+
+namespace p2auth::backend {
+
+namespace {
+
+void nine_tap_sum_sse2(const double* x, long long n, long long d,
+                       double* sum) {
+  const auto [lo, hi] = detail::nine_tap_partition(n, d);
+  for (long long i = 0; i < lo; ++i) detail::nine_tap_edge(x, n, d, i, sum);
+  long long i = lo;
+  for (; i + 2 <= hi; i += 2) {
+    // Same ascending tap order as the scalar interior, starting from
+    // 0.0 (0.0 + x differs from x when x is -0.0, so keep the add).
+    __m128d s = _mm_setzero_pd();
+    s = _mm_add_pd(s, _mm_loadu_pd(x + i - 4 * d));
+    s = _mm_add_pd(s, _mm_loadu_pd(x + i - 3 * d));
+    s = _mm_add_pd(s, _mm_loadu_pd(x + i - 2 * d));
+    s = _mm_add_pd(s, _mm_loadu_pd(x + i - d));
+    s = _mm_add_pd(s, _mm_loadu_pd(x + i));
+    s = _mm_add_pd(s, _mm_loadu_pd(x + i + d));
+    s = _mm_add_pd(s, _mm_loadu_pd(x + i + 2 * d));
+    s = _mm_add_pd(s, _mm_loadu_pd(x + i + 3 * d));
+    s = _mm_add_pd(s, _mm_loadu_pd(x + i + 4 * d));
+    _mm_storeu_pd(sum + i, s);
+  }
+  detail::nine_tap_interior(x, d, i, hi, sum);
+  for (i = hi; i < n; ++i) detail::nine_tap_edge(x, n, d, i, sum);
+}
+
+void kernel_conv_sse2(const double* x, long long n, const double* sum9,
+                      int k0, int k1, int k2, long long d, double* conv) {
+  const long long sa = static_cast<long long>(k0 - 4) * d;
+  const long long sb = static_cast<long long>(k1 - 4) * d;
+  const long long sc = static_cast<long long>(k2 - 4) * d;
+  const auto [lo, hi] = detail::conv_partition(n, sa, sc);
+  for (long long i = 0; i < lo; ++i) {
+    detail::conv_edge(x, n, sum9, sa, sb, sc, i, conv);
+  }
+  const __m128d three = _mm_set1_pd(3.0);
+  const __m128d sign = _mm_set1_pd(-0.0);
+  long long i = lo;
+  for (; i + 2 <= hi; i += 2) {
+    // -sum9[i] is a sign flip (exact), then multiply-add pairs in the
+    // scalar order.
+    __m128d v = _mm_xor_pd(_mm_loadu_pd(sum9 + i), sign);
+    v = _mm_add_pd(v, _mm_mul_pd(three, _mm_loadu_pd(x + i + sa)));
+    v = _mm_add_pd(v, _mm_mul_pd(three, _mm_loadu_pd(x + i + sb)));
+    v = _mm_add_pd(v, _mm_mul_pd(three, _mm_loadu_pd(x + i + sc)));
+    _mm_storeu_pd(conv + i, v);
+  }
+  detail::conv_interior(x, sum9, sa, sb, sc, i, hi, conv);
+  for (i = hi; i < n; ++i) {
+    detail::conv_edge(x, n, sum9, sa, sb, sc, i, conv);
+  }
+}
+
+double dot_sse2(const double* a, const double* b, std::size_t n) {
+  // Stripe lanes: accA carries stripes 0-1, accB stripes 2-3, so the
+  // final (acc0 + acc1) + (acc2 + acc3) combine matches the scalar
+  // contract bit-for-bit.
+  __m128d acc_a = _mm_setzero_pd();
+  __m128d acc_b = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc_a = _mm_add_pd(acc_a, _mm_mul_pd(_mm_loadu_pd(a + i),
+                                         _mm_loadu_pd(b + i)));
+    acc_b = _mm_add_pd(acc_b, _mm_mul_pd(_mm_loadu_pd(a + i + 2),
+                                         _mm_loadu_pd(b + i + 2)));
+  }
+  alignas(16) double lanes_a[2], lanes_b[2];
+  _mm_store_pd(lanes_a, acc_a);
+  _mm_store_pd(lanes_b, acc_b);
+  double s = (lanes_a[0] + lanes_a[1]) + (lanes_b[0] + lanes_b[1]);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy_sse2(double alpha, const double* x, double* y, std::size_t n) {
+  const __m128d av = _mm_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d yv =
+        _mm_add_pd(_mm_loadu_pd(y + i), _mm_mul_pd(av, _mm_loadu_pd(x + i)));
+    _mm_storeu_pd(y + i, yv);
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace
+
+const KernelTable& sse2_kernel_table() noexcept {
+  static constexpr KernelTable kTable{
+      Isa::kSse2,          "sse2",
+      &nine_tap_sum_sse2,  &kernel_conv_sse2,
+      &detail::scalar_ppv_pool, &dot_sse2,
+      &axpy_sse2,
+  };
+  return kTable;
+}
+
+}  // namespace p2auth::backend
+
+#endif  // x86

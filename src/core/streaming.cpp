@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "backend/policy.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -51,6 +52,7 @@ StreamingAuthenticator::StreamingAuthenticator(const EnrolledUser& user,
           : static_cast<std::size_t>(2.0 * options_.timeout_s * rate_hz_);
   trace_.rate_hz = rate_hz;
   trace_.channels.assign(channels, {});
+  stats_.backend = backend::kernels().name;
   if (options_.monitor_drift) {
     drift_.emplace(user_.score_baseline, options_.drift);
   }

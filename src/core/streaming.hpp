@@ -87,6 +87,10 @@ struct StreamingStats {
   std::uint64_t drift_alerts = 0;
   // Rejections keyed by typed reason (RejectReason::kTimeout, ...).
   std::map<RejectReason, std::uint64_t> rejects_by_reason;
+  // SIMD backend the hot kernels dispatched to when this instance was
+  // constructed ("scalar", "sse2", "avx2", "neon") — ops triage needs to
+  // know which code path produced a stream of decisions.
+  std::string backend;
 
   std::uint64_t rejected() const noexcept { return attempts - accepted; }
 };

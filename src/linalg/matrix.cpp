@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "backend/policy.hpp"
+
 namespace p2auth::linalg {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols)
@@ -121,9 +123,9 @@ double dot(std::span<const double> a, std::span<const double> b) {
   if (a.size() != b.size()) {
     throw std::invalid_argument("dot: size mismatch");
   }
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  // Width-4 striped accumulation order (see backend/policy.hpp): every
+  // backend, scalar included, produces the same bits.
+  return backend::kernels().dot(a.data(), b.data(), a.size());
 }
 
 double norm2(std::span<const double> a) noexcept {
@@ -136,7 +138,7 @@ void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   if (x.size() != y.size()) {
     throw std::invalid_argument("axpy: size mismatch");
   }
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  backend::kernels().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 Vector add(std::span<const double> a, std::span<const double> b) {

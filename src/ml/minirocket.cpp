@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "backend/policy.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/serialize.hpp"
@@ -234,142 +235,16 @@ Series dilated_convolution(std::span<const double> x,
 // ---------------------------------------------------------------------------
 // Fast path.
 //
-// Loop structure: per (series, dilation) tile, the nine-tap sliding sum
-// is computed once into scratch (shift-partitioned: guarded edge regions
-// where part of the receptive field falls outside the series, and a
-// branch-free interior the compiler can vectorize), then each of the 84
-// kernels completes its response into one reused buffer and pooling runs
-// as a contiguous scan.  Nothing is heap-allocated once the scratch is
-// warm.  Every per-element accumulation keeps the reference path's tap
-// order, so outputs are bit-identical to `reference::transform`.
+// The hot kernels (nine-tap sliding sum, kernel completion, fused PPV
+// pooling) live in src/backend as per-ISA translation units; this file
+// only drives them through the runtime-dispatched KernelTable.  Loop
+// structure: per (series, dilation) tile, the nine-tap sliding sum is
+// computed once into scratch, then each of the 84 kernels completes its
+// response into one reused buffer and pooling runs as a contiguous scan.
+// Nothing is heap-allocated once the scratch is warm.  Every backend
+// keeps the reference path's per-element accumulation order, so outputs
+// are bit-identical to `reference::transform` on every ISA.
 // ---------------------------------------------------------------------------
-
-namespace {
-
-void nine_tap_sum_into(const double* x, long long n, long long d,
-                       double* sum) {
-  // Guarded accumulation for elements whose receptive field crosses a
-  // series boundary; same ascending tap order as the interior.
-  const auto edge = [&](long long i) {
-    double s = 0.0;
-    for (int j = 0; j < 9; ++j) {
-      const long long idx = i + static_cast<long long>(j - 4) * d;
-      if (idx >= 0 && idx < n) s += x[idx];
-    }
-    sum[i] = s;
-  };
-  const long long lo = std::min(n, 4 * d);       // first fully interior i
-  const long long hi = std::max(lo, n - 4 * d);  // one past last interior i
-  for (long long i = 0; i < lo; ++i) edge(i);
-  for (long long i = lo; i < hi; ++i) {
-    double s = 0.0;
-    s += x[i - 4 * d];
-    s += x[i - 3 * d];
-    s += x[i - 2 * d];
-    s += x[i - d];
-    s += x[i];
-    s += x[i + d];
-    s += x[i + 2 * d];
-    s += x[i + 3 * d];
-    s += x[i + 4 * d];
-    sum[i] = s;
-  }
-  for (long long i = hi; i < n; ++i) edge(i);
-}
-
-// Completes one kernel's convolution response from the shared nine-tap
-// sum: conv[i] = -sum9[i] + 3*(the kernel's three +2 taps), in-range taps
-// added in ascending order (the bit-exactness contract).
-void kernel_conv_into(const double* x, long long n, const double* sum9,
-                      const std::array<int, 3>& kernel, long long d,
-                      double* conv) {
-  const long long sa = static_cast<long long>(kernel[0] - 4) * d;
-  const long long sb = static_cast<long long>(kernel[1] - 4) * d;
-  const long long sc = static_cast<long long>(kernel[2] - 4) * d;
-  const auto edge = [&](long long i) {
-    double v = -sum9[i];
-    if (i + sa >= 0 && i + sa < n) v += 3.0 * x[i + sa];
-    if (i + sb >= 0 && i + sb < n) v += 3.0 * x[i + sb];
-    if (i + sc >= 0 && i + sc < n) v += 3.0 * x[i + sc];
-    conv[i] = v;
-  };
-  // sa <= sb <= sc, so the lowest shift bounds the left edge and the
-  // highest bounds the right one.
-  const long long lo = std::min(n, std::max<long long>(0, -sa));
-  const long long hi = std::max(lo, std::min(n, sc > 0 ? n - sc : n));
-  for (long long i = 0; i < lo; ++i) edge(i);
-  for (long long i = lo; i < hi; ++i) {
-    double v = -sum9[i];
-    v += 3.0 * x[i + sa];
-    v += 3.0 * x[i + sb];
-    v += 3.0 * x[i + sc];
-    conv[i] = v;
-  }
-  for (long long i = hi; i < n; ++i) edge(i);
-}
-
-// Fused PPV pooling for one combo.  One binary search per element over
-// the combo's ascending biases yields j = how many thresholds lie
-// strictly below it; a histogram over j plus a suffix pass converts that
-// to per-threshold exceedance counts in O(n log q + q) instead of the
-// scan's O(n q).  Counts are order-independent integers, so the features
-// match the reference scan bit-for-bit — including non-finite elements
-// (NaN compares below every bias, so j = 0 and it counts nowhere, just
-// as "NaN > b" is false in the scan; +/-inf land at j = q / j = 0).
-//
-// The search width is a template parameter: the bias table is padded to
-// 2^kSteps - 1 entries with +inf sentinels (build_bias_index), so the
-// step loop has a compile-time trip count and GCC lowers every step to a
-// conditional move.  A runtime-width loop here is ~5x slower — the
-// compiler emits branches and the data-dependent comparisons mispredict;
-// with cmovs, consecutive elements' searches overlap in the pipeline.
-template <int kSteps>
-void ppv_pool_steps(const double* conv, long long n, const double* pad_bias,
-                    const std::uint32_t* rank, std::size_t bpc, double inv_n,
-                    std::size_t* hist, double* out) {
-  std::fill(hist, hist + bpc + 1, std::size_t{0});
-  for (long long i = 0; i < n; ++i) {
-    const double v = conv[i];
-    std::size_t j = 0;
-    for (int s = kSteps - 1; s >= 0; --s) {
-      const std::size_t w = std::size_t{1} << s;
-      j += (pad_bias[j + w - 1] < v) ? w : 0;
-    }
-    // Sentinels are +inf and never compare < v, so j <= bpc always.
-    ++hist[j];
-  }
-  // Count for sorted bias t = #elements with j > t: fold the suffix sums
-  // in place walking t downward (carry preserves the pre-overwrite
-  // hist[t] each step).
-  std::size_t count_above = 0;
-  std::size_t carry = hist[bpc];
-  for (std::size_t t = bpc; t-- > 0;) {
-    count_above += carry;
-    carry = hist[t];
-    hist[t] = count_above;
-  }
-  for (std::size_t q = 0; q < bpc; ++q) {
-    out[q] = static_cast<double>(hist[rank[q]]) * inv_n;
-  }
-}
-
-using PpvPoolFn = void (*)(const double*, long long, const double*,
-                           const std::uint32_t*, std::size_t, double,
-                           std::size_t*, double*);
-
-// steps -> specialized pooling kernel.  Index 0 is unused (bpc >= 1
-// forces at least one step); 20 steps cover 2^20 - 1 biases per combo,
-// three orders of magnitude beyond any realistic feature budget.
-template <std::size_t... kSteps>
-constexpr std::array<PpvPoolFn, sizeof...(kSteps)> make_ppv_pool_table(
-    std::index_sequence<kSteps...>) {
-  return {(kSteps == 0 ? nullptr : &ppv_pool_steps<kSteps == 0 ? 1 : kSteps>)...};
-}
-
-constexpr auto kPpvPoolTable =
-    make_ppv_pool_table(std::make_index_sequence<21>{});
-
-}  // namespace
 
 void TransformScratch::reserve(std::size_t input_length,
                                std::size_t biases_per_combo) {
@@ -461,15 +336,16 @@ void MiniRocket::fit(const std::vector<Series>& train, util::Rng& rng) {
   // per-kernel materialization, so fitted biases are unchanged.
   TransformScratch& scratch = thread_transform_scratch();
   scratch.reserve(input_length_, biases_per_combo_);
+  const backend::KernelTable& kt = backend::kernels();
   const auto n = static_cast<long long>(input_length_);
   for (std::size_t di = 0; di < dilations_.size(); ++di) {
     const Series& sample =
         train[rng.uniform_int(static_cast<std::uint32_t>(train.size()))];
-    nine_tap_sum_into(sample.data(), n, dilations_[di], scratch.sum9.data());
+    kt.nine_tap_sum(sample.data(), n, dilations_[di], scratch.sum9.data());
     for (std::size_t ki = 0; ki < num_kernels; ++ki) {
-      kernel_conv_into(sample.data(), n, scratch.sum9.data(),
-                       minirocket_kernels()[ki], dilations_[di],
-                       scratch.conv.data());
+      const std::array<int, 3>& k = minirocket_kernels()[ki];
+      kt.kernel_conv(sample.data(), n, scratch.sum9.data(), k[0], k[1], k[2],
+                     dilations_[di], scratch.conv.data());
       double* const sorted = scratch.sorted.data();
       std::copy(scratch.conv.data(), scratch.conv.data() + n, sorted);
       std::sort(sorted, sorted + n);
@@ -502,6 +378,14 @@ void MiniRocket::build_bias_index() {
   bias_search_steps_ = 1;
   while (((std::size_t{1} << bias_search_steps_) - 1) < biases_per_combo_) {
     ++bias_search_steps_;
+  }
+  // The backend pooling kernels dispatch on the step count; a wider
+  // search could only come from an absurd feature budget or a corrupted
+  // model stream, and silently indexing past the dispatch range in the
+  // backend would be an out-of-bounds read.
+  if (bias_search_steps_ > backend::kMaxPpvSearchSteps) {
+    throw std::invalid_argument(
+        "MiniRocket: biases_per_combo exceeds the supported maximum");
   }
   bias_pad_stride_ = (std::size_t{1} << bias_search_steps_) - 1;
   const std::size_t combos = biases_.size() / biases_per_combo_;
@@ -543,16 +427,18 @@ void MiniRocket::transform_into(std::span<const double> x,
     throw std::invalid_argument("MiniRocket::transform: bad output size");
   }
   scratch.reserve(input_length_, biases_per_combo_);
+  const backend::KernelTable& kt = backend::kernels();
   const auto n = static_cast<long long>(x.size());
   const std::size_t num_dilations = dilations_.size();
   const auto& kernels = minirocket_kernels();
   const double inv_n = 1.0 / static_cast<double>(x.size());
   for (std::size_t di = 0; di < num_dilations; ++di) {
-    nine_tap_sum_into(x.data(), n, dilations_[di], scratch.sum9.data());
+    kt.nine_tap_sum(x.data(), n, dilations_[di], scratch.sum9.data());
     if (options_.pooling == Pooling::kMax) {
       for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
-        kernel_conv_into(x.data(), n, scratch.sum9.data(), kernels[ki],
-                         dilations_[di], scratch.conv.data());
+        const std::array<int, 3>& k = kernels[ki];
+        kt.kernel_conv(x.data(), n, scratch.sum9.data(), k[0], k[1], k[2],
+                       dilations_[di], scratch.conv.data());
         const double* conv = scratch.conv.data();
         double peak = conv[0];
         for (long long i = 1; i < n; ++i) peak = std::max(peak, conv[i]);
@@ -560,16 +446,17 @@ void MiniRocket::transform_into(std::span<const double> x,
       }
       continue;
     }
-    const PpvPoolFn pool = kPpvPoolTable[bias_search_steps_];
     for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
-      kernel_conv_into(x.data(), n, scratch.sum9.data(), kernels[ki],
-                       dilations_[di], scratch.conv.data());
+      const std::array<int, 3>& k = kernels[ki];
+      kt.kernel_conv(x.data(), n, scratch.sum9.data(), k[0], k[1], k[2],
+                     dilations_[di], scratch.conv.data());
       const std::size_t combo = ki * num_dilations + di;
-      pool(scratch.conv.data(), n,
-           sorted_biases_.data() + combo * bias_pad_stride_,
-           bias_rank_.data() + combo * biases_per_combo_, biases_per_combo_,
-           inv_n, scratch.counts.data(),
-           out.data() + combo * biases_per_combo_);
+      kt.ppv_pool(scratch.conv.data(), n,
+                  sorted_biases_.data() + combo * bias_pad_stride_,
+                  bias_rank_.data() + combo * biases_per_combo_,
+                  biases_per_combo_, bias_search_steps_, inv_n,
+                  scratch.counts.data(),
+                  out.data() + combo * biases_per_combo_);
     }
   }
 }
@@ -602,6 +489,9 @@ void MiniRocket::transform_batch_into(std::span<const Series* const> batch,
   const auto n = static_cast<long long>(input_length_);
   const auto& kernels = minirocket_kernels();
   const double inv_n = 1.0 / static_cast<double>(input_length_);
+  // Resolve the dispatch once; every worker tile uses the same table even
+  // if force_isa() flips concurrently.
+  const backend::KernelTable& kt = backend::kernels();
   try {
     util::parallel_for(
         tiles, /*chunk=*/1,
@@ -612,10 +502,11 @@ void MiniRocket::transform_batch_into(std::span<const Series* const> batch,
           double* row = out + s * row_stride;
           TransformScratch& scratch = thread_transform_scratch();
           scratch.reserve(input_length_, biases_per_combo_);
-          nine_tap_sum_into(x, n, dilations_[di], scratch.sum9.data());
+          kt.nine_tap_sum(x, n, dilations_[di], scratch.sum9.data());
           for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
-            kernel_conv_into(x, n, scratch.sum9.data(), kernels[ki],
-                             dilations_[di], scratch.conv.data());
+            const std::array<int, 3>& k = kernels[ki];
+            kt.kernel_conv(x, n, scratch.sum9.data(), k[0], k[1], k[2],
+                           dilations_[di], scratch.conv.data());
             const double* conv = scratch.conv.data();
             const std::size_t combo = ki * num_dilations + di;
             if (options_.pooling == Pooling::kMax) {
@@ -624,11 +515,12 @@ void MiniRocket::transform_batch_into(std::span<const Series* const> batch,
               row[combo] = peak;
               continue;
             }
-            kPpvPoolTable[bias_search_steps_](
-                conv, n, sorted_biases_.data() + combo * bias_pad_stride_,
-                bias_rank_.data() + combo * biases_per_combo_,
-                biases_per_combo_, inv_n, scratch.counts.data(),
-                row + combo * biases_per_combo_);
+            kt.ppv_pool(conv, n,
+                        sorted_biases_.data() + combo * bias_pad_stride_,
+                        bias_rank_.data() + combo * biases_per_combo_,
+                        biases_per_combo_, bias_search_steps_, inv_n,
+                        scratch.counts.data(),
+                        row + combo * biases_per_combo_);
           }
         },
         max_threads);

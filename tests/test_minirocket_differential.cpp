@@ -19,11 +19,13 @@
 #include <cstdlib>
 #include <limits>
 #include <new>
+#include <optional>
 #include <span>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "backend/policy.hpp"
 #include "util/rng.hpp"
 
 // ---------------------------------------------------------------------------
@@ -115,6 +117,15 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
 namespace p2auth::ml {
 namespace {
 
+// Pins kernel dispatch to one SIMD backend for a scope; the reference
+// oracle (ml::reference) never touches the dispatch layer, so forcing a
+// backend exercises exactly the fast path's kernels.
+class ForcedBackend {
+ public:
+  explicit ForcedBackend(backend::Isa isa) { backend::force_isa(isa); }
+  ~ForcedBackend() { backend::force_isa(std::nullopt); }
+};
+
 Series random_series(std::size_t n, util::Rng& rng) {
   Series x(n);
   for (double& v : x) v = rng.normal();
@@ -158,36 +169,41 @@ void expect_bit_identical(std::span<const double> fast,
 // The headline differential sweep: randomized series through models of
 // odd, even, tiny and non-power-of-two lengths (9 is the minimum legal
 // length; 90/91 straddle an even/odd boundary; 100/250 engage 4-5
-// dilation levels), both poolings, fresh series per case.  Case count is
-// asserted >= 1000 so the bit-exactness claim stays pinned to a concrete
-// sample size.
-TEST(MiniRocketDifferential, FastPathBitIdenticalOnThousandRandomCases) {
+// dilation levels), both poolings, fresh series per case — and the
+// whole matrix repeated for EVERY SIMD backend this host can run, with
+// dispatch pinned per pass.  Case count is asserted >= 1000 per backend
+// so the bit-exactness claim stays pinned to a concrete sample size.
+TEST(MiniRocketDifferential, EveryBackendBitIdenticalOnThousandRandomCases) {
   const std::size_t lengths[] = {9, 32, 90, 91, 100, 250};
   const Pooling poolings[] = {Pooling::kPpv, Pooling::kMax};
-  util::Rng rng(0xd1ffe7e57ULL, 0x90ULL);
-  std::size_t cases = 0;
-  for (const std::size_t length : lengths) {
-    for (const Pooling pooling : poolings) {
-      const MiniRocket model =
-          fitted_model(length, pooling, 0xc0ffee00ULL + length);
-      // Model must exercise every dilation the length admits.
-      for (const int d : model.dilations()) {
-        ASSERT_LT(8 * d, static_cast<int>(length));
-      }
-      for (std::size_t c = 0; c < 90; ++c) {
-        const Series x = random_series(length, rng);
-        const linalg::Vector fast = model.transform(x);
-        const linalg::Vector ref = reference::transform(model, x);
-        expect_bit_identical(
-            fast, ref,
-            "len=" + std::to_string(length) + " pooling=" +
-                std::to_string(static_cast<int>(pooling)) + " case=" +
-                std::to_string(c));
-        ++cases;
+  for (const backend::Isa isa : backend::available_isas()) {
+    ForcedBackend forced(isa);
+    const std::string backend_name = backend::isa_name(isa);
+    util::Rng rng(0xd1ffe7e57ULL, 0x90ULL);
+    std::size_t cases = 0;
+    for (const std::size_t length : lengths) {
+      for (const Pooling pooling : poolings) {
+        const MiniRocket model =
+            fitted_model(length, pooling, 0xc0ffee00ULL + length);
+        // Model must exercise every dilation the length admits.
+        for (const int d : model.dilations()) {
+          ASSERT_LT(8 * d, static_cast<int>(length));
+        }
+        for (std::size_t c = 0; c < 90; ++c) {
+          const Series x = random_series(length, rng);
+          const linalg::Vector fast = model.transform(x);
+          const linalg::Vector ref = reference::transform(model, x);
+          expect_bit_identical(
+              fast, ref,
+              "backend=" + backend_name + " len=" + std::to_string(length) +
+                  " pooling=" + std::to_string(static_cast<int>(pooling)) +
+                  " case=" + std::to_string(c));
+          ++cases;
+        }
       }
     }
+    EXPECT_GE(cases, 1000u) << backend_name;
   }
-  EXPECT_GE(cases, 1000u);
 }
 
 // transform_batch must agree with the reference's serial per-series loop
@@ -196,22 +212,27 @@ TEST(MiniRocketDifferential, FastPathBitIdenticalOnThousandRandomCases) {
 // threads — the 8-thread run under TSan in CI doubles as the contention
 // check on the shared per-thread scratch.
 TEST(MiniRocketDifferential, BatchMatchesReferenceAcrossThreadCounts) {
-  for (const Pooling pooling : {Pooling::kPpv, Pooling::kMax}) {
-    const MiniRocket model = fitted_model(91, pooling, 0xba7c4ULL);
-    util::Rng rng(0xba7c4da7aULL, 0x11ULL);
-    std::vector<Series> batch;
-    for (std::size_t i = 0; i < 24; ++i) {
-      batch.push_back(random_series(91, rng));
-    }
-    const linalg::Matrix ref = reference::transform_batch(model, batch);
-    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
-      const linalg::Matrix fast = model.transform_batch(batch, threads);
-      ASSERT_EQ(fast.rows(), ref.rows());
-      ASSERT_EQ(fast.cols(), ref.cols());
-      for (std::size_t r = 0; r < ref.rows(); ++r) {
-        expect_bit_identical(fast.row(r), ref.row(r),
-                             "threads=" + std::to_string(threads) +
-                                 " row=" + std::to_string(r));
+  for (const backend::Isa isa : backend::available_isas()) {
+    ForcedBackend forced(isa);
+    const std::string backend_name = backend::isa_name(isa);
+    for (const Pooling pooling : {Pooling::kPpv, Pooling::kMax}) {
+      const MiniRocket model = fitted_model(91, pooling, 0xba7c4ULL);
+      util::Rng rng(0xba7c4da7aULL, 0x11ULL);
+      std::vector<Series> batch;
+      for (std::size_t i = 0; i < 24; ++i) {
+        batch.push_back(random_series(91, rng));
+      }
+      const linalg::Matrix ref = reference::transform_batch(model, batch);
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+        const linalg::Matrix fast = model.transform_batch(batch, threads);
+        ASSERT_EQ(fast.rows(), ref.rows());
+        ASSERT_EQ(fast.cols(), ref.cols());
+        for (std::size_t r = 0; r < ref.rows(); ++r) {
+          expect_bit_identical(fast.row(r), ref.row(r),
+                               "backend=" + backend_name + " threads=" +
+                                   std::to_string(threads) + " row=" +
+                                   std::to_string(r));
+        }
       }
     }
   }
@@ -220,18 +241,26 @@ TEST(MiniRocketDifferential, BatchMatchesReferenceAcrossThreadCounts) {
 // Models that arrive via save/load (the deployment path) must transform
 // identically to the freshly fitted instance through both engines.
 TEST(MiniRocketDifferential, ReloadedModelStaysBitIdentical) {
-  const MiniRocket model = fitted_model(90, Pooling::kPpv, 0x5e71a1ULL);
-  std::stringstream stream;
-  model.save(stream);
-  const MiniRocket reloaded = MiniRocket::load(stream);
-  util::Rng rng(0x5e71a1d0ULL, 0x22ULL);
-  for (std::size_t c = 0; c < 25; ++c) {
-    const Series x = random_series(90, rng);
-    const linalg::Vector a = model.transform(x);
-    const linalg::Vector b = reloaded.transform(x);
-    const linalg::Vector r = reference::transform(reloaded, x);
-    expect_bit_identical(a, b, "fit-vs-reload case " + std::to_string(c));
-    expect_bit_identical(b, r, "reload-vs-ref case " + std::to_string(c));
+  for (const backend::Isa isa : backend::available_isas()) {
+    ForcedBackend forced(isa);
+    const std::string backend_name = backend::isa_name(isa);
+    const MiniRocket model = fitted_model(90, Pooling::kPpv, 0x5e71a1ULL);
+    std::stringstream stream;
+    model.save(stream);
+    const MiniRocket reloaded = MiniRocket::load(stream);
+    util::Rng rng(0x5e71a1d0ULL, 0x22ULL);
+    for (std::size_t c = 0; c < 25; ++c) {
+      const Series x = random_series(90, rng);
+      const linalg::Vector a = model.transform(x);
+      const linalg::Vector b = reloaded.transform(x);
+      const linalg::Vector r = reference::transform(reloaded, x);
+      expect_bit_identical(a, b, "backend=" + backend_name +
+                                     " fit-vs-reload case " +
+                                     std::to_string(c));
+      expect_bit_identical(b, r, "backend=" + backend_name +
+                                     " reload-vs-ref case " +
+                                     std::to_string(c));
+    }
   }
 }
 
@@ -240,21 +269,29 @@ TEST(MiniRocketDifferential, ReloadedModelStaysBitIdentical) {
 // semantics, and the fast path must replicate them rather than "fix"
 // them.
 TEST(MiniRocketDifferential, NonFiniteInputsAgreeWithReference) {
-  for (const Pooling pooling : {Pooling::kPpv, Pooling::kMax}) {
-    const MiniRocket model = fitted_model(90, pooling, 0xb4dULL);
-    util::Rng rng(0xb4df00dULL, 0x33ULL);
-    Series x = random_series(90, rng);
-    x[7] = std::numeric_limits<double>::quiet_NaN();
-    x[40] = std::numeric_limits<double>::infinity();
-    x[41] = -std::numeric_limits<double>::infinity();
-    const linalg::Vector fast = model.transform(x);
-    const linalg::Vector ref = reference::transform(model, x);
-    ASSERT_EQ(fast.size(), ref.size());
-    for (std::size_t i = 0; i < fast.size(); ++i) {
-      // NaN != NaN, so compare representations.
-      const bool same =
-          (fast[i] == ref[i]) || (std::isnan(fast[i]) && std::isnan(ref[i]));
-      ASSERT_TRUE(same) << "feature " << i;
+  for (const backend::Isa isa : backend::available_isas()) {
+    ForcedBackend forced(isa);
+    for (const Pooling pooling : {Pooling::kPpv, Pooling::kMax}) {
+      const MiniRocket model = fitted_model(90, pooling, 0xb4dULL);
+      util::Rng rng(0xb4df00dULL, 0x33ULL);
+      Series x = random_series(90, rng);
+      x[7] = std::numeric_limits<double>::quiet_NaN();
+      x[40] = std::numeric_limits<double>::infinity();
+      x[41] = -std::numeric_limits<double>::infinity();
+      // Edge-straddling non-finites: the first and last receptive
+      // fields are exactly where a backend's masked/guarded edge code
+      // diverges from the interior loop.
+      x[0] = std::numeric_limits<double>::quiet_NaN();
+      x[89] = -std::numeric_limits<double>::infinity();
+      const linalg::Vector fast = model.transform(x);
+      const linalg::Vector ref = reference::transform(model, x);
+      ASSERT_EQ(fast.size(), ref.size());
+      for (std::size_t i = 0; i < fast.size(); ++i) {
+        // NaN != NaN, so compare representations.
+        const bool same =
+            (fast[i] == ref[i]) || (std::isnan(fast[i]) && std::isnan(ref[i]));
+        ASSERT_TRUE(same) << backend::isa_name(isa) << " feature " << i;
+      }
     }
   }
 }

@@ -181,6 +181,8 @@ TEST(Streaming, StatsCountTimedOutAttempts) {
   options.timeout_s = 0.5;
   StreamingAuthenticator auth(f.user, 100.0, 4, options);
   EXPECT_EQ(auth.stats().attempts, 0u);
+  // Ops triage field: the SIMD backend the hot kernels dispatched to.
+  EXPECT_FALSE(auth.stats().backend.empty());
   const std::vector<double> sample(4, 0.0);
   for (int i = 0; i < 100; ++i) auth.push_sample(sample);  // 1 s > timeout
   ASSERT_TRUE(auth.poll().has_value());

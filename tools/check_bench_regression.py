@@ -11,12 +11,18 @@ The baseline file lists which keys are gated::
 
     {
       "gated_ratios": ["fast_vs_reference_speedup", "batch_speedup"],
+      "reported_prefixes": ["backend_"],
       "values": { "fast_vs_reference_speedup": 5.0, ... }
     }
 
 A gated ratio fails when ``current < tolerance * baseline`` — with the
 default tolerance of 0.75, a >25% drop in transform throughput relative
 to the recorded baseline fails the build.
+
+Keys matching a ``reported_prefixes`` entry are printed for the build
+log but never fail the gate: the per-SIMD-backend ratios depend on which
+ISA the runner happens to have, so they are tracked without being gated
+until CI hardware is pinned.
 
 Usage:
     check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.75]
@@ -74,6 +80,20 @@ def main():
               f"(floor {floor:.3f}) ... {status}")
         if not ok:
             failures.append(key)
+
+    prefixes = baseline.get("reported_prefixes", [])
+    informational = [
+        key
+        for key in sorted(current["values"])
+        if any(key.startswith(p) for p in prefixes)
+    ]
+    if informational:
+        print("reported (not gated):")
+        for key in informational:
+            cur = current["values"][key]
+            base = baseline["values"].get(key)
+            against = f" (baseline {base:.3f})" if base is not None else ""
+            print(f"  {key}: current {cur:.3f}{against}")
 
     if failures:
         print(f"perf gate FAILED: {', '.join(failures)}", file=sys.stderr)
