@@ -1,6 +1,7 @@
 #include "core/registry.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "core/serialization.hpp"
@@ -47,20 +48,46 @@ AuthResult UserRegistry::verify(const std::string& name,
   return authenticate(*user, observation, options);
 }
 
+bool detail::score_order(const std::pair<std::string, double>& a,
+                         const std::pair<std::string, double>& b) noexcept {
+  const bool a_nan = std::isnan(a.second);
+  const bool b_nan = std::isnan(b.second);
+  if (a_nan != b_nan) return b_nan;  // real scores before NaN
+  if (a_nan) return false;           // all NaNs are equivalent
+  return a.second > b.second;
+}
+
 UserRegistry::IdentifyResult UserRegistry::identify(
     const Observation& observation, const AuthOptions& options) const {
   if (users_.empty()) {
     throw std::logic_error("UserRegistry::identify: empty registry");
   }
-  IdentifyResult result;
   const PreprocessedEntry pre =
       preprocess_entry(observation, options.preprocess);
+  return identify_preprocessed(pre, options);
+}
+
+UserRegistry::IdentifyResult UserRegistry::identify_preprocessed(
+    const PreprocessedEntry& pre, const AuthOptions& options) const {
+  if (users_.empty()) {
+    throw std::logic_error("UserRegistry::identify: empty registry");
+  }
+  IdentifyResult result;
   result.detected_case = pre.detected_case;
   if (pre.detected_case != DetectedCase::kOneHanded) {
     return result;  // identification needs the full-waveform evidence
   }
+  // A degenerate entry can carry the one-handed label with no calibrated
+  // keystrokes; front() on the empty index vector is UB, so such entries
+  // are rejected instead of scored.
+  if (pre.calibrated_indices.empty()) {
+    result.detected_case = DetectedCase::kRejected;
+    return result;
+  }
   std::size_t first = pre.calibrated_indices.front();
-  for (std::size_t i = 0; i < pre.keystroke_present.size(); ++i) {
+  const std::size_t n_keystrokes =
+      std::min(pre.keystroke_present.size(), pre.calibrated_indices.size());
+  for (std::size_t i = 0; i < n_keystrokes; ++i) {
     if (pre.keystroke_present[i]) {
       first = pre.calibrated_indices[i];
       break;
@@ -74,8 +101,9 @@ UserRegistry::IdentifyResult UserRegistry::identify(
     }
     result.scores.emplace_back(name, user.full_model->decision(full));
   }
-  std::sort(result.scores.begin(), result.scores.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::sort(result.scores.begin(), result.scores.end(), detail::score_order);
+  // NaN >= 0.0 is false, so an all-NaN score list never names an
+  // identity.
   if (!result.scores.empty() && result.scores.front().second >= 0.0) {
     result.identity = result.scores.front().first;
   }
@@ -97,6 +125,15 @@ UserRegistry UserRegistry::load(std::istream& is) {
   UserRegistry registry;
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::string name = util::read_string(is, "name");
+    if (name.empty()) {
+      throw util::SerializeError(util::SerializeErrc::kBadValue,
+                                 "UserRegistry::load: empty user name");
+    }
+    if (registry.find(name) != nullptr) {
+      throw util::SerializeError(
+          util::SerializeErrc::kDuplicateName,
+          "UserRegistry::load: duplicate user name '" + name + "'");
+    }
     registry.add(name, load_enrolled_user(is));
   }
   return registry;

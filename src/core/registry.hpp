@@ -58,6 +58,14 @@ class UserRegistry {
   IdentifyResult identify(const Observation& observation,
                           const AuthOptions& options = {}) const;
 
+  // Scoring core of identify, split out so callers that already ran
+  // preprocessing (and the regression tests for the degenerate-entry
+  // guards) can drive it directly.  Entries whose preprocessing produced
+  // no calibrated keystroke indices are rejected instead of dereferencing
+  // an empty vector.
+  IdentifyResult identify_preprocessed(const PreprocessedEntry& pre,
+                                       const AuthOptions& options = {}) const;
+
   // Persistence of the whole registry.
   void save(std::ostream& os) const;
   static UserRegistry load(std::istream& is);
@@ -65,5 +73,18 @@ class UserRegistry {
  private:
   std::map<std::string, EnrolledUser> users_;
 };
+
+namespace detail {
+
+// Best-score-first ordering for IdentifyResult::scores.  A strict weak
+// ordering even when decision values are NaN (a plain `a > b` comparator
+// is not: NaN compares false against everything, which breaks
+// transitivity-of-equivalence and lets std::sort scribble out of
+// bounds).  NaN scores sort after every real score and compare
+// equivalent to each other.  Exposed for the regression tests.
+bool score_order(const std::pair<std::string, double>& a,
+                 const std::pair<std::string, double>& b) noexcept;
+
+}  // namespace detail
 
 }  // namespace p2auth::core

@@ -23,8 +23,14 @@ WaveformModel load_waveform_model(std::istream& is) {
   ml::MultiChannelMiniRocket rocket = ml::MultiChannelMiniRocket::load(is);
   linalg::RidgeClassifier ridge = linalg::RidgeClassifier::load(is);
   const double threshold = util::read_double(is, "threshold");
-  return WaveformModel::from_parts(std::move(rocket), std::move(ridge),
-                                   threshold);
+  try {
+    return WaveformModel::from_parts(std::move(rocket), std::move(ridge),
+                                     threshold);
+  } catch (const std::invalid_argument& e) {
+    // from_parts validates assembly invariants for programmatic callers;
+    // when the parts came from a stream the failure is a corrupt store.
+    throw util::SerializeError(util::SerializeErrc::kBadShape, e.what());
+  }
 }
 
 void save_enrolled_user(const EnrolledUser& user, std::ostream& os) {
@@ -56,7 +62,13 @@ void save_enrolled_user(const EnrolledUser& user, std::ostream& os) {
 EnrolledUser load_enrolled_user(std::istream& is) {
   (void)util::read_string(is, "p2auth-enrolled-user.v1");
   EnrolledUser user;
-  user.pin = keystroke::Pin(util::read_string(is, "pin"));
+  try {
+    user.pin = keystroke::Pin(util::read_string(is, "pin"));
+  } catch (const std::invalid_argument& e) {
+    // A corrupted pin field (non-digit bytes) is a deserialization
+    // failure, not a caller error.
+    throw util::SerializeError(util::SerializeErrc::kBadValue, e.what());
+  }
   user.privacy_boost = util::read_bool(is, "privacy_boost");
   user.stats.full_positives = util::read_u64(is, "stats.full_positives");
   user.stats.full_negatives = util::read_u64(is, "stats.full_negatives");
@@ -78,7 +90,8 @@ EnrolledUser load_enrolled_user(std::istream& is) {
     }
   }
   if (user.privacy_boost && !user.boost_model.has_value()) {
-    throw std::runtime_error(
+    throw util::SerializeError(
+        util::SerializeErrc::kBadShape,
         "load_enrolled_user: privacy boost set without a boost model");
   }
   return user;
@@ -88,19 +101,22 @@ void save_enrolled_user_file(const EnrolledUser& user,
                              const std::string& path) {
   std::ofstream out(path);
   if (!out) {
-    throw std::runtime_error("save_enrolled_user_file: cannot open " + path);
+    throw util::SerializeError(util::SerializeErrc::kIoError,
+                               "save_enrolled_user_file: cannot open " + path);
   }
   save_enrolled_user(user, out);
   if (!out) {
-    throw std::runtime_error("save_enrolled_user_file: write failed: " +
-                             path);
+    throw util::SerializeError(
+        util::SerializeErrc::kIoError,
+        "save_enrolled_user_file: write failed: " + path);
   }
 }
 
 EnrolledUser load_enrolled_user_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("load_enrolled_user_file: cannot open " + path);
+    throw util::SerializeError(util::SerializeErrc::kIoError,
+                               "load_enrolled_user_file: cannot open " + path);
   }
   return load_enrolled_user(in);
 }

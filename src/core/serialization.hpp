@@ -1,10 +1,16 @@
-// Persistence of enrolled users.
+// Persistence of enrolled users (legacy text format).
 //
 // An enrollment is expensive (the user types 9+ PINs) and its models must
 // survive device restarts, so EnrolledUser serialises to a versioned text
 // format.  Loading validates tags and shapes and throws
-// std::runtime_error on any inconsistency — a corrupted model store must
-// never silently authenticate.
+// util::SerializeError on any inconsistency — a corrupted model store
+// must never silently authenticate.
+//
+// The binary `P2MDL001` format in src/io/binary.hpp supersedes this text
+// format for new stores (mmap-able, CRC-framed, orders of magnitude
+// faster to load); the text loader here is retained for one release so
+// models saved by older builds keep working, and tools/model_convert
+// migrates between the two losslessly.
 #pragma once
 
 #include <iosfwd>

@@ -22,25 +22,38 @@ void RidgeClassifier::save(std::ostream& os) const {
 
 RidgeClassifier RidgeClassifier::load(std::istream& is) {
   (void)util::read_string(is, "ridge.v1");
+  Vector weights = util::read_vector(is, "weights");
+  const double bias = util::read_double(is, "bias");
+  const double lambda = util::read_double(is, "lambda");
+  return from_parts(std::move(weights), bias, lambda);
+}
+
+RidgeClassifier RidgeClassifier::from_parts(Vector weights, double bias,
+                                            double lambda) {
   RidgeClassifier clf;
-  clf.weights_ = util::read_vector(is, "weights");
-  clf.bias_ = util::read_double(is, "bias");
-  clf.chosen_lambda_ = util::read_double(is, "lambda");
+  clf.weights_ = std::move(weights);
+  clf.bias_ = bias;
+  clf.chosen_lambda_ = lambda;
   if (clf.weights_.empty()) {
-    throw std::runtime_error("RidgeClassifier::load: empty weights");
+    throw util::SerializeError(util::SerializeErrc::kBadShape,
+                               "RidgeClassifier::from_parts: empty weights");
   }
   // A corrupted template store must reject loudly here, not produce NaN
   // decision scores at auth time.
   for (const double w : clf.weights_) {
     if (!std::isfinite(w)) {
-      throw std::runtime_error("RidgeClassifier::load: non-finite weight");
+      throw util::SerializeError(
+          util::SerializeErrc::kBadValue,
+          "RidgeClassifier::from_parts: non-finite weight");
     }
   }
   if (!std::isfinite(clf.bias_)) {
-    throw std::runtime_error("RidgeClassifier::load: non-finite bias");
+    throw util::SerializeError(util::SerializeErrc::kBadValue,
+                               "RidgeClassifier::from_parts: non-finite bias");
   }
   if (!std::isfinite(clf.chosen_lambda_) || clf.chosen_lambda_ <= 0.0) {
-    throw std::runtime_error("RidgeClassifier::load: invalid lambda");
+    throw util::SerializeError(util::SerializeErrc::kBadValue,
+                               "RidgeClassifier::from_parts: invalid lambda");
   }
   return clf;
 }

@@ -62,6 +62,13 @@ class RidgeClassifier {
   void save(std::ostream& os) const;
   static RidgeClassifier load(std::istream& is);
 
+  // Reassembles a trained classifier from already-parsed parts — shared
+  // by the text loader and the binary reader in src/io/.  Throws
+  // util::SerializeError on empty weights, non-finite values, or an
+  // invalid lambda.
+  static RidgeClassifier from_parts(Vector weights, double bias,
+                                    double lambda);
+
  private:
   Vector weights_;
   double bias_ = 0.0;

@@ -33,32 +33,58 @@ MiniRocket MiniRocket::load(std::istream& is) {
   options.max_dilations = util::read_u64(is, "max_dilations");
   const auto pooling = util::read_u64(is, "pooling");
   if (pooling > static_cast<std::uint64_t>(Pooling::kMax)) {
-    throw std::runtime_error("MiniRocket::load: bad pooling value");
+    throw util::SerializeError(util::SerializeErrc::kBadValue,
+                               "MiniRocket::load: bad pooling value");
   }
   options.pooling = static_cast<Pooling>(pooling);
+  const std::size_t input_length = util::read_u64(is, "input_length");
+  std::vector<int> dilations = util::read_int_vector(is, "dilations");
+  const std::size_t biases_per_combo = util::read_u64(is, "biases_per_combo");
+  std::vector<double> biases = util::read_vector(is, "biases");
+  return from_parts(options, input_length, std::move(dilations),
+                    biases_per_combo, std::move(biases));
+}
+
+MiniRocket MiniRocket::from_parts(MiniRocketOptions options,
+                                  std::size_t input_length,
+                                  std::vector<int> dilations,
+                                  std::size_t biases_per_combo,
+                                  std::vector<double> biases) {
+  // The public constructor enforces the same precondition with
+  // std::invalid_argument; here the values came from a (possibly
+  // corrupted) store, so the failure is a deserialization error.
+  if (options.num_features == 0 || options.max_dilations == 0) {
+    throw util::SerializeError(util::SerializeErrc::kBadShape,
+                               "MiniRocket::from_parts: zero budget");
+  }
   MiniRocket rocket(options);
-  rocket.input_length_ = util::read_u64(is, "input_length");
-  rocket.dilations_ = util::read_int_vector(is, "dilations");
-  rocket.biases_per_combo_ = util::read_u64(is, "biases_per_combo");
-  rocket.biases_ = util::read_vector(is, "biases");
+  rocket.input_length_ = input_length;
+  rocket.dilations_ = std::move(dilations);
+  rocket.biases_per_combo_ = biases_per_combo;
+  rocket.biases_ = std::move(biases);
   if (rocket.dilations_.empty() || rocket.biases_.empty() ||
       rocket.biases_per_combo_ == 0 ||
       rocket.biases_.size() != minirocket_kernels().size() *
                                    rocket.dilations_.size() *
                                    rocket.biases_per_combo_) {
-    throw std::runtime_error("MiniRocket::load: inconsistent shape");
+    throw util::SerializeError(util::SerializeErrc::kBadShape,
+                               "MiniRocket::from_parts: inconsistent shape");
   }
   // A dilation outside [1, input_length) could only come from a corrupted
   // stream (fit never produces one) and would index far outside every
   // shift partition downstream.
   for (const int d : rocket.dilations_) {
-    if (d < 1) throw std::runtime_error("MiniRocket::load: bad dilation");
+    if (d < 1) {
+      throw util::SerializeError(util::SerializeErrc::kBadValue,
+                                 "MiniRocket::from_parts: bad dilation");
+    }
   }
   // A corrupted template store must reject loudly here, not surface as
   // NaN feature values (and hence NaN decision scores) at auth time.
   for (const double b : rocket.biases_) {
     if (!std::isfinite(b)) {
-      throw std::runtime_error("MiniRocket::load: non-finite bias");
+      throw util::SerializeError(util::SerializeErrc::kBadValue,
+                                 "MiniRocket::from_parts: non-finite bias");
     }
   }
   rocket.build_bias_index();
@@ -79,14 +105,33 @@ MultiChannelMiniRocket MultiChannelMiniRocket::load(std::istream& is) {
   (void)util::read_string(is, "mc-minirocket.v1");
   MiniRocketOptions options;
   options.num_features = util::read_u64(is, "num_features_opt");
-  MultiChannelMiniRocket rocket(options);
   const std::uint64_t channels = util::read_u64(is, "channels");
   if (channels == 0 || channels > 64) {
-    throw std::runtime_error("MultiChannelMiniRocket::load: bad channels");
+    throw util::SerializeError(util::SerializeErrc::kBadShape,
+                               "MultiChannelMiniRocket::load: bad channels");
   }
+  std::vector<MiniRocket> per_channel;
+  per_channel.reserve(channels);
   for (std::uint64_t c = 0; c < channels; ++c) {
-    rocket.per_channel_.push_back(MiniRocket::load(is));
+    per_channel.push_back(MiniRocket::load(is));
   }
+  return from_parts(options, std::move(per_channel));
+}
+
+MultiChannelMiniRocket MultiChannelMiniRocket::from_parts(
+    MiniRocketOptions options, std::vector<MiniRocket> channels) {
+  if (options.num_features == 0) {
+    throw util::SerializeError(
+        util::SerializeErrc::kBadShape,
+        "MultiChannelMiniRocket::from_parts: zero budget");
+  }
+  if (channels.empty() || channels.size() > 64) {
+    throw util::SerializeError(
+        util::SerializeErrc::kBadShape,
+        "MultiChannelMiniRocket::from_parts: bad channel count");
+  }
+  MultiChannelMiniRocket rocket(options);
+  rocket.per_channel_ = std::move(channels);
   return rocket;
 }
 

@@ -106,6 +106,9 @@ class MiniRocket {
   void fit(const std::vector<Series>& train, util::Rng& rng);
 
   bool fitted() const noexcept { return !biases_.empty(); }
+  // The options this transform was constructed with (persisted so a
+  // reloaded model can be re-fitted identically).
+  const MiniRocketOptions& options() const noexcept { return options_; }
   std::size_t num_features() const noexcept;
   std::size_t input_length() const noexcept { return input_length_; }
   const std::vector<int>& dilations() const noexcept { return dilations_; }
@@ -151,6 +154,18 @@ class MiniRocket {
   void save(std::ostream& os) const;
   static MiniRocket load(std::istream& is);
 
+  // Reassembles a fitted transform from already-parsed parts — the entry
+  // point shared by the text loader above and the binary reader in
+  // src/io/.  Validates the shape invariants (dilation positivity,
+  // finite biases, kernel-count consistency) and throws
+  // util::SerializeError on any inconsistency; on success rebuilds the
+  // derived PPV search index exactly as fit/load do.
+  static MiniRocket from_parts(MiniRocketOptions options,
+                               std::size_t input_length,
+                               std::vector<int> dilations,
+                               std::size_t biases_per_combo,
+                               std::vector<double> biases);
+
  private:
   // Derived PPV counting index (not serialized; rebuilt by fit/load).
   // The fast path counts "conv[i] > bias_q" for all quantiles of a combo
@@ -193,6 +208,7 @@ class MultiChannelMiniRocket {
   void fit(const std::vector<std::vector<Series>>& train, util::Rng& rng);
 
   bool fitted() const noexcept { return !per_channel_.empty(); }
+  const MiniRocketOptions& options() const noexcept { return options_; }
   std::size_t num_features() const;
   std::size_t num_channels() const noexcept { return per_channel_.size(); }
   const MiniRocket& channel(std::size_t c) const { return per_channel_.at(c); }
@@ -206,6 +222,12 @@ class MultiChannelMiniRocket {
 
   void save(std::ostream& os) const;
   static MultiChannelMiniRocket load(std::istream& is);
+
+  // Binary-reader counterpart of load: adopts per-channel transforms
+  // that were individually validated by MiniRocket::from_parts.  Throws
+  // util::SerializeError when `channels` is empty or absurdly wide.
+  static MultiChannelMiniRocket from_parts(MiniRocketOptions options,
+                                           std::vector<MiniRocket> channels);
 
  private:
   MiniRocketOptions options_;

@@ -4,18 +4,71 @@
 // the model classes expose save/load built on these primitives.  The
 // format is deliberately simple: whitespace-separated tokens, each field
 // preceded by a tag word, doubles at round-trip precision.  A mismatched
-// tag or malformed value throws std::runtime_error with the offending
-// tag in the message.
+// tag or malformed value throws SerializeError with the offending tag in
+// the message.
+//
+// This text format is the legacy store; the binary `P2MDL001` format in
+// src/io/ supersedes it (the text loader is kept for one release so
+// models saved by older builds keep loading, and `tools/model_convert`
+// migrates between the two).  Both loaders share the SerializeError
+// surface below.
+//
+// Hardening invariants (the loaders parse untrusted bytes — a corrupted
+// or hostile model store must fail with a typed error, never crash, hang
+// or OOM):
+//   * length prefixes are validated against the bytes actually remaining
+//     in the stream before any allocation, so a short corrupted file
+//     cannot demand exabytes;
+//   * unsigned fields reject negative tokens ("-1" must not wrap to
+//     2^64-1 and drive a ~2e19-iteration load loop);
+//   * numeric parsing uses std::from_chars and is therefore independent
+//     of the host's LC_NUMERIC locale.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace p2auth::util {
+
+// What went wrong while (de)serializing a model store.  One enum covers
+// the text and binary loaders so callers can switch on the cause without
+// string-matching messages.
+enum class SerializeErrc {
+  kTruncated,       // stream ended inside a field / record
+  kBadTag,          // tag word or section/record tag mismatch
+  kBadValue,        // token failed numeric/shape validation
+  kBadSeparator,    // length-prefixed string missing its separator byte
+  kLengthOverflow,  // length prefix exceeds the remaining stream bytes
+  kBadMagic,        // binary file does not start with the format magic
+  kVersionSkew,     // binary format version not understood by this build
+  kBadCrc,          // integrity trailer mismatch (bytes were modified)
+  kBadShape,        // structurally valid but internally inconsistent
+  kDuplicateName,   // registry contains the same user name twice
+  kBadAlignment,    // binary section violates the 8-byte layout contract
+  kIoError,         // underlying file open/read/write/map failure
+};
+
+// Human-readable slug for an error code ("truncated", "bad-crc", ...).
+std::string_view serialize_errc_slug(SerializeErrc code) noexcept;
+
+// Typed error thrown by every model (de)serialization path.  Derives
+// from std::runtime_error so pre-existing catch sites keep working.
+class SerializeError : public std::runtime_error {
+ public:
+  SerializeError(SerializeErrc code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  SerializeErrc code() const noexcept { return code_; }
+
+ private:
+  SerializeErrc code_;
+};
 
 // ---- writing ----
 void write_tag(std::ostream& os, std::string_view tag);
@@ -31,7 +84,7 @@ void write_vector(std::ostream& os, std::string_view tag,
 void write_int_vector(std::ostream& os, std::string_view tag,
                       std::span<const int> v);
 
-// ---- reading (each throws std::runtime_error on tag/format mismatch) ----
+// ---- reading (each throws SerializeError on tag/format mismatch) ----
 void expect_tag(std::istream& is, std::string_view tag);
 std::uint64_t read_u64(std::istream& is, std::string_view tag);
 std::int64_t read_i64(std::istream& is, std::string_view tag);
@@ -40,5 +93,16 @@ bool read_bool(std::istream& is, std::string_view tag);
 std::string read_string(std::istream& is, std::string_view tag);
 std::vector<double> read_vector(std::istream& is, std::string_view tag);
 std::vector<int> read_int_vector(std::istream& is, std::string_view tag);
+
+// Bytes left between the stream's current position and its end, when the
+// stream is seekable (files, stringstreams); nullopt otherwise.  The
+// readers use this to bound length-prefixed allocations; exposed so the
+// binary reader can apply the same bound to record lengths.
+std::optional<std::uint64_t> remaining_bytes(std::istream& is);
+
+// Element-count cap applied when the stream is not seekable (a pipe):
+// large enough for any real model, small enough that a corrupted length
+// cannot demand unbounded memory before the per-element reads fail.
+inline constexpr std::uint64_t kUnseekableLengthCap = 1u << 28;
 
 }  // namespace p2auth::util

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "sim/dataset.hpp"
@@ -174,6 +177,55 @@ TEST(Registry, SaveLoadRoundTrip) {
 TEST(Registry, LoadRejectsCorruptedHeader) {
   std::istringstream bad("not-a-registry 0");
   EXPECT_THROW(UserRegistry::load(bad), std::runtime_error);
+}
+
+// Regression: an entry whose preprocessing found no calibrated keystroke
+// indices used to dereference calibrated_indices.front() on an empty
+// vector; it must instead come back rejected.
+TEST(Registry, IdentifyRejectsEntryWithNoCalibratedKeystrokes) {
+  const TwoUsers& f = fixture();
+  PreprocessedEntry pre;
+  pre.detected_case = DetectedCase::kOneHanded;
+  // calibrated_indices / keystroke_present left empty.
+  const UserRegistry::IdentifyResult result =
+      f.registry.identify_preprocessed(pre);
+  EXPECT_FALSE(result.identity.has_value());
+  EXPECT_EQ(result.detected_case, DetectedCase::kRejected);
+  EXPECT_TRUE(result.scores.empty());
+}
+
+// Regression: identify's score sort used a plain `a > b` comparator,
+// which is not a strict weak ordering once a model emits a NaN decision
+// value (NaN compares false against everything) — std::sort may then
+// read out of bounds.  detail::score_order keeps real scores first,
+// best-first, with NaNs equivalent among themselves at the tail.
+TEST(Registry, ScoreOrderIsStrictWeakOrderingWithNaNs) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<std::pair<std::string, double>> scores;
+  for (int i = 0; i < 64; ++i) {
+    const int mode = i % 4;
+    scores.emplace_back("u" + std::to_string(i),
+                        mode == 0 ? nan : (1.0 - 0.1 * (i % 7)));
+  }
+  std::sort(scores.begin(), scores.end(), detail::score_order);
+  bool seen_nan = false;
+  for (std::size_t i = 0; i + 1 < scores.size(); ++i) {
+    if (std::isnan(scores[i].second)) {
+      seen_nan = true;
+    } else {
+      ASSERT_FALSE(seen_nan) << "real score after a NaN at index " << i;
+      if (!std::isnan(scores[i + 1].second)) {
+        EXPECT_GE(scores[i].second, scores[i + 1].second);
+      }
+    }
+  }
+  // Pairwise strict-weak-ordering axioms on a mixed sample.
+  const std::pair<std::string, double> a{"a", 1.0}, b{"b", nan}, c{"c", nan};
+  EXPECT_FALSE(detail::score_order(b, b));           // irreflexive
+  EXPECT_TRUE(detail::score_order(a, b));            // real before NaN
+  EXPECT_FALSE(detail::score_order(b, a));
+  EXPECT_FALSE(detail::score_order(b, c));           // NaNs equivalent
+  EXPECT_FALSE(detail::score_order(c, b));
 }
 
 }  // namespace
