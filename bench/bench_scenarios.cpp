@@ -1,0 +1,656 @@
+// Scenario-robustness matrix: drives the full authentication pipeline
+// under honest daily-life variation (sim/scenarios.hpp) — physiological
+// states, motion/gain/wearing scenarios and week-indexed template aging —
+// with and without guarded adaptive re-enrollment (core/adapt.hpp).
+//
+// Three hard invariants; the binary exits nonzero if any breaks, so it
+// doubles as the CI scenario smoke test (run with --quick):
+//
+//   (a) FAR never rises: at every state x scenario x week point, with or
+//       without adaptation, attacker acceptance stays at the clean-input
+//       baseline.  Two teeth: (1) per cell and arm, a one-sided exact
+//       binomial test against the pooled clean-attack baseline rate must
+//       not reject at alpha = 0.01 (the emulating-attack FAR of this
+//       reproduction is ~10-15% per victim — see EXPERIMENTS.md — so the
+//       guard compares rates, not raw counts, and only a statistically
+//       significant rise fails); (2) every attack observation is scored
+//       by both arms, and an exact one-sided McNemar test over the
+//       discordant pairs must not show the adaptive arm accepting
+//       significantly more attackers than the frozen arm (alpha = 0.01)
+//       — a loosened or poisoned refresh flips many pairs one way and
+//       fails decisively, while a borderline score flipping either way
+//       between two honestly different calibrated models does not.
+//       Honest variation may cost legitimate acceptance, never buy an
+//       attacker's.
+//   (b) Adaptation recovers aging: pooled over the enrolled pilot users,
+//       adaptive re-enrollment wins back at least half of the
+//       aging-induced week-8 FRR increase the frozen-template arm
+//       suffers over the 8-week timeline.
+//   (c) Poisoning guard: a scripted poisoning attack (attacker samples
+//       force-fed past the admission gates) leaves the enrolled threshold
+//       bit-identical and the probe-set FAR unchanged.
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/adapt.hpp"
+#include "core/authenticator.hpp"
+#include "core/enrollment.hpp"
+#include "keystroke/pinpad.hpp"
+#include "sim/attacks.hpp"
+#include "sim/dataset.hpp"
+#include "sim/scenarios.hpp"
+#include "util/rng.hpp"
+
+using namespace p2auth;
+
+namespace {
+
+// Per-cell outcome of one (condition, arm) evaluation.
+struct CellCounts {
+  int legit_accepts = 0;
+  int attack_accepts = 0;
+  int decided = 0;  // attempts that produced a decision (no exception)
+};
+
+// Composes a state profile onto a condition profile at a given week.
+sim::ScenarioProfile compose(const sim::ScenarioProfile& condition,
+                             const sim::ScenarioProfile& state,
+                             std::size_t week, double aging_sigma) {
+  sim::ScenarioProfile sc = condition;
+  sc.state = state.state;
+  sc.exertion = state.exertion;
+  sc.recovery_elapsed_s = state.recovery_elapsed_s;
+  sc.recovery_tau_s = state.recovery_tau_s;
+  sc.week = week;
+  sc.aging_sigma = aging_sigma;
+  sc.name = state.name + "+" + condition.name;
+  return sc;
+}
+
+core::Observation to_obs(sim::Trial&& t) {
+  return core::Observation{std::move(t.entry), std::move(t.trace)};
+}
+
+// One-sided exact binomial tail P(X >= k) for X ~ Binomial(n, p).
+double binom_tail_geq(int n, int k, double p) {
+  if (k <= 0) return 1.0;
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  double tail = 0.0;
+  for (int i = k; i <= n; ++i) {
+    const double log_comb = std::lgamma(n + 1.0) - std::lgamma(i + 1.0) -
+                            std::lgamma(n - i + 1.0);
+    tail += std::exp(log_comb + i * std::log(p) +
+                     (n - i) * std::log1p(-p));
+  }
+  return tail;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+
+  bench::BenchReport report("scenarios");
+  util::Stopwatch clock;
+  bool ok = true;
+
+  // Harsher-than-default weekly drift so the 8-week frozen-template FRR
+  // rise is unambiguous at bench trial counts (the default models a
+  // gentler pilot).  Everything is seeded: the matrix is reproducible
+  // bit-for-bit, which is what makes the hard assertions safe in CI.
+  const double aging_sigma = 0.15;
+  const std::size_t final_week = 8;
+  const std::vector<std::size_t> timeline_weeks =
+      quick ? std::vector<std::size_t>{0, 2, 4, 6, 7, 8}
+            : std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  const int timeline_trials = 12;  // per victim per week
+  const std::vector<std::size_t> matrix_weeks =
+      quick ? std::vector<std::size_t>{0} : std::vector<std::size_t>{0, 8};
+  const int matrix_trials = quick ? 6 : 8;
+  const int baseline_trials = quick ? 24 : 48;  // per victim
+
+  // Three enrolled pilot users: template aging draws one systematic
+  // drift direction per user, so a single victim's week-8 outcome is one
+  // random direction — the timeline pools over several.
+  const std::size_t num_victims = 3;
+  sim::PopulationConfig population_cfg;
+  population_cfg.num_users = num_victims;
+  population_cfg.seed = 31337;
+  const sim::Population population = sim::make_population(population_cfg);
+  util::Rng rng(20260808);
+
+  // --- Enrollment (clean, week 0, seated — the registration procedure).
+  core::EnrollmentConfig enrollment_cfg;
+  enrollment_cfg.rocket.num_features = 2000;
+  sim::TrialOptions trial_options;
+  std::vector<core::ExtractedEntry> negative_pool;
+  {
+    util::Rng pr = rng.fork("pool");
+    for (sim::Trial& t :
+         sim::make_third_party_pool(population, 100, trial_options, pr)) {
+      negative_pool.push_back(core::extract_observation(
+          to_obs(std::move(t)), enrollment_cfg));
+    }
+  }
+
+  struct Victim {
+    const ppg::UserProfile* profile = nullptr;
+    keystroke::Pin pin;
+    std::vector<core::Observation> enroll_obs;
+    core::EnrolledUser frozen;
+  };
+  std::vector<Victim> victims(num_victims);
+  for (std::size_t v = 0; v < num_victims; ++v) {
+    Victim& vic = victims[v];
+    vic.profile = &population.users[v];
+    vic.pin = keystroke::paper_pins()[v % keystroke::paper_pins().size()];
+    util::Rng er = rng.fork("enroll").fork(v);
+    for (sim::Trial& t :
+         sim::make_trials(*vic.profile, vic.pin, 9, trial_options, er)) {
+      vic.enroll_obs.push_back(to_obs(std::move(t)));
+    }
+    vic.frozen = core::enroll_user(vic.pin, vic.enroll_obs, negative_pool,
+                                   enrollment_cfg);
+  }
+
+  core::AdaptOptions adapt_options;
+  adapt_options.enrollment = enrollment_cfg;
+  adapt_options.margin_quantile = 0.05;
+  adapt_options.candidate_capacity = 12;
+  adapt_options.max_positives = 21;
+  // Unanimous per-key consensus (4/4 voters for a 4-digit PIN): this
+  // victim/PIN pairing sits at the hard end of the emulating-attack range
+  // (~20% clean EA FAR), so majority consensus alone admits too many
+  // attacker samples into the candidate buffer.
+  adapt_options.consensus_fraction = 0.75;
+
+  // One attempt against either arm; returns decision or counts a crash.
+  const auto drive = [](auto&& score, const core::Observation& obs,
+                        CellCounts& out, bool legit) {
+    try {
+      const bool accepted = score(obs);
+      ++out.decided;
+      (legit ? out.legit_accepts : out.attack_accepts) += accepted ? 1 : 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: pipeline threw: %s\n", e.what());
+    }
+  };
+
+  // Paired attack driver: scores one attack with both arms and tracks
+  // discordant pairs for the McNemar tooth of invariant (a).
+  int attacks_adaptive_only = 0, attacks_frozen_only = 0;
+  const auto drive_attack_pair = [&](const core::EnrolledUser& frozen,
+                                     core::TemplateAdapter& adapter,
+                                     const core::Observation& obs,
+                                     CellCounts& frozen_out,
+                                     CellCounts& adaptive_out) {
+    bool frozen_accept = false, adaptive_accept = false;
+    drive([&](const core::Observation& o) {
+      frozen_accept = core::authenticate(frozen, o).accepted;
+      return frozen_accept;
+    }, obs, frozen_out, false);
+    drive([&](const core::Observation& o) {
+      adaptive_accept =
+          adapter.attempt(o, core::TemplateAdapter::Truth::kImposter)
+              .accepted;
+      return adaptive_accept;
+    }, obs, adaptive_out, false);
+    attacks_frozen_only += (frozen_accept && !adaptive_accept) ? 1 : 0;
+    attacks_adaptive_only += (adaptive_accept && !frozen_accept) ? 1 : 0;
+  };
+
+  // Shared trial generator: same observations feed both arms, so the
+  // arms differ only by adaptation.  The per-index RNG forks are the
+  // same in every cell (no cell-specific salt), mirroring how the fault
+  // bench replays identical trial seeds at every severity: cell-to-cell
+  // differences are driven by the scenario, not by fresh sampling noise.
+  const auto make_cell_obs = [&](std::size_t v,
+                                 const sim::ScenarioProfile& scenario,
+                                 int trials,
+                                 std::vector<core::Observation>& legit,
+                                 std::vector<core::Observation>& attacks) {
+    const Victim& vic = victims[v];
+    for (int i = 0; i < trials; ++i) {
+      util::Rng lr = rng.fork("legit").fork(v).fork(i);
+      legit.push_back(to_obs(sim::make_scenario_trial(
+          *vic.profile, vic.pin, trial_options, scenario, lr)));
+      util::Rng ar = rng.fork("attack").fork(v).fork(i);
+      attacks.push_back(to_obs(sim::make_scenario_emulating_attack(
+          population.attackers[static_cast<std::size_t>(i) %
+                               population.attackers.size()],
+          *vic.profile, vic.pin, trial_options, sim::EmulationOptions{},
+          scenario, ar)));
+    }
+  };
+
+  // --- Clean-input FAR baseline: the enrollment-time emulating-attack
+  // acceptance rate of the deployed (frozen) models on dedicated clean
+  // pools, sized well above any single cell so the per-cell binomial
+  // guard compares against a stable rate rather than a handful of
+  // trials.  Matrix cells (single-victim) check against that victim's
+  // baseline; pooled timeline rows check against the pooled baseline.
+  std::vector<int> baseline_accepts(num_victims, 0);
+  for (std::size_t v = 0; v < num_victims; ++v) {
+    for (int i = 0; i < baseline_trials; ++i) {
+      util::Rng br = rng.fork("clean-baseline").fork(v).fork(i);
+      const core::Observation obs = to_obs(sim::make_emulating_attack(
+          population.attackers[static_cast<std::size_t>(i) %
+                               population.attackers.size()],
+          *victims[v].profile, victims[v].pin, trial_options,
+          sim::EmulationOptions{}, br));
+      baseline_accepts[v] +=
+          core::authenticate(victims[v].frozen, obs).accepted ? 1 : 0;
+    }
+  }
+  int baseline_total = 0;
+  for (const int a : baseline_accepts) baseline_total += a;
+  // Laplace-smoothed baseline rates: keeps the guard meaningful even
+  // when a sampled clean FAR happens to be exactly zero.
+  const auto smoothed = [](int accepts, int n) {
+    return (accepts + 1.0) / (n + 2.0);
+  };
+  const double baseline_rate_v0 = smoothed(baseline_accepts[0],
+                                           baseline_trials);
+  const double baseline_rate_pooled = smoothed(
+      baseline_total, baseline_trials * static_cast<int>(num_victims));
+  const double kFarAlpha = 0.01;
+
+  // ==== Part A: 8-week aging timeline, frozen vs adaptive arm, pooled
+  // over the enrolled victims. ====
+  std::vector<core::TemplateAdapter> adapters;
+  adapters.reserve(num_victims);
+  for (const Victim& vic : victims) {
+    adapters.emplace_back(vic.frozen, vic.enroll_obs, negative_pool,
+                          adapt_options);
+  }
+  struct WeekRow {
+    std::size_t week = 0;
+    CellCounts frozen, adaptive;
+    std::uint64_t refreshes = 0;
+  };
+  std::vector<WeekRow> timeline;
+  const int timeline_n = timeline_trials * static_cast<int>(num_victims);
+  for (const std::size_t week : timeline_weeks) {
+    const sim::ScenarioProfile scenario = compose(
+        sim::rest_scenario(), sim::rest_scenario(), week, aging_sigma);
+    WeekRow row;
+    row.week = week;
+    for (std::size_t v = 0; v < num_victims; ++v) {
+      std::vector<core::Observation> legit, attacks;
+      make_cell_obs(v, scenario, timeline_trials, legit, attacks);
+      for (const core::Observation& obs : legit) {
+        drive([&](const core::Observation& o) {
+          return core::authenticate(victims[v].frozen, o).accepted;
+        }, obs, row.frozen, true);
+        drive([&](const core::Observation& o) {
+          return adapters[v]
+              .attempt(o, core::TemplateAdapter::Truth::kGenuine)
+              .accepted;
+        }, obs, row.adaptive, true);
+      }
+      for (const core::Observation& obs : attacks) {
+        drive_attack_pair(victims[v].frozen, adapters[v], obs, row.frozen,
+                          row.adaptive);
+      }
+    }
+    // Chronological refresh opportunity at each week boundary.
+    for (core::TemplateAdapter& adapter : adapters) adapter.try_refresh();
+    for (const core::TemplateAdapter& adapter : adapters) {
+      row.refreshes += adapter.stats().refreshes;
+    }
+    timeline.push_back(row);
+  }
+
+  util::Table aging_table({"week", "FRR frozen", "FAR frozen",
+                           "FRR adaptive", "FAR adaptive", "refreshes"});
+  for (const WeekRow& row : timeline) {
+    aging_table.begin_row()
+        .cell(std::to_string(row.week))
+        .cell(bench::pct(1.0 - static_cast<double>(row.frozen.legit_accepts) /
+                                   timeline_n))
+        .cell(bench::pct(static_cast<double>(row.frozen.attack_accepts) /
+                         timeline_n))
+        .cell(bench::pct(1.0 -
+                         static_cast<double>(row.adaptive.legit_accepts) /
+                             timeline_n))
+        .cell(bench::pct(static_cast<double>(row.adaptive.attack_accepts) /
+                         timeline_n))
+        .cell(std::to_string(row.refreshes));
+  }
+  report.table(aging_table, "aging",
+               "Template aging - frozen vs adaptive templates (" +
+                   std::to_string(num_victims) + " victims x " +
+                   std::to_string(timeline_trials) + " legit + " +
+                   std::to_string(timeline_trials) +
+                   " emulating-attack trials per week, aging sigma " +
+                   util::format_double(aging_sigma, 2) + ")");
+
+  // Invariant (b): adaptation recovers >= half the aging FRR increase.
+  const WeekRow& w0 = timeline.front();
+  const WeekRow& w8 = timeline.back();
+  const double frr_frozen_w0 =
+      1.0 - static_cast<double>(w0.frozen.legit_accepts) / timeline_n;
+  const double frr_frozen_w8 =
+      1.0 - static_cast<double>(w8.frozen.legit_accepts) / timeline_n;
+  const double frr_adapt_w8 =
+      1.0 - static_cast<double>(w8.adaptive.legit_accepts) / timeline_n;
+  const double aging_increase = frr_frozen_w8 - frr_frozen_w0;
+  const double recovered = frr_frozen_w8 - frr_adapt_w8;
+  const double recovery_fraction =
+      aging_increase > 0.0 ? recovered / aging_increase : 1.0;
+  bool aging_recovery_ok = true;
+  if (aging_increase <= 0.0) {
+    std::fprintf(stderr,
+                 "error: frozen templates did not degrade by week %zu "
+                 "(FRR %.3f -> %.3f) - aging model too weak to "
+                 "demonstrate recovery\n",
+                 final_week, frr_frozen_w0, frr_frozen_w8);
+    aging_recovery_ok = false;
+  } else if (recovery_fraction < 0.5 - 1e-9) {
+    std::fprintf(stderr,
+                 "error: adaptation recovered only %.0f%% of the week-%zu "
+                 "aging FRR increase (frozen %.3f -> %.3f, adaptive %.3f)\n",
+                 100.0 * recovery_fraction, final_week, frr_frozen_w0,
+                 frr_frozen_w8, frr_adapt_w8);
+    aging_recovery_ok = false;
+  }
+  if (!aging_recovery_ok) ok = false;
+  report.value("frr_frozen_week0", frr_frozen_w0);
+  report.value("frr_frozen_week8", frr_frozen_w8);
+  report.value("frr_adaptive_week8", frr_adapt_w8);
+  report.value("aging_recovery_fraction", recovery_fraction);
+  std::uint64_t total_refreshes = 0, total_rollbacks = 0;
+  for (const core::TemplateAdapter& adapter : adapters) {
+    total_refreshes += adapter.stats().refreshes;
+    total_rollbacks += adapter.stats().rollbacks;
+  }
+  report.value("timeline_refreshes", total_refreshes);
+  report.value("timeline_rollbacks", total_rollbacks);
+
+  // ==== Part B: state x scenario x week matrix, both arms (victim 0).
+  const std::vector<sim::ScenarioProfile> states = {
+      sim::rest_scenario(), sim::elevated_scenario(),
+      sim::recovering_scenario()};
+  const std::vector<sim::ScenarioProfile> conditions = {
+      sim::rest_scenario(),  // "rest" doubles as the no-condition column
+      sim::walking_entry_scenario(), sim::typing_on_the_move_scenario(),
+      sim::gain_shift_scenario(), sim::loose_strap_scenario()};
+
+  // The adaptive arm walks the matrix chronologically (weeks ascending)
+  // with a weekly refresh cadence, as in deployment: the adapter sees
+  // all of a week's conditions before it may retrain (a per-cell refresh
+  // would churn the model on whichever condition happened to run last).
+  core::TemplateAdapter matrix_adapter(victims[0].frozen,
+                                       victims[0].enroll_obs,
+                                       negative_pool, adapt_options);
+  struct MatrixRow {
+    std::string state, condition;
+    std::size_t week = 0;
+    CellCounts frozen, adaptive;
+  };
+  std::vector<MatrixRow> matrix;
+  for (const std::size_t week : matrix_weeks) {
+    for (const sim::ScenarioProfile& state : states) {
+      for (const sim::ScenarioProfile& condition : conditions) {
+        const sim::ScenarioProfile scenario =
+            compose(condition, state, week, aging_sigma);
+        std::vector<core::Observation> legit, attacks;
+        make_cell_obs(0, scenario, matrix_trials, legit, attacks);
+        MatrixRow row;
+        row.state = state.name;
+        row.condition = condition.name;
+        row.week = week;
+        for (const core::Observation& obs : legit) {
+          drive([&](const core::Observation& o) {
+            return core::authenticate(victims[0].frozen, o).accepted;
+          }, obs, row.frozen, true);
+          drive([&](const core::Observation& o) {
+            return matrix_adapter
+                .attempt(o, core::TemplateAdapter::Truth::kGenuine)
+                .accepted;
+          }, obs, row.adaptive, true);
+        }
+        for (const core::Observation& obs : attacks) {
+          drive_attack_pair(victims[0].frozen, matrix_adapter, obs,
+                            row.frozen, row.adaptive);
+        }
+        matrix.push_back(std::move(row));
+      }
+    }
+    matrix_adapter.try_refresh();
+  }
+
+  util::Table matrix_table({"state", "scenario", "week", "FRR frozen",
+                            "FAR frozen", "FRR adaptive", "FAR adaptive"});
+  for (const MatrixRow& row : matrix) {
+    matrix_table.begin_row()
+        .cell(row.state)
+        .cell(row.condition)
+        .cell(std::to_string(row.week))
+        .cell(bench::pct(1.0 - static_cast<double>(row.frozen.legit_accepts) /
+                                   matrix_trials))
+        .cell(bench::pct(static_cast<double>(row.frozen.attack_accepts) /
+                         matrix_trials))
+        .cell(bench::pct(1.0 -
+                         static_cast<double>(row.adaptive.legit_accepts) /
+                             matrix_trials))
+        .cell(bench::pct(static_cast<double>(row.adaptive.attack_accepts) /
+                         matrix_trials));
+  }
+  report.table(matrix_table, "matrix",
+               "Scenario matrix - state x scenario x week (" +
+                   std::to_string(matrix_trials) + " legit + " +
+                   std::to_string(matrix_trials) +
+                   " emulating-attack trials per cell, victim 0)");
+
+  // Invariant (a), tooth 1: no cell of either arm shows a statistically
+  // significant FAR rise over the clean baseline (one-sided exact
+  // binomial test at alpha = 0.01).
+  bool far_never_rises = true;
+  const auto check_far_cell = [&](const std::string& where, int accepts,
+                                  int n, double clean_rate) {
+    const double p = binom_tail_geq(n, accepts, clean_rate);
+    if (p < kFarAlpha) {
+      std::fprintf(stderr,
+                   "error: FAR rose above the clean baseline at %s "
+                   "(%d/%d accepts vs clean rate %.3f, binomial "
+                   "p=%.2g < %.2g)\n",
+                   where.c_str(), accepts, n, clean_rate, p, kFarAlpha);
+      far_never_rises = false;
+    }
+  };
+  for (const MatrixRow& row : matrix) {
+    const std::string where = row.state + "/" + row.condition + "/week " +
+                              std::to_string(row.week);
+    check_far_cell(where + " [frozen]", row.frozen.attack_accepts,
+                   matrix_trials, baseline_rate_v0);
+    check_far_cell(where + " [adaptive]", row.adaptive.attack_accepts,
+                   matrix_trials, baseline_rate_v0);
+  }
+  // The timeline is additional (rest, none, week w) coverage of the same
+  // invariant, pooled over the victims.
+  for (const WeekRow& row : timeline) {
+    const std::string where = "timeline week " + std::to_string(row.week);
+    check_far_cell(where + " [frozen]", row.frozen.attack_accepts,
+                   timeline_n, baseline_rate_pooled);
+    check_far_cell(where + " [adaptive]", row.adaptive.attack_accepts,
+                   timeline_n, baseline_rate_pooled);
+  }
+  // Tooth 2: exact one-sided McNemar test over the discordant attack
+  // pairs of the whole run.  Every attack observation was scored by both
+  // arms; under the null (adaptation does not loosen the attack surface)
+  // a discordant pair is equally likely to flip either way.  A poisoned
+  // or loosened refresh flips many pairs adaptive-only and fails
+  // decisively; a borderline score flipping either way between two
+  // honestly different calibrated models does not.
+  int attacks_frozen_total = 0, attacks_adaptive_total = 0;
+  for (const MatrixRow& row : matrix) {
+    attacks_frozen_total += row.frozen.attack_accepts;
+    attacks_adaptive_total += row.adaptive.attack_accepts;
+  }
+  for (const WeekRow& row : timeline) {
+    attacks_frozen_total += row.frozen.attack_accepts;
+    attacks_adaptive_total += row.adaptive.attack_accepts;
+  }
+  const int discordant = attacks_adaptive_only + attacks_frozen_only;
+  const double p_mcnemar =
+      binom_tail_geq(discordant, attacks_adaptive_only, 0.5);
+  if (p_mcnemar < kFarAlpha) {
+    std::fprintf(stderr,
+                 "error: adaptation bought attacker acceptances overall "
+                 "(%d adaptive-only vs %d frozen-only discordant attack "
+                 "pairs, McNemar p=%.2g < %.2g; pooled accepts adaptive "
+                 "%d vs frozen %d)\n",
+                 attacks_adaptive_only, attacks_frozen_only, p_mcnemar,
+                 kFarAlpha, attacks_adaptive_total, attacks_frozen_total);
+    far_never_rises = false;
+  }
+  if (!far_never_rises) ok = false;
+  report.value("far_clean_baseline", static_cast<double>(baseline_total) /
+                                         (baseline_trials *
+                                          static_cast<int>(num_victims)));
+  report.value("attack_accepts_frozen",
+               static_cast<std::uint64_t>(attacks_frozen_total));
+  report.value("attack_accepts_adaptive",
+               static_cast<std::uint64_t>(attacks_adaptive_total));
+  report.value("attack_discordant_adaptive_only",
+               static_cast<std::uint64_t>(attacks_adaptive_only));
+  report.value("attack_discordant_frozen_only",
+               static_cast<std::uint64_t>(attacks_frozen_only));
+
+  // ==== Part C: scripted poisoning attack (victim 0). ====
+  // The attacker controls the candidate ingest (force_candidate bypasses
+  // every admission gate) and also hammers the legitimate attempt path
+  // with their own entries.  The refresh guards must leave the enrolled
+  // threshold bit-identical and the probe FAR unchanged.
+  bool poisoning_guard_ok = true;
+  {
+    core::TemplateAdapter adapter(victims[0].frozen, victims[0].enroll_obs,
+                                  negative_pool, adapt_options);
+    const ppg::UserProfile& attacker = population.attackers[0];
+    const int poison_samples =
+        static_cast<int>(adapt_options.candidate_capacity);
+    std::vector<core::Observation> poison, probe;
+    for (int i = 0; i < poison_samples; ++i) {
+      util::Rng pr = rng.fork("poison").fork(i);
+      poison.push_back(to_obs(sim::make_emulating_attack(
+          attacker, *victims[0].profile, victims[0].pin, trial_options,
+          sim::EmulationOptions{}, pr)));
+    }
+    const int probe_trials = quick ? 6 : 12;
+    for (int i = 0; i < probe_trials; ++i) {
+      util::Rng qr = rng.fork("probe").fork(i);
+      probe.push_back(to_obs(sim::make_emulating_attack(
+          population.attackers[static_cast<std::size_t>(i) %
+                               population.attackers.size()],
+          *victims[0].profile, victims[0].pin, trial_options,
+          sim::EmulationOptions{}, qr)));
+    }
+    const auto probe_accepts = [&]() {
+      int accepts = 0;
+      for (const core::Observation& obs : probe) {
+        accepts += core::authenticate(adapter.user(), obs).accepted ? 1 : 0;
+      }
+      return accepts;
+    };
+
+    const double threshold_before = adapter.user().full_model->threshold();
+    const int far_before = probe_accepts();
+
+    // Phase 1: realistic channel — attacker attempts flow through the
+    // gated path.
+    for (const core::Observation& obs : poison) {
+      adapter.attempt(obs, core::TemplateAdapter::Truth::kImposter);
+    }
+    const core::RefreshOutcome phase1 = adapter.try_refresh();
+    // Phase 2: compromised ingest — candidates injected past the gates.
+    for (const core::Observation& obs : poison) {
+      adapter.force_candidate(obs);
+    }
+    const core::RefreshOutcome phase2 = adapter.try_refresh();
+
+    const double threshold_after = adapter.user().full_model->threshold();
+    const int far_after = probe_accepts();
+
+    if (phase1 == core::RefreshOutcome::kRefreshed ||
+        phase2 == core::RefreshOutcome::kRefreshed) {
+      std::fprintf(stderr,
+                   "error: poisoning attack produced an accepted refresh\n");
+      poisoning_guard_ok = false;
+    }
+    if (threshold_after != threshold_before) {
+      std::fprintf(stderr,
+                   "error: poisoning attack moved the enrolled threshold "
+                   "(%.17g -> %.17g)\n",
+                   threshold_before, threshold_after);
+      poisoning_guard_ok = false;
+    }
+    if (far_after != far_before) {
+      std::fprintf(stderr,
+                   "error: poisoning attack changed the probe FAR "
+                   "(%d -> %d of %d)\n",
+                   far_before, far_after, probe_trials);
+      poisoning_guard_ok = false;
+    }
+    if (!poisoning_guard_ok) ok = false;
+    std::printf("poisoning attack: %d forced + %d attempted samples, "
+                "threshold %.6f unchanged, probe FAR %d/%d unchanged, "
+                "%llu candidates evicted at re-validation\n",
+                poison_samples, poison_samples, threshold_after, far_after,
+                probe_trials,
+                static_cast<unsigned long long>(
+                    adapter.stats().revalidation_evicted));
+    report.value("poison_probe_far",
+                 static_cast<double>(far_after) / probe_trials);
+    report.value("poison_candidates_evicted",
+                 static_cast<std::uint64_t>(
+                     adapter.stats().revalidation_evicted));
+  }
+
+  // Every attempt across both parts must have produced a decision.
+  int decided = 0, expected = 0;
+  for (const WeekRow& row : timeline) {
+    decided += row.frozen.decided + row.adaptive.decided;
+    expected += 4 * timeline_n;
+  }
+  for (const MatrixRow& row : matrix) {
+    decided += row.frozen.decided + row.adaptive.decided;
+    expected += 4 * matrix_trials;
+  }
+  if (decided != expected) {
+    std::fprintf(stderr, "error: %d/%d attempts crashed\n",
+                 expected - decided, expected);
+    ok = false;
+  }
+
+  // Gated invariants for bench/baselines/scenarios_baseline.json (all
+  // higher-is-better booleans/ratios, matching check_bench_regression.py's
+  // floor gate).
+  report.value("far_never_rises", far_never_rises);
+  report.value("aging_recovery_ok", aging_recovery_ok);
+  report.value("poisoning_guard_ok", poisoning_guard_ok);
+  report.value("decision_rate",
+               expected == 0 ? 0.0
+                             : static_cast<double>(decided) / expected);
+
+  const double total_s = clock.seconds();
+  std::printf("total runtime: %.1f s\n", total_s);
+  report.value("total_runtime_s", total_s);
+  report.value("quick", quick);
+  report.write();
+
+  if (!ok) return 1;
+  std::printf("invariants hold: FAR never rose above the clean baseline, "
+              "adaptation recovered %.0f%% of the week-%zu aging FRR "
+              "increase, and the poisoning guard held\n",
+              100.0 * recovery_fraction, final_week);
+  return 0;
+}

@@ -7,6 +7,12 @@
 //                  [--wearing inner|back] [--activity static|walking]
 //                  [--seed S] [--report PATH] [--trace PATH]
 //                  [--audit-log PATH] [--prometheus PATH] [--drift]
+//                  [--scenario NAME] [--week N]
+//
+// --scenario applies a named daily-life condition to every *test*
+// attempt (see sim/scenarios.hpp: rest, elevated, recovering, walking,
+// typing-move, gain-shift, loose-strap); --week ages the test-time
+// physiology N weeks past enrollment (template-aging sweeps).
 //
 // Prints per-user and mean accuracy / TRR for the configuration, i.e. a
 // custom row of the paper's Fig. 10-style tables.  A machine-readable
@@ -53,7 +59,8 @@ namespace {
                "          [--activity static|walking] [--report PATH] "
                "[--trace PATH]\n"
                "          [--audit-log PATH] [--prometheus PATH] "
-               "[--drift]\n",
+               "[--drift]\n"
+               "          [--scenario NAME] [--week N]\n",
                argv0);
   std::exit(2);
 }
@@ -144,6 +151,23 @@ int main(int argc, char** argv) {
       prometheus_path = next();
     } else if (arg == "--drift") {
       cfg.monitor_drift = true;
+    } else if (arg == "--scenario") {
+      const std::string name = next();
+      const auto scenario = sim::scenario_by_name(name);
+      if (!scenario) {
+        std::fprintf(stderr,
+                     "unknown scenario '%s' (rest, elevated, recovering, "
+                     "walking, typing-move, gain-shift, loose-strap)\n",
+                     name.c_str());
+        usage(argv[0]);
+      }
+      // Preserve a week set by an earlier --week (order-independent).
+      const std::size_t week = cfg.test_scenario.week;
+      cfg.test_scenario = *scenario;
+      cfg.test_scenario.week = week;
+    } else if (arg == "--week") {
+      cfg.test_scenario.week =
+          static_cast<std::size_t>(parse_long(argv[0], next()));
     } else {
       usage(argv[0]);
     }

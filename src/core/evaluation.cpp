@@ -104,8 +104,8 @@ UserOutcome evaluate_user(std::size_t user_index,
     const keystroke::Pin pin =
         config.no_pin ? pins[(t + 1) % pins.size()] : user_pin;
     util::Rng trial_rng = test_rng.fork(0x7e57ULL + t);
-    const Observation obs = to_observation(
-        sim::make_trial(user, pin, test_options, trial_rng));
+    const Observation obs = to_observation(sim::make_scenario_trial(
+        user, pin, test_options, config.test_scenario, trial_rng));
     const AuthResult result = authenticate(enrolled, obs, auth);
     outcome.metrics.legitimate.add(result.accepted);
     decided(AttemptKind::kLegitimate, result);
@@ -119,8 +119,8 @@ UserOutcome evaluate_user(std::size_t user_index,
     const ppg::UserProfile& attacker =
         population.attackers[a % population.attackers.size()];
     util::Rng trial_rng = ra_rng.fork(0x4aULL + a);
-    const Observation obs = to_observation(
-        sim::make_random_attack(attacker, test_options, trial_rng));
+    const Observation obs = to_observation(sim::make_scenario_random_attack(
+        attacker, test_options, config.test_scenario, trial_rng));
     const AuthResult result = authenticate(enrolled, obs, ra_auth);
     outcome.metrics.random_attack.add(result.accepted);
     decided(AttemptKind::kRandomAttack, result);
@@ -133,9 +133,9 @@ UserOutcome evaluate_user(std::size_t user_index,
     const ppg::UserProfile& attacker =
         population.attackers[a % population.attackers.size()];
     util::Rng trial_rng = ea_rng.fork(0xeaULL + a);
-    const Observation obs = to_observation(sim::make_emulating_attack(
+    const Observation obs = to_observation(sim::make_scenario_emulating_attack(
         attacker, user, ea_pin, test_options, sim::EmulationOptions{},
-        trial_rng));
+        config.test_scenario, trial_rng));
     const AuthResult result = authenticate(enrolled, obs, auth);
     outcome.metrics.emulating_attack.add(result.accepted);
     decided(AttemptKind::kEmulatingAttack, result);

@@ -21,6 +21,7 @@
 #include "obs/drift.hpp"
 #include "ppg/sensor.hpp"
 #include "sim/population.hpp"
+#include "sim/scenarios.hpp"
 
 namespace p2auth::core {
 
@@ -48,6 +49,11 @@ struct ExperimentConfig {
   ppg::WearingPosition wearing = ppg::WearingPosition::kInnerWrist;
   // Body activity at *test* time (enrollment is a deliberate seated act).
   ppg::ActivityState test_activity = ppg::ActivityState::kStatic;
+  // Daily-life condition applied to *test* attempts (legitimate and
+  // attack alike; enrollment stays clean, mirroring the registration
+  // procedure).  The default profile is an exact no-op — identical RNG
+  // draws, bit-identical trials — so pre-scenario results reproduce.
+  sim::ScenarioProfile test_scenario{};
   // Evaluate the PPG factor in isolation for random attacks (see
   // EXPERIMENTS.md; with the PIN check active a random 4-digit guess is
   // rejected with probability 0.9999 before the biometric even runs).

@@ -67,6 +67,8 @@ std::string to_string(RejectReason r) {
       return "locked out (backoff)";
     case RejectReason::kIncomplete:
       return "entry incomplete";
+    case RejectReason::kTemplateStale:
+      return "enrolled templates stale";
   }
   return "?";
 }
@@ -99,6 +101,8 @@ const char* reject_reason_slug(RejectReason r) noexcept {
       return "locked_out";
     case RejectReason::kIncomplete:
       return "incomplete";
+    case RejectReason::kTemplateStale:
+      return "template_stale";
   }
   return "?";
 }

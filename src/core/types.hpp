@@ -52,6 +52,9 @@ enum class RejectReason {
   kBufferOverflow,   // streaming: bounded sample buffer overflowed
   kLockedOut,        // streaming: lockout backoff in force
   kIncomplete,       // stream ended before the attempt became decidable
+  kTemplateStale,    // adaptive re-enrollment declared the enrolled
+                     // templates stale (drift alert + starved candidate
+                     // buffer); caller should trigger re-enrollment
 };
 
 // Human-readable form ("wrong PIN", "attempt timed out", ...).
@@ -84,7 +87,7 @@ const char* detected_case_slug(DetectedCase c) noexcept;
 // append new enumerators, never reorder or remove.  Pinned by
 // tests/test_audit.cpp.
 
-inline constexpr std::uint8_t kRejectReasonCodes = 13;
+inline constexpr std::uint8_t kRejectReasonCodes = 14;
 inline constexpr std::uint8_t kDetectedCaseCodes = 4;
 inline constexpr std::uint8_t kModelPathCodes = 4;
 

@@ -107,12 +107,21 @@ FaultLog FaultPlan::apply(ppg::MultiChannelTrace& trace,
   }
 
   // Watch<->phone clock skew: one offset for the whole entry (the two
-  // devices disagree by a per-session constant).
+  // devices disagree by a per-session constant).  A negative draw larger
+  // than the earliest timestamp would pin early events at 0 and silently
+  // shrink the offset those events actually received — so the draw is
+  // bounded by the earliest timestamp instead, keeping the shift a true
+  // per-session constant, and the log records the offset that was
+  // actually applied rather than the raw draw.
   if (config_.clock_skew_s > 0.0 && !entry.events.empty()) {
-    const double skew =
-        rng_.uniform(-1.0, 1.0) * s * config_.clock_skew_s;
+    double skew = rng_.uniform(-1.0, 1.0) * s * config_.clock_skew_s;
+    double earliest = std::numeric_limits<double>::infinity();
+    for (const auto& e : entry.events) {
+      earliest = std::min(earliest, e.recorded_time_s);
+    }
+    skew = std::max(skew, -earliest);
     for (auto& e : entry.events) {
-      e.recorded_time_s = std::max(0.0, e.recorded_time_s + skew);
+      e.recorded_time_s += skew;
     }
     log.clock_skew_s = skew;
   }

@@ -59,8 +59,15 @@ struct FaultLog {
   std::size_t spikes = 0;
   std::size_t duplicated_events = 0;
   std::size_t swapped_events = 0;
-  double clock_skew_s = 0.0;  // skew actually applied
+  // Clock skew actually applied to the entry's timestamps (after the
+  // draw is bounded so no event would be pushed below t=0), not the raw
+  // severity-scaled draw.  Zero when no skew fault fired.
+  double clock_skew_s = 0.0;
 
+  // Count of discrete fault events.  Clock skew is deliberately
+  // excluded: it is a continuous offset reported via clock_skew_s, and
+  // folding its presence into the count would make total() jump by one
+  // whenever the skew draw is nonzero, regardless of magnitude.
   std::size_t total() const noexcept {
     return dropouts + flatlines + saturated_channels + nan_bursts + spikes +
            duplicated_events + swapped_events;

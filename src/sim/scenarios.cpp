@@ -1,0 +1,318 @@
+#include "sim/scenarios.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ppg/artifact_model.hpp"
+
+namespace p2auth::sim {
+
+namespace {
+
+constexpr double kTwoPi = 6.28318530717958647692;
+
+// Effective exertion after recovery decay (0 when resting).
+double effective_exertion(const ScenarioProfile& sc) noexcept {
+  switch (sc.state) {
+    case PhysioState::kResting:
+      return 0.0;
+    case PhysioState::kElevated:
+      return std::clamp(sc.exertion, 0.0, 1.0);
+    case PhysioState::kRecovering: {
+      const double tau = std::max(1e-6, sc.recovery_tau_s);
+      return std::clamp(sc.exertion, 0.0, 1.0) *
+             std::exp(-std::max(0.0, sc.recovery_elapsed_s) / tau);
+    }
+  }
+  return 0.0;
+}
+
+// Scales the cardiac profile for exertion level `e` in [0, 1]:
+// sympathetic drive raises the rate and stroke amplitude, suppresses
+// beat-to-beat variability, speeds respiration, and vasodilation damps
+// the reflected (dicrotic) wave.
+void apply_physio_state(ppg::CardiacProfile& cardiac, double e) {
+  if (e <= 0.0) return;
+  cardiac.heart_rate_bpm =
+      std::min(185.0, cardiac.heart_rate_bpm * (1.0 + 0.70 * e));
+  cardiac.hrv_fraction *= 1.0 - 0.65 * e;
+  cardiac.respiration_hz *= 1.0 + 0.80 * e;
+  cardiac.systolic_amp *= 1.0 + 0.20 * e;
+  cardiac.dicrotic_amp *= 1.0 - 0.45 * e;
+  cardiac.diastolic_decay *= 1.0 + 0.30 * e;
+}
+
+}  // namespace
+
+bool ScenarioProfile::is_identity() const noexcept {
+  return effective_exertion(*this) == 0.0 &&
+         motion == MotionScenario::kNone && gain_scale == 1.0 &&
+         wearing_shift == 0.0 && week == 0;
+}
+
+ScenarioProfile rest_scenario() { return ScenarioProfile{}; }
+
+ScenarioProfile elevated_scenario(double exertion) {
+  ScenarioProfile sc;
+  sc.name = "elevated";
+  sc.state = PhysioState::kElevated;
+  sc.exertion = exertion;
+  return sc;
+}
+
+ScenarioProfile recovering_scenario(double elapsed_s, double exertion) {
+  ScenarioProfile sc;
+  sc.name = "recovering";
+  sc.state = PhysioState::kRecovering;
+  sc.exertion = exertion;
+  sc.recovery_elapsed_s = elapsed_s;
+  return sc;
+}
+
+ScenarioProfile walking_entry_scenario() {
+  ScenarioProfile sc;
+  sc.name = "walking";
+  sc.motion = MotionScenario::kWalkingEntry;
+  sc.motion_intensity = 1.0;
+  return sc;
+}
+
+ScenarioProfile typing_on_the_move_scenario() {
+  ScenarioProfile sc;
+  sc.name = "typing-move";
+  sc.motion = MotionScenario::kTypingOnTheMove;
+  sc.motion_intensity = 0.6;
+  return sc;
+}
+
+ScenarioProfile gain_shift_scenario(double gain_scale) {
+  ScenarioProfile sc;
+  sc.name = "gain-shift";
+  sc.gain_scale = gain_scale;
+  return sc;
+}
+
+ScenarioProfile loose_strap_scenario(double shift) {
+  ScenarioProfile sc;
+  sc.name = "loose-strap";
+  sc.wearing_shift = shift;
+  return sc;
+}
+
+std::optional<ScenarioProfile> scenario_by_name(std::string_view name) {
+  if (name == "rest") return rest_scenario();
+  if (name == "elevated") return elevated_scenario();
+  if (name == "recovering") return recovering_scenario();
+  if (name == "walking") return walking_entry_scenario();
+  if (name == "typing-move") return typing_on_the_move_scenario();
+  if (name == "gain-shift") return gain_shift_scenario();
+  if (name == "loose-strap") return loose_strap_scenario();
+  return std::nullopt;
+}
+
+ScenarioProfile aged(ScenarioProfile scenario, std::size_t week) {
+  scenario.week = week;
+  return scenario;
+}
+
+ppg::UserProfile age_user(const ppg::UserProfile& base, std::size_t week,
+                          double sigma, double stability_decay) {
+  if (week == 0) return base;
+  ppg::UserProfile aged = base;
+  // The stream is keyed only by the user's latent seed: week N's
+  // physiology is week N-1's plus one more deterministic step, so every
+  // call site (enrollment-time aging, test trials, the adaptation bench)
+  // sees the same drifted user.
+  util::Rng walk(base.latent_seed ^ 0xa61a5eedULL,
+                 util::fnv1a("template-aging"));
+  // Aging is a slow *systematic* change — skin properties, strap habits,
+  // typing force — not a mean-zero wander: the paper's 8-week pilot
+  // shows accuracy degrading monotonically with time since enrollment.
+  // Each user therefore draws a fixed per-parameter drift direction
+  // once, and every week steps along it with small week-to-week jitter.
+  const double dir = 0.6 * sigma;  // per-week systematic component
+  const double jit = 0.5 * sigma;  // per-week zero-mean jitter
+  const double d_amp = walk.normal(0.0, dir);
+  const double d_rise = walk.normal(0.0, dir);
+  const double d_decay = walk.normal(0.0, dir);
+  const double d_rebound = walk.normal(0.0, dir);
+  const double d_latency = walk.normal(0.0, 0.6 * 0.018 * sigma / 0.045);
+  const double d_osc = walk.normal(0.0, 0.6 * 0.6 * sigma);
+  const double d_phase = walk.normal(0.0, 0.6 * 2.5 * sigma);
+  const double d_asym = walk.normal(0.0, 0.6 * 0.8 * sigma);
+  ppg::HandFactors& h = aged.hand;
+  for (std::size_t w = 0; w < week; ++w) {
+    // Fixed draw count per week: weeks compose as one more drift step.
+    h.amplitude_scale =
+        std::max(0.35, h.amplitude_scale * walk.lognormal(d_amp, jit));
+    h.rise_scale = std::max(0.3, h.rise_scale * walk.lognormal(d_rise, jit));
+    h.decay_scale =
+        std::max(0.3, h.decay_scale * walk.lognormal(d_decay, jit));
+    h.rebound_scale =
+        std::max(0.2, h.rebound_scale * walk.lognormal(d_rebound, jit));
+    h.latency_s = std::clamp(
+        h.latency_s + d_latency + walk.normal(0.0, 0.5 * 0.018 * sigma / 0.045),
+        0.01, 0.15);
+    h.osc_freq_hz = std::clamp(
+        h.osc_freq_hz * walk.lognormal(d_osc, 0.5 * 0.6 * sigma), 1.5, 9.0);
+    h.osc_phase += d_phase + walk.normal(0.0, 0.5 * 2.5 * sigma);
+    h.asymmetry = std::clamp(
+        h.asymmetry + d_asym + walk.normal(0.0, 0.5 * 0.8 * sigma), -1.0, 1.0);
+    aged.stability = std::clamp(aged.stability * stability_decay, 0.40, 0.98);
+  }
+  return aged;
+}
+
+ppg::UserProfile scenario_user(const ppg::UserProfile& base,
+                               const ScenarioProfile& scenario,
+                               util::Rng& rng) {
+  ppg::UserProfile subject =
+      age_user(base, scenario.week, scenario.aging_sigma,
+               scenario.aging_stability_decay);
+  apply_physio_state(subject.cardiac, effective_exertion(scenario));
+
+  if (scenario.gain_scale != 1.0) {
+    for (std::size_t c = 0; c < ppg::kMaxChannels; ++c) {
+      subject.coupling[c].cardiac_gain *= scenario.gain_scale;
+      subject.coupling[c].artifact_gain *= scenario.gain_scale;
+    }
+  }
+  if (scenario.wearing_shift > 0.0) {
+    // A re-donned strap: every channel's optical coupling re-draws around
+    // its enrolled value, and the press-to-sensor propagation path
+    // lengthens a little.  Stochastic per trial (each re-donning differs).
+    const double w = std::min(scenario.wearing_shift, 1.0);
+    for (std::size_t c = 0; c < ppg::kMaxChannels; ++c) {
+      subject.coupling[c].artifact_gain *= rng.lognormal(0.0, 0.55 * w);
+      subject.coupling[c].cardiac_gain *= rng.lognormal(0.0, 0.20 * w);
+      subject.coupling[c].artifact_delay_s += rng.uniform(0.0, 0.025 * w);
+    }
+  }
+  return subject;
+}
+
+void add_motion_interference(ppg::MultiChannelTrace& trace,
+                             const ppg::UserProfile& subject,
+                             const ppg::SensorConfig& sensors,
+                             const ScenarioProfile& scenario,
+                             util::Rng& rng) {
+  if (scenario.motion == MotionScenario::kNone) return;
+  const std::size_t n = trace.length();
+  if (n == 0) return;
+  if (sensors.channels.size() < trace.num_channels()) {
+    throw std::invalid_argument(
+        "add_motion_interference: sensor config narrower than trace");
+  }
+
+  const bool walking = scenario.motion == MotionScenario::kWalkingEntry;
+  // Step cadence (walking) vs a slower body sway (shifting on the move).
+  const double cadence_hz =
+      walking ? rng.uniform(1.6, 2.1) : rng.uniform(0.9, 1.3);
+  // Reference amplitude: the subject's typical keystroke-artifact height,
+  // so intensity 1 means "interference the size of the signal" — enough
+  // to break authentication without ever *being* the signal.
+  const double reference =
+      std::abs(ppg::artifact_params(subject, '5').amplitude);
+  const double amp = scenario.motion_intensity * reference;
+  // Harmonic mix: walking has a strong per-step second harmonic; sway is
+  // nearly pure fundamental.  Band-limited by construction (three
+  // cadence-locked tones under a slow amplitude envelope, no broadband
+  // component).
+  const double h1 = walking ? 1.00 : 0.55;
+  const double h2 = walking ? 0.55 : 0.15;
+  const double h3 = walking ? 0.20 : 0.0;
+  const double p1 = rng.uniform(0.0, kTwoPi);
+  const double p2 = rng.uniform(0.0, kTwoPi);
+  const double p3 = rng.uniform(0.0, kTwoPi);
+  const double env_hz = rng.uniform(0.10, 0.22);
+  const double env_phase = rng.uniform(0.0, kTwoPi);
+
+  // One physical motion, rendered once and coupled per channel.
+  std::vector<double> motion(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / trace.rate_hz;
+    const double envelope =
+        1.0 + 0.35 * std::sin(kTwoPi * env_hz * t + env_phase);
+    motion[i] = amp * envelope *
+                (h1 * std::sin(kTwoPi * cadence_hz * t + p1) +
+                 h2 * std::sin(kTwoPi * 2.0 * cadence_hz * t + p2) +
+                 h3 * std::sin(kTwoPi * 3.0 * cadence_hz * t + p3));
+  }
+  for (std::size_t c = 0; c < trace.num_channels(); ++c) {
+    const std::size_t ci = sensors.channels[c].coupling_index;
+    if (ci >= ppg::kMaxChannels) {
+      throw std::invalid_argument(
+          "add_motion_interference: bad coupling index");
+    }
+    // Motion reaches the photodiode through the same tissue path as the
+    // keystroke artifacts: channels that couple artifacts strongly also
+    // couple motion strongly (magnitude only — motion has no per-user
+    // sign structure to leak).
+    const double gain = std::abs(subject.coupling[ci].artifact_gain);
+    std::vector<double>& ch = trace.channels[c];
+    for (std::size_t i = 0; i < ch.size() && i < n; ++i) {
+      ch[i] += gain * motion[i];
+    }
+  }
+}
+
+Trial make_scenario_trial(const ppg::UserProfile& subject,
+                          const keystroke::Pin& pin,
+                          const TrialOptions& options,
+                          const ScenarioProfile& scenario, util::Rng& rng) {
+  // Identity profiles take the exact make_trial path — same draws from
+  // `rng`, bit-identical trials — so a scenario-parameterised harness
+  // with the default profile reproduces every pre-scenario seed.
+  if (scenario.is_identity()) return make_trial(subject, pin, options, rng);
+
+  util::Rng scenario_rng = rng.fork("scenario");
+  const ppg::UserProfile shifted =
+      scenario_user(subject, scenario, scenario_rng);
+  Trial trial = make_trial(shifted, pin, options, rng);
+  trial.subject_id = subject.user_id;
+  add_motion_interference(trial.trace, shifted, options.sensors, scenario,
+                          scenario_rng);
+  return trial;
+}
+
+Trial make_scenario_random_attack(const ppg::UserProfile& attacker,
+                                  const TrialOptions& options,
+                                  const ScenarioProfile& scenario,
+                                  util::Rng& rng) {
+  if (scenario.is_identity()) {
+    return make_random_attack(attacker, options, rng);
+  }
+  util::Rng scenario_rng = rng.fork("scenario");
+  const ppg::UserProfile shifted =
+      scenario_user(attacker, scenario, scenario_rng);
+  Trial trial = make_random_attack(shifted, options, rng);
+  add_motion_interference(trial.trace, shifted, options.sensors, scenario,
+                          scenario_rng);
+  return trial;
+}
+
+Trial make_scenario_emulating_attack(const ppg::UserProfile& attacker,
+                                     const ppg::UserProfile& victim,
+                                     const keystroke::Pin& victim_pin,
+                                     const TrialOptions& options,
+                                     const EmulationOptions& emulation,
+                                     const ScenarioProfile& scenario,
+                                     util::Rng& rng) {
+  if (scenario.is_identity()) {
+    return make_emulating_attack(attacker, victim, victim_pin, options,
+                                 emulation, rng);
+  }
+  util::Rng scenario_rng = rng.fork("scenario");
+  // The scenario shifts only the attacker's physiology; the victim enters
+  // solely through the (public, shoulder-surfable) timing profile.
+  const ppg::UserProfile shifted =
+      scenario_user(attacker, scenario, scenario_rng);
+  Trial trial = make_emulating_attack(shifted, victim, victim_pin, options,
+                                      emulation, rng);
+  add_motion_interference(trial.trace, shifted, options.sensors, scenario,
+                          scenario_rng);
+  return trial;
+}
+
+}  // namespace p2auth::sim

@@ -1,0 +1,181 @@
+// Scenario profiles: *honest* signal variation (daily-life robustness).
+//
+// sim/faults.hpp corrupts traces the way broken hardware does; this
+// module perturbs them the way real life does.  The paper's 8-week pilot
+// assumes resting users with fresh templates, but deployed PPG biometrics
+// face (Yadav et al., Tang et al., see PAPERS.md):
+//
+//   * physiological state — elevated heart rate right after exertion and
+//     the exponential recovery back to rest (scaled CardiacProfile
+//     HR/HRV/amplitude);
+//   * daily-life motion — walking or typing-on-the-move adds band-limited,
+//     cadence-locked interference that couples into each channel through
+//     the same optical path as the keystroke artifacts (ChannelCoupling);
+//   * optical gain shifts — skin tone, ambient light and wearing-position
+//     (strap looseness) changes scale and perturb the per-channel
+//     couplings;
+//   * template aging — week-indexed slow drift of the hand/tissue factors
+//     and behavioural stability, mirroring the paper's 8-week pilot.
+//
+// Everything here is seeded and composable: one ScenarioProfile describes
+// a full condition (state x motion x gain x week), a default-constructed
+// profile is an exact no-op (bit-identical trials, no RNG draws), and
+// aging is a deterministic function of (user, week) — the same user at
+// the same week always has the same drifted physiology, which is what
+// lets an adaptive re-enrollment policy (core/adapt.hpp) track it.
+//
+// Security framing: scenarios model *legitimate* variation.  They carry
+// no attacker advantage by construction — they scale, shift or add
+// interference to whatever physiology the subject already has — so the
+// robustness bench (bench_scenarios) can assert the FAR-never-rises
+// invariant across the whole state x scenario x week matrix.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ppg/profile.hpp"
+#include "ppg/sensor.hpp"
+#include "ppg/simulator.hpp"
+#include "sim/attacks.hpp"
+#include "sim/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace p2auth::sim {
+
+// Physiological state of the wearer at entry time.
+enum class PhysioState {
+  kResting,     // the paper's evaluation condition
+  kElevated,    // right after exertion (climbing stairs, a jog)
+  kRecovering,  // `recovery_elapsed_s` into the exponential return to rest
+};
+
+// Daily-life motion overlay during the entry.
+enum class MotionScenario {
+  kNone,
+  kWalkingEntry,     // typing while walking: full gait interference
+  kTypingOnTheMove,  // strolling/shifting: weaker, lower-cadence sway
+};
+
+struct ScenarioProfile {
+  std::string name = "rest";
+
+  // --- physiological state ---
+  PhysioState state = PhysioState::kResting;
+  // Exertion intensity in [0, 1] (kElevated / kRecovering): 1 ~ heart
+  // rate pushed ~70% above rest with strongly suppressed HRV.
+  double exertion = 0.0;
+  // Seconds since exercise stopped (kRecovering); the effective exertion
+  // decays as exp(-elapsed / recovery_tau_s).
+  double recovery_elapsed_s = 0.0;
+  double recovery_tau_s = 90.0;
+
+  // --- motion ---
+  MotionScenario motion = MotionScenario::kNone;
+  // Interference amplitude at motion intensity 1, in units of the
+  // subject's typical keystroke-artifact amplitude.
+  double motion_intensity = 1.0;
+
+  // --- optical gain / wearing ---
+  // Multiplies every channel's cardiac and artifact coupling: < 1 models
+  // darker skin tone / low perfusion / strong ambient light stealing ADC
+  // range; > 1 a high-gain re-calibration.  1 = no shift.
+  double gain_scale = 1.0;
+  // Wearing-position shift in [0, 1]: 0 = the enrolled placement, 1 = a
+  // loosely re-donned strap (per-channel gain re-draws + extra artifact
+  // propagation delay).
+  double wearing_shift = 0.0;
+
+  // --- template aging ---
+  // Weeks since enrollment; drives the deterministic per-user drift of
+  // HandFactors and behavioural stability (0 = fresh templates).
+  std::size_t week = 0;
+  // Weekly drift scale: lognormal sigma applied to each hand factor per
+  // week (random walk), and the weekly stability decay factor.
+  double aging_sigma = 0.045;
+  double aging_stability_decay = 0.985;
+
+  // True for a profile that perturbs nothing (the clean baseline): no
+  // RNG draws are made and trials are bit-identical to make_trial.
+  bool is_identity() const noexcept;
+};
+
+// --- catalogue -------------------------------------------------------------
+// Named conditions used by bench_scenarios and run_experiment --scenario=.
+ScenarioProfile rest_scenario();
+ScenarioProfile elevated_scenario(double exertion = 0.8);
+ScenarioProfile recovering_scenario(double elapsed_s = 120.0,
+                                    double exertion = 0.8);
+ScenarioProfile walking_entry_scenario();
+ScenarioProfile typing_on_the_move_scenario();
+ScenarioProfile gain_shift_scenario(double gain_scale = 0.55);
+ScenarioProfile loose_strap_scenario(double shift = 0.7);
+
+// Looks a catalogue profile up by its `name` ("rest", "elevated",
+// "recovering", "walking", "typing-move", "gain-shift", "loose-strap");
+// nullopt for unknown names.
+std::optional<ScenarioProfile> scenario_by_name(std::string_view name);
+
+// Returns `scenario` with the aging week set (composition helper).
+ScenarioProfile aged(ScenarioProfile scenario, std::size_t week);
+
+// --- application -----------------------------------------------------------
+
+// Deterministic template aging: `base` drifted by `week` weeks of slow
+// random-walk change to HandFactors plus stability decay.  Purely a
+// function of (base.latent_seed, week, sigma): the same user at the same
+// week always ages identically, across processes and call sites.
+// week == 0 returns `base` unchanged.
+ppg::UserProfile age_user(const ppg::UserProfile& base, std::size_t week,
+                          double sigma = 0.045,
+                          double stability_decay = 0.985);
+
+// The subject as the scenario finds them: cardiac state scaled for
+// exertion/recovery, couplings scaled/re-drawn for gain and wearing
+// shifts, hand factors aged to `scenario.week`.  Draws only from `rng`
+// (wearing re-draws); state scaling and aging are deterministic.
+ppg::UserProfile scenario_user(const ppg::UserProfile& base,
+                               const ScenarioProfile& scenario,
+                               util::Rng& rng);
+
+// Adds the scenario's band-limited, cadence-locked motion interference to
+// `trace` in place.  The interference is one physical arm motion seen by
+// every channel, scaled per channel by the subject's artifact coupling
+// (|ChannelCoupling::artifact_gain|) — motion reaches the photodiode
+// through the same tissue path as the keystroke artifacts.  No-op for
+// MotionScenario::kNone.
+void add_motion_interference(ppg::MultiChannelTrace& trace,
+                             const ppg::UserProfile& subject,
+                             const ppg::SensorConfig& sensors,
+                             const ScenarioProfile& scenario, util::Rng& rng);
+
+// One PIN entry under the scenario: ages + state-shifts the subject,
+// simulates the entry, overlays motion interference.  For an identity
+// profile this is byte-for-byte make_trial (same draws from `rng`), so
+// existing seeds reproduce exactly.
+Trial make_scenario_trial(const ppg::UserProfile& subject,
+                          const keystroke::Pin& pin,
+                          const TrialOptions& options,
+                          const ScenarioProfile& scenario, util::Rng& rng);
+
+// Attack counterparts: the *attacker* lives in the same environment, so
+// the full scenario (state, motion, gain, week) applies to the attacker's
+// own physiology — it perturbs whatever physiology they already have and
+// by construction carries zero information about the victim, which is
+// what lets bench_scenarios assert FAR-never-rises across the matrix.
+// Identity profiles are byte-for-byte the plain attack generators.
+Trial make_scenario_random_attack(const ppg::UserProfile& attacker,
+                                  const TrialOptions& options,
+                                  const ScenarioProfile& scenario,
+                                  util::Rng& rng);
+Trial make_scenario_emulating_attack(const ppg::UserProfile& attacker,
+                                     const ppg::UserProfile& victim,
+                                     const keystroke::Pin& victim_pin,
+                                     const TrialOptions& options,
+                                     const EmulationOptions& emulation,
+                                     const ScenarioProfile& scenario,
+                                     util::Rng& rng);
+
+}  // namespace p2auth::sim

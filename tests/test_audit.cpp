@@ -424,7 +424,8 @@ TEST(AuditCodes, RejectReasonCodesArePinned) {
   EXPECT_EQ(core::audit_code(RejectReason::kBufferOverflow), 10);
   EXPECT_EQ(core::audit_code(RejectReason::kLockedOut), 11);
   EXPECT_EQ(core::audit_code(RejectReason::kIncomplete), 12);
-  EXPECT_EQ(core::kRejectReasonCodes, 13);
+  EXPECT_EQ(core::audit_code(RejectReason::kTemplateStale), 13);
+  EXPECT_EQ(core::kRejectReasonCodes, 14);
 }
 
 TEST(AuditCodes, DetectedCaseAndModelPathCodesArePinned) {

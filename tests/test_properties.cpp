@@ -14,6 +14,7 @@
 #include "ml/minirocket.hpp"
 #include "sim/attacks.hpp"
 #include "sim/dataset.hpp"
+#include "sim/faults.hpp"
 #include "util/serialize.hpp"
 
 namespace p2auth::core {
@@ -352,6 +353,113 @@ TEST(PipelineInvariants, BoostScoreMatchesAcceptDecision) {
       EXPECT_EQ(r.accepted, r.waveform_score >= 0.0);
     }
   }
+}
+
+// --- sim::FaultPlan invariants (the chaos bench's replay contract). ---
+
+sim::Trial fault_subject_trial(std::uint64_t seed) {
+  util::Rng r(seed);
+  sim::TrialOptions options;
+  return sim::make_trial(fixture().population.users[0], fixture().pin,
+                         options, r);
+}
+
+TEST(FaultPlanProperties, ZeroSeverityIsByteIdenticalNoOp) {
+  // Severity 0 must leave the trial untouched down to the bit — the
+  // chaos bench's severity sweep treats the 0 column as the clean
+  // baseline without regenerating trials.
+  util::Rng rng(31007);
+  for (int round = 0; round < 8; ++round) {
+    sim::Trial trial = fault_subject_trial(7000 + round);
+    const sim::Trial pristine = trial;
+    sim::FaultConfig cfg;
+    cfg.severity = 0.0;
+    // Randomize the rest of the mix: none of it may matter at severity 0.
+    cfg.dropout_prob = rng.uniform();
+    cfg.clock_skew_s = rng.uniform(0.0, 2.0);
+    cfg.spike_rate_hz = rng.uniform(0.0, 5.0);
+    sim::FaultPlan plan(cfg, rng.fork(round));
+    const sim::FaultLog log = plan.apply(trial.trace, trial.entry);
+    EXPECT_EQ(log.total(), 0u);
+    EXPECT_EQ(log.clock_skew_s, 0.0);
+    ASSERT_EQ(trial.entry.events.size(), pristine.entry.events.size());
+    for (std::size_t i = 0; i < trial.entry.events.size(); ++i) {
+      EXPECT_EQ(trial.entry.events[i].recorded_time_s,
+                pristine.entry.events[i].recorded_time_s);
+    }
+    ASSERT_EQ(trial.trace.channels.size(), pristine.trace.channels.size());
+    for (std::size_t c = 0; c < trial.trace.channels.size(); ++c) {
+      EXPECT_EQ(trial.trace.channels[c], pristine.trace.channels[c]);
+    }
+  }
+}
+
+TEST(FaultPlanProperties, SameConfigAndSeedCorruptIdentically) {
+  util::Rng rng(31017);
+  for (int round = 0; round < 6; ++round) {
+    sim::FaultConfig cfg;
+    cfg.severity = rng.uniform(0.2, 1.0);
+    const std::uint64_t plan_seed = rng.next_u64();
+    sim::Trial a = fault_subject_trial(7100 + round);
+    sim::Trial b = a;
+    sim::FaultPlan plan_a(cfg, util::Rng(plan_seed));
+    sim::FaultPlan plan_b(cfg, util::Rng(plan_seed));
+    const sim::FaultLog log_a = plan_a.apply(a.trace, a.entry);
+    const sim::FaultLog log_b = plan_b.apply(b.trace, b.entry);
+    EXPECT_EQ(log_a.total(), log_b.total());
+    EXPECT_EQ(log_a.clock_skew_s, log_b.clock_skew_s);
+    ASSERT_EQ(a.entry.events.size(), b.entry.events.size());
+    for (std::size_t i = 0; i < a.entry.events.size(); ++i) {
+      EXPECT_EQ(a.entry.events[i].recorded_time_s,
+                b.entry.events[i].recorded_time_s);
+    }
+    for (std::size_t c = 0; c < a.trace.channels.size(); ++c) {
+      const auto& ca = a.trace.channels[c];
+      const auto& cb = b.trace.channels[c];
+      ASSERT_EQ(ca.size(), cb.size());
+      for (std::size_t i = 0; i < ca.size(); ++i) {
+        // NaN bursts break operator== on the vectors; compare bitwise.
+        EXPECT_EQ(std::isnan(ca[i]), std::isnan(cb[i]));
+        if (!std::isnan(ca[i])) {
+          EXPECT_EQ(ca[i], cb[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultPlanProperties, ClockSkewLogMatchesAppliedOffset) {
+  // Regression: the log must record the offset every event actually
+  // received (the draw is bounded so no timestamp goes below t=0), and
+  // the shift must stay a per-session constant.
+  util::Rng rng(31027);
+  int skews_seen = 0;
+  for (int round = 0; round < 24; ++round) {
+    sim::Trial trial = fault_subject_trial(7200 + round);
+    const sim::Trial pristine = trial;
+    sim::FaultConfig cfg;
+    cfg.severity = rng.uniform(0.3, 1.0);
+    // Isolate the skew fault; a huge range forces the lower bound to
+    // engage on negative draws.
+    cfg.dropout_prob = cfg.flatline_prob = cfg.saturation_prob = 0.0;
+    cfg.nan_burst_prob = cfg.spike_rate_hz = 0.0;
+    cfg.duplicate_event_prob = cfg.swap_event_prob = 0.0;
+    cfg.clock_skew_s = 30.0;
+    sim::FaultPlan plan(cfg, rng.fork(round));
+    const sim::FaultLog log = plan.apply(trial.trace, trial.entry);
+    EXPECT_LE(std::abs(log.clock_skew_s),
+              cfg.severity * cfg.clock_skew_s + 1e-12);
+    ASSERT_EQ(trial.entry.events.size(), pristine.entry.events.size());
+    for (std::size_t i = 0; i < trial.entry.events.size(); ++i) {
+      EXPECT_DOUBLE_EQ(trial.entry.events[i].recorded_time_s,
+                       pristine.entry.events[i].recorded_time_s +
+                           log.clock_skew_s)
+          << "event " << i << " shifted by something other than the log";
+      EXPECT_GE(trial.entry.events[i].recorded_time_s, 0.0);
+    }
+    skews_seen += log.clock_skew_s != 0.0;
+  }
+  EXPECT_GT(skews_seen, 0);  // the fault actually exercised
 }
 
 }  // namespace

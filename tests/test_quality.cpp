@@ -12,6 +12,7 @@
 #include "core/preprocess.hpp"
 #include "core/quality.hpp"
 #include "sim/dataset.hpp"
+#include "sim/scenarios.hpp"
 
 namespace p2auth::core {
 namespace {
@@ -175,6 +176,60 @@ TEST(Quality, PreprocessMasksUnhealthyChannelOnSimulatedTrial) {
   EXPECT_NE(pre.reference_channel_used, 1u);
   for (const double v : pre.detrended_reference) {
     EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Quality, ElevatedHeartRateIsNotDegradedEvidence) {
+  // Honest physiological variation must not read as sensor damage: an
+  // elevated-HR entry (post-exercise login, no injected faults) keeps
+  // every channel usable — the gate is for broken sensors, not fast
+  // hearts.
+  sim::PopulationConfig cfg;
+  cfg.num_users = 1;
+  cfg.seed = 1203;
+  sim::Population population = sim::make_population(cfg);
+  for (int i = 0; i < 4; ++i) {
+    util::Rng rng(2000 + i);
+    sim::Trial trial = sim::make_scenario_trial(
+        population.users[0], keystroke::Pin("1234"), sim::TrialOptions{},
+        sim::elevated_scenario(1.0), rng);
+    const ChannelHealth health = assess_channels(trial.trace);
+    EXPECT_EQ(health.usable_count(), trial.trace.num_channels())
+        << "elevated-HR trial " << i << " tripped the channel gate";
+    // Full-evidence preprocess: the authenticator derives its
+    // kDegradedEvidence reject from exactly this usable count.
+    const PreprocessedEntry pre =
+        preprocess_entry({trial.entry, trial.trace});
+    EXPECT_EQ(pre.health.usable_count(), trial.trace.num_channels());
+    EXPECT_FALSE(pre.no_usable_channel());
+  }
+}
+
+TEST(Quality, MotionScenarioIsNotDegradedEvidence) {
+  // Cadence-locked walking interference is honest in-band variation, not
+  // a fault: all channels stay usable and no spurious degraded-evidence
+  // reject fires.  (Walking may still cost FRR at the classifier — that
+  // trade-off is the robustness bench's to measure, not the gate's to
+  // preempt.)
+  sim::PopulationConfig cfg;
+  cfg.num_users = 1;
+  cfg.seed = 1203;
+  sim::Population population = sim::make_population(cfg);
+  for (const sim::ScenarioProfile& scenario :
+       {sim::walking_entry_scenario(), sim::typing_on_the_move_scenario()}) {
+    for (int i = 0; i < 4; ++i) {
+      util::Rng rng(3000 + i);
+      sim::Trial trial = sim::make_scenario_trial(
+          population.users[0], keystroke::Pin("1234"), sim::TrialOptions{},
+          scenario, rng);
+      const ChannelHealth health = assess_channels(trial.trace);
+      EXPECT_EQ(health.usable_count(), trial.trace.num_channels())
+          << scenario.name << " trial " << i << " tripped the channel gate";
+      const PreprocessedEntry pre =
+          preprocess_entry({trial.entry, trial.trace});
+      EXPECT_EQ(pre.health.usable_count(), trial.trace.num_channels());
+      EXPECT_FALSE(pre.no_usable_channel());
+    }
   }
 }
 
