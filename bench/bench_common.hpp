@@ -1,6 +1,8 @@
 // Shared helpers for the per-figure bench binaries.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -63,13 +65,27 @@ class BenchReport {
 
   obs::Report& report() noexcept { return report_; }
 
+  // Concurrent benches drive their own thread/shard topology instead of
+  // the shared pool's default; record the actual values so the report's
+  // "threads" field means the same thing across every bench.  `shards`
+  // stays unset (and unreported) for the single-tenant benches.
+  void concurrency(std::size_t threads, std::size_t shards = 0) {
+    threads_override_ = threads;
+    shards_ = shards;
+  }
+
   // Attaches the current metrics + span aggregates and writes
   // BENCH_<name>.json into the working directory (next to the CSVs).
   void write() {
     // Thread count the pool-backed stages ran with, so BENCH json from
     // different machines / P2AUTH_THREADS settings stay comparable.
     report_.set("threads",
-                static_cast<std::uint64_t>(util::resolve_threads(0)));
+                static_cast<std::uint64_t>(
+                    threads_override_ != 0 ? threads_override_
+                                           : util::resolve_threads(0)));
+    if (shards_ != 0) {
+      report_.set("shards", static_cast<std::uint64_t>(shards_));
+    }
     // SIMD backend the kernels dispatched to, so numbers from hosts with
     // different ISAs (or forced P2AUTH_BACKEND runs) stay attributable.
     report_.set("backend", std::string(backend::kernels().name));
@@ -82,6 +98,8 @@ class BenchReport {
 
  private:
   obs::Report report_;
+  std::size_t threads_override_ = 0;
+  std::size_t shards_ = 0;
 };
 
 }  // namespace p2auth::bench

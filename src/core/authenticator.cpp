@@ -1,7 +1,9 @@
 #include "core/authenticator.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "keystroke/pinpad.hpp"
 #include "obs/audit.hpp"
@@ -11,36 +13,6 @@
 namespace p2auth::core {
 
 namespace {
-
-// Verifies detected keystrokes with the per-key models and counts
-// passing votes.  Missing key models vote -1 (fail safe).  One scratch
-// and feature buffer serve every per-key model scored in the attempt.
-std::vector<int> vote_keystrokes(const EnrolledUser& user,
-                                 const PreprocessedEntry& pre,
-                                 const Observation& observation,
-                                 const AuthOptions& options,
-                                 ml::TransformScratch& scratch,
-                                 linalg::Vector& features) {
-  std::vector<int> votes;
-  for (std::size_t i = 0; i < pre.keystroke_present.size(); ++i) {
-    if (!pre.keystroke_present[i]) continue;
-    const char digit = observation.entry.pin.at(i);
-    if (!user.has_key_model(digit)) {
-      votes.push_back(-1);
-      continue;
-    }
-    const std::vector<Series> segment =
-        extract_segment(pre.filtered, pre.calibrated_indices[i], pre.rate_hz,
-                        options.segmentation);
-    const std::size_t k = keystroke::key_index(digit);
-    votes.push_back(
-        user.key_models[k]->accept(segment, scratch, features) ? 1 : -1);
-  }
-  for (const int v : votes) {
-    obs::add_counter(v == 1 ? "auth.votes.pass" : "auth.votes.fail");
-  }
-  return votes;
-}
 
 std::size_t passing(const std::vector<int>& votes) {
   return static_cast<std::size_t>(
@@ -73,17 +45,45 @@ void record_outcome(const AuthResult& result) {
                    reject_reason_slug(result.reason));
 }
 
-AuthResult authenticate_impl(const EnrolledUser& user,
-                             const Observation& observation,
-                             const AuthOptions& options, bool timed) {
-  AuthResult result;
+// Builds the per-key vote plan: one ScoringUnit per detected keystroke
+// with an enrolled key model, a pre-filled -1 vote (fail safe) for the
+// rest, in detected-keystroke order.
+void plan_votes(const EnrolledUser& user, const PreprocessedEntry& pre,
+                const Observation& observation, const AuthOptions& options,
+                PreparedAuth& prepared) {
+  for (std::size_t i = 0; i < pre.keystroke_present.size(); ++i) {
+    if (!pre.keystroke_present[i]) continue;
+    const char digit = observation.entry.pin.at(i);
+    if (!user.has_key_model(digit)) {
+      prepared.votes.push_back(-1);
+      continue;
+    }
+    const std::size_t k = keystroke::key_index(digit);
+    ScoringUnit unit;
+    unit.model = &*user.key_models[k];
+    unit.waveform =
+        extract_segment(pre.filtered, pre.calibrated_indices[i], pre.rate_hz,
+                        options.segmentation);
+    unit.vote_slot = prepared.votes.size();
+    prepared.votes.push_back(0);  // decided by finish_authentication
+    prepared.units.push_back(std::move(unit));
+  }
+}
+
+PreparedAuth prepare_impl(const EnrolledUser& user,
+                          const Observation& observation,
+                          const AuthOptions& options, bool timed) {
+  PreparedAuth prepared;
+  prepared.integration = options.integration;
+  AuthResult& result = prepared.result;
+  prepared.decided = true;  // cleared when a scoring plan is produced
 
   // --- Structural sanity: the phone's keystroke log must agree with the
   // typed PIN.  A duplicated or dropped log event would otherwise index
   // per-key models out of range; reject loudly instead.
   if (observation.entry.events.size() != observation.entry.pin.length()) {
     result.reason = RejectReason::kMalformedEntry;
-    return result;
+    return prepared;
   }
 
   // --- Factor 1: PIN verification. ---
@@ -104,7 +104,7 @@ AuthResult authenticate_impl(const EnrolledUser& user,
     }
     if (wrong_pin) {
       result.reason = RejectReason::kWrongPin;
-      return result;
+      return prepared;
     }
   }
 
@@ -132,7 +132,7 @@ AuthResult authenticate_impl(const EnrolledUser& user,
     result.reason = pre.no_usable_channel()
                         ? RejectReason::kNoUsableChannel
                         : RejectReason::kTooFewKeystrokes;
-    return result;
+    return prepared;
   }
 
   // Channel-health policy gate.  Preprocessing proceeded on the
@@ -148,20 +148,14 @@ AuthResult authenticate_impl(const EnrolledUser& user,
       pre.health.usable_count() < pre.health.channels.size()) {
     obs::add_counter("auth.degraded_evidence");
     result.reason = RejectReason::kDegradedEvidence;
-    return result;
+    return prepared;
   }
 
-  // --- Factor 2: keystroke-induced PPG verification. ---
-  // Covers per-case classification and results integration; segmentation
-  // and model spans nest inside it.
+  // --- Factor 2: keystroke-induced PPG verification — plan building.
+  // Covers evidence validation and waveform extraction; the model
+  // scoring itself is deferred to the caller (serial in authenticate,
+  // batched across attempts in the service front end).
   const obs::Span integration("auth.integration", "core");
-
-  // One MiniRocket scratch and one feature buffer serve every model
-  // scored in this attempt (up to four per-key models or one waveform
-  // model); warmed on the first attempt per thread, later attempts
-  // allocate nothing in the scoring hot path.
-  ml::TransformScratch& scratch = ml::thread_transform_scratch();
-  thread_local linalg::Vector features;
 
   // Scoring-window evidence checks (strict policy only).  Channel-level
   // gating above bounds global corruption; these catch faults localized
@@ -195,21 +189,19 @@ AuthResult authenticate_impl(const EnrolledUser& user,
       // No-PIN mode: verify each keystroke; >= 3 of 4 must pass.
       if (strict && !used_segments_ok()) {
         result.reason = RejectReason::kDegradedEvidence;
-        return result;
+        return prepared;
       }
-      result.votes =
-          vote_keystrokes(user, pre, observation, options, scratch, features);
+      prepared.no_pin_votes = true;
       result.model_path = ModelPath::kPerKeyVotes;
-      result.accepted = passing(result.votes) >= 3;
-      result.reason =
-          result.accepted ? RejectReason::kNone : RejectReason::kVotesRejected;
-      return result;
+      plan_votes(user, pre, observation, options, prepared);
+      prepared.decided = false;
+      return prepared;
     }
     if (user.privacy_boost && user.boost_model.has_value()) {
       // Fused single-keystroke waveform (privacy boost).
       if (strict && !used_segments_ok()) {
         result.reason = RejectReason::kDegradedEvidence;
-        return result;
+        return prepared;
       }
       std::vector<std::vector<Series>> segments;
       for (std::size_t i = 0; i < pre.keystroke_present.size(); ++i) {
@@ -218,17 +210,17 @@ AuthResult authenticate_impl(const EnrolledUser& user,
                                            pre.calibrated_indices[i],
                                            pre.rate_hz, options.segmentation));
       }
-      const std::vector<Series> fused = fuse_segments(segments);
-      result.waveform_score = user.boost_model->decision(fused, scratch, features);
+      ScoringUnit unit;
+      unit.model = &*user.boost_model;
+      unit.waveform = fuse_segments(segments);
       result.model_path = ModelPath::kBoost;
-      result.accepted = result.waveform_score >= 0.0;
-      result.reason =
-          result.accepted ? RejectReason::kNone : RejectReason::kModelRejected;
-      return result;
+      prepared.units.push_back(std::move(unit));
+      prepared.decided = false;
+      return prepared;
     }
     if (!user.full_model.has_value()) {
       result.reason = RejectReason::kNoModel;
-      return result;
+      return prepared;
     }
     std::size_t first = pre.calibrated_indices.front();
     for (std::size_t i = 0; i < pre.keystroke_present.size(); ++i) {
@@ -246,50 +238,129 @@ AuthResult authenticate_impl(const EnrolledUser& user,
                                       window_begin, window_begin + span,
                                       options.preprocess.quality)) {
       result.reason = RejectReason::kDegradedEvidence;
-      return result;
+      return prepared;
     }
-    const std::vector<Series> full = extract_full_waveform(
-        pre.filtered, first, pre.rate_hz, options.segmentation);
-    result.waveform_score = user.full_model->decision(full, scratch, features);
+    ScoringUnit unit;
+    unit.model = &*user.full_model;
+    unit.waveform = extract_full_waveform(pre.filtered, first, pre.rate_hz,
+                                          options.segmentation);
     result.model_path = ModelPath::kFullWaveform;
+    prepared.units.push_back(std::move(unit));
+    prepared.decided = false;
+    return prepared;
+  }
+
+  // Two-handed cases: single-waveform models + results integration.
+  if (strict && !used_segments_ok()) {
+    result.reason = RejectReason::kDegradedEvidence;
+    return prepared;
+  }
+  result.model_path = ModelPath::kPerKeyVotes;
+  plan_votes(user, pre, observation, options, prepared);
+  prepared.decided = false;
+  return prepared;
+}
+
+AuthResult authenticate_impl(const EnrolledUser& user,
+                             const Observation& observation,
+                             const AuthOptions& options, bool timed) {
+  PreparedAuth prepared = prepare_impl(user, observation, options, timed);
+  if (prepared.decided) {
+    return finish_authentication(std::move(prepared), {});
+  }
+
+  // Serial scoring: one MiniRocket scratch and one feature buffer serve
+  // every model scored in this attempt (up to four per-key models or one
+  // waveform model); warmed on the first attempt per thread, later
+  // attempts allocate nothing in the scoring hot path.  The batched
+  // service path routes the same units through
+  // WaveformModel::decisions, which is pinned bit-identical to this
+  // per-waveform loop by the differential suite.
+  ml::TransformScratch& scratch = ml::thread_transform_scratch();
+  thread_local linalg::Vector features;
+  std::vector<double> decisions(prepared.units.size(), 0.0);
+  for (std::size_t i = 0; i < prepared.units.size(); ++i) {
+    decisions[i] = prepared.units[i].model->decision(
+        prepared.units[i].waveform, scratch, features);
+  }
+  return finish_authentication(std::move(prepared), decisions);
+}
+
+}  // namespace
+
+PreparedAuth prepare_authentication(const EnrolledUser& user,
+                                    const Observation& observation,
+                                    const AuthOptions& options) {
+  const bool timed = obs::enabled() || obs::audit_recorder() != nullptr;
+  return prepare_impl(user, observation, options, timed);
+}
+
+AuthResult finish_authentication(PreparedAuth prepared,
+                                 std::span<const double> decisions) {
+  AuthResult result = std::move(prepared.result);
+  if (prepared.decided) {
+    return result;
+  }
+  if (decisions.size() != prepared.units.size()) {
+    throw std::invalid_argument(
+        "finish_authentication: decision count does not match scoring plan");
+  }
+
+  // Scatter decision values: waveform paths carry a signed score, vote
+  // paths an accept/reject vote per scored keystroke.
+  for (std::size_t i = 0; i < prepared.units.size(); ++i) {
+    const ScoringUnit& unit = prepared.units[i];
+    if (unit.vote_slot == ScoringUnit::kScoreSlot) {
+      result.waveform_score = decisions[i];
+    } else {
+      prepared.votes[unit.vote_slot] = decisions[i] >= 0.0 ? 1 : -1;
+    }
+  }
+
+  if (result.model_path == ModelPath::kFullWaveform ||
+      result.model_path == ModelPath::kBoost) {
     result.accepted = result.waveform_score >= 0.0;
     result.reason =
         result.accepted ? RejectReason::kNone : RejectReason::kModelRejected;
     return result;
   }
 
-  // Two-handed cases: single-waveform models + results integration.
-  if (strict && !used_segments_ok()) {
-    result.reason = RejectReason::kDegradedEvidence;
-    return result;
+  // Per-key votes + results integration.
+  result.votes = std::move(prepared.votes);
+  for (const int v : result.votes) {
+    obs::add_counter(v == 1 ? "auth.votes.pass" : "auth.votes.fail");
   }
-  result.votes =
-      vote_keystrokes(user, pre, observation, options, scratch, features);
-  result.model_path = ModelPath::kPerKeyVotes;
   const std::size_t pass = passing(result.votes);
-  switch (options.integration) {
-    case IntegrationPolicy::kPaper:
-      if (pre.detected_case == DetectedCase::kTwoHandedThree) {
-        result.accepted = pass >= 2;  // 2-of-3
-      } else {
+  if (prepared.no_pin_votes) {
+    result.accepted = pass >= 3;
+  } else {
+    switch (prepared.integration) {
+      case IntegrationPolicy::kPaper:
+        if (result.detected_case == DetectedCase::kTwoHandedThree) {
+          result.accepted = pass >= 2;  // 2-of-3
+        } else {
+          result.accepted =
+              (pass == result.votes.size()) && !result.votes.empty();
+        }
+        break;
+      case IntegrationPolicy::kAll:
         result.accepted =
             (pass == result.votes.size()) && !result.votes.empty();
-      }
-      break;
-    case IntegrationPolicy::kAll:
-      result.accepted =
-          (pass == result.votes.size()) && !result.votes.empty();
-      break;
-    case IntegrationPolicy::kAny:
-      result.accepted = pass >= 1;
-      break;
+        break;
+      case IntegrationPolicy::kAny:
+        result.accepted = pass >= 1;
+        break;
+    }
   }
   result.reason =
       result.accepted ? RejectReason::kNone : RejectReason::kVotesRejected;
   return result;
 }
 
-}  // namespace
+void commit_decision(std::uint32_t user_id, const AuthResult& result) {
+  record_outcome(result);
+  audit_decision(user_id, result);
+}
 
 AuthResult authenticate(const EnrolledUser& user,
                         const Observation& observation,
@@ -310,8 +381,7 @@ AuthResult authenticate(const EnrolledUser& user,
     result.latencies.model_us =
         std::max(0.0, result.latencies.total_us - staged);
   }
-  record_outcome(result);
-  audit_decision(user.user_id, result);
+  commit_decision(user.user_id, result);
   return result;
 }
 

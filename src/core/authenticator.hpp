@@ -14,7 +14,9 @@
 //     one-handed entry; two-handed rules as above).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -88,6 +90,72 @@ struct AuthResult {
 AuthResult authenticate(const EnrolledUser& user,
                         const Observation& observation,
                         const AuthOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Two-phase decision pipeline.
+//
+// `authenticate` is prepare -> score -> finish fused into one call.  The
+// phases are exposed so a request-level front end (src/service/) can run
+// the cheap per-request phases independently and batch the expensive
+// middle one: scoring units of *concurrent* attempts that target the
+// same model are pushed through one `WaveformModel::decisions` batch
+// (one `transform_batch` per model), which is bit-identical to the
+// per-waveform path — so a batched service decision equals a serial
+// `authenticate` replay of the same request, bit for bit.
+
+// One deferred biometric scoring job: `waveform` is to be scored by
+// `model`; the signed decision value is handed back to
+// `finish_authentication` in unit order.
+struct ScoringUnit {
+  static constexpr std::size_t kScoreSlot = static_cast<std::size_t>(-1);
+
+  const WaveformModel* model = nullptr;
+  std::vector<Series> waveform;
+  // Index into PreparedAuth::votes this unit's accept/reject vote lands
+  // in, or kScoreSlot for the one-handed full/boost waveform score.
+  std::size_t vote_slot = kScoreSlot;
+};
+
+// Product of `prepare_authentication`: either an already-decided result
+// (wrong PIN, gating, timeout-class rejects) or the scoring plan of a
+// still-open attempt.
+struct PreparedAuth {
+  // Staged result: PIN flags, detected case, channel health and the
+  // pin/preprocess stage latencies are already filled in.
+  AuthResult result;
+  // True when the attempt decided before reaching a model: `units` is
+  // empty and `finish_authentication` returns `result` unchanged.
+  bool decided = false;
+  std::vector<ScoringUnit> units;
+  // Vote vector template for the per-key paths, in detected-keystroke
+  // order: slots addressed by ScoringUnit::vote_slot are overwritten by
+  // finish; slots whose key model was missing are pre-filled with -1
+  // (fail safe), exactly as the fused path votes.
+  std::vector<int> votes;
+  // Integration inputs captured at prepare time.
+  IntegrationPolicy integration = IntegrationPolicy::kPaper;
+  // One-handed no-PIN attempts integrate votes as >= 3-of-4 instead of
+  // the two-handed policy table.
+  bool no_pin_votes = false;
+};
+
+// Phase 1: PIN verification, preprocessing, case identification,
+// channel/evidence gating and waveform extraction.  Performs no model
+// scoring.
+PreparedAuth prepare_authentication(const EnrolledUser& user,
+                                    const Observation& observation,
+                                    const AuthOptions& options = {});
+
+// Phase 3: applies the signed decision values (`decisions[i]` belongs to
+// `prepared.units[i]`; size must match) and runs results integration.
+// Throws std::invalid_argument on a size mismatch.  Does not record the
+// outcome — callers pair it with `commit_decision`.
+AuthResult finish_authentication(PreparedAuth prepared,
+                                 std::span<const double> decisions);
+
+// Outcome bookkeeping shared by `authenticate` and the batched service
+// path: obs decision counters plus the decision flight recorder.
+void commit_decision(std::uint32_t user_id, const AuthResult& result);
 
 // Submits one decided attempt to the installed decision flight recorder
 // (obs/audit); no-op when none is installed.  `authenticate` calls this

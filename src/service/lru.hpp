@@ -1,0 +1,70 @@
+// Per-shard LRU of hot decision state.
+//
+// The service keeps materialized models (deep copies out of the mmap
+// store) only for the users currently seeing traffic; everyone else
+// stays as cold record bytes in the mapping.  One cache serves one
+// shard, so the caller provides the locking (a shard mutex) and the
+// cache itself stays a plain single-threaded structure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace p2auth::service {
+
+template <typename V>
+class LruCache {
+ public:
+  // `capacity` == 0 disables caching (every find misses, inserts are
+  // dropped) — useful for forcing the re-materialization path in tests.
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  // Looks `key` up and promotes it to most-recently-used; nullptr on a
+  // miss.  The pointer stays valid until the entry is evicted.
+  V* find(std::string_view key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return &it->second->second;
+  }
+
+  // Inserts (or refreshes) `key`, evicting the least-recently-used entry
+  // when the cache is full.  Returns a pointer to the stored value
+  // (nullptr when capacity is 0).
+  V* insert(std::string key, V value) {
+    if (capacity_ == 0) return nullptr;
+    if (V* existing = find(key)) {
+      *existing = std::move(value);
+      return existing;
+    }
+    if (entries_.size() >= capacity_) {
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+      ++evictions_;
+    }
+    entries_.emplace_front(std::move(key), std::move(value));
+    index_.emplace(entries_.front().first, entries_.begin());
+    return &entries_.front().second;
+  }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+
+ private:
+  using Entry = std::pair<std::string, V>;
+  std::size_t capacity_;
+  std::uint64_t evictions_ = 0;
+  std::list<Entry> entries_;  // front = most recently used
+  // Keys view the list nodes' strings (stable across splice), so lookup
+  // is heterogeneous and allocation-free.
+  std::map<std::string_view, typename std::list<Entry>::iterator>
+      index_;
+};
+
+}  // namespace p2auth::service

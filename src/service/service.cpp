@@ -1,0 +1,356 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "service/lru.hpp"
+#include "service/queue.hpp"
+#include "util/thread_pool.hpp"
+
+namespace p2auth::service {
+
+const char* to_string(RequestStatus status) noexcept {
+  switch (status) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kUnknownUser: return "unknown_user";
+    case RequestStatus::kOverloaded: return "overloaded";
+    case RequestStatus::kShuttingDown: return "shutting_down";
+  }
+  return "unknown";
+}
+
+struct AuthService::Pending {
+  AuthRequest request;
+  std::promise<AuthResponse> promise;
+  std::int64_t enqueue_us = 0;
+};
+
+struct AuthService::Shard {
+  std::mutex mu;
+  LruCache<std::shared_ptr<const core::EnrolledUser>> cache;
+
+  explicit Shard(std::size_t capacity) : cache(capacity) {}
+};
+
+struct AuthService::Impl {
+  std::shared_ptr<ModelSource> source;
+  ServiceOptions options;
+  BoundedQueue<Pending> queue;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<std::thread> workers;
+  std::atomic<bool> accepting{true};
+  std::once_flag stop_once;
+  std::atomic<bool> stopped{false};
+
+  // Stats (relaxed atomics: monotonic counters, no ordering needed).
+  std::atomic<std::uint64_t> submitted{0}, admitted{0}, overloaded{0},
+      shutdown_rejects{0}, completed{0}, unknown_user{0}, accepted{0},
+      lru_hits{0}, lru_misses{0}, batches{0}, batched_requests{0},
+      max_batch{0};
+
+  Impl(std::shared_ptr<ModelSource> src, const ServiceOptions& opts)
+      : source(std::move(src)), options(opts),
+        queue(opts.queue_capacity) {
+    shards.reserve(opts.shards);
+    for (std::size_t i = 0; i < opts.shards; ++i) {
+      shards.push_back(std::make_unique<Shard>(opts.lru_capacity));
+    }
+  }
+
+  // Resolves a user through the shard cache, materializing from the
+  // source on a miss.  nullptr = unknown name.  Concurrent misses for
+  // one name may materialize twice; the second insert wins and both
+  // copies decide identically (materialization is deterministic).
+  std::shared_ptr<const core::EnrolledUser> resolve(std::string_view name) {
+    Shard& shard = *shards[shard_index(name)];
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (auto* hit = shard.cache.find(name)) {
+        lru_hits.fetch_add(1, std::memory_order_relaxed);
+        return *hit;
+      }
+    }
+    std::optional<core::EnrolledUser> loaded = source->load(name);
+    if (!loaded.has_value()) return nullptr;
+    lru_misses.fetch_add(1, std::memory_order_relaxed);
+    obs::add_counter("service.lru.miss");
+    auto model =
+        std::make_shared<const core::EnrolledUser>(std::move(*loaded));
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Re-check: if a racing miss inserted meanwhile, adopt the cached
+    // pointer so one canonical model per name feeds batch grouping.
+    if (auto* hit = shard.cache.find(name)) return *hit;
+    shard.cache.insert(std::string(name), model);
+    return model;
+  }
+
+  std::size_t shard_index(std::string_view name) const noexcept {
+    return static_cast<std::size_t>(route_hash(name) %
+                                    static_cast<std::uint64_t>(shards.size()));
+  }
+
+  std::uint64_t cache_evictions() const {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->cache.evictions();
+    }
+    return total;
+  }
+
+  void worker_loop() {
+    std::vector<Pending> batch;
+    while (queue.pop_batch(options.max_batch, batch)) {
+      process_batch(batch);
+    }
+    obs::flush_thread_metrics();
+  }
+
+  void process_batch(std::vector<Pending>& batch);
+};
+
+void AuthService::Impl::process_batch(std::vector<Pending>& batch) {
+  // One request mid-flight through this batch.
+  struct Slot {
+    Pending* pending = nullptr;
+    std::shared_ptr<const core::EnrolledUser> user;
+    core::PreparedAuth prepared;
+    std::vector<double> decisions;  // unit order
+    std::int64_t start_us = 0;      // dequeue time (service_us anchor)
+    bool open = false;              // still needs finish + respond
+  };
+
+  const obs::Span span("service.batch", "service");
+  const bool timed = obs::enabled() || obs::audit_recorder() != nullptr;
+  batches.fetch_add(1, std::memory_order_relaxed);
+  obs::add_counter("service.batches");
+  if (batch.size() > 1) {
+    batched_requests.fetch_add(batch.size(), std::memory_order_relaxed);
+  }
+  std::uint64_t seen = max_batch.load(std::memory_order_relaxed);
+  while (batch.size() > seen &&
+         !max_batch.compare_exchange_weak(seen, batch.size(),
+                                          std::memory_order_relaxed)) {
+  }
+
+  // --- Per-request phases: resolve + prepare. -------------------------
+  std::vector<Slot> slots(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Slot& slot = slots[i];
+    slot.pending = &batch[i];
+    slot.start_us = obs::now_us();
+    AuthResponse response;
+    response.request_id = batch[i].request.request_id;
+    response.queue_us =
+        static_cast<double>(slot.start_us - batch[i].enqueue_us);
+    obs::observe_latency_us("service.queue_us", response.queue_us);
+
+    slot.user = resolve(batch[i].request.user);
+    if (slot.user == nullptr) {
+      unknown_user.fetch_add(1, std::memory_order_relaxed);
+      obs::add_counter("service.unknown_user");
+      response.status = RequestStatus::kUnknownUser;
+      response.service_us =
+          static_cast<double>(obs::now_us() - slot.start_us);
+      batch[i].promise.set_value(std::move(response));
+      continue;
+    }
+    try {
+      slot.prepared = core::prepare_authentication(
+          *slot.user, batch[i].request.observation, options.auth);
+    } catch (const std::exception&) {
+      // A structurally invalid observation (empty trace, ragged
+      // channels) throws in preprocessing; the service answers it like
+      // the pipeline answers an inconsistent keystroke log.
+      slot.prepared = core::PreparedAuth{};
+      slot.prepared.decided = true;
+      slot.prepared.result.reason = core::RejectReason::kMalformedEntry;
+    }
+    slot.decisions.assign(slot.prepared.units.size(), 0.0);
+    slot.open = true;
+  }
+
+  // --- Shared scoring: group every unit in the batch by target model
+  // and push each group through one WaveformModel::decisions call (one
+  // transform_batch per model).  Grouping order is first-appearance, so
+  // the batch composition — not pointer values — drives the layout;
+  // either way each waveform's features are computed independently and
+  // bit-identically to the serial loop.
+  struct Group {
+    const core::WaveformModel* model = nullptr;
+    std::vector<std::vector<core::Series>> waveforms;
+    std::vector<std::pair<std::size_t, std::size_t>> origin;  // slot, unit
+  };
+  std::vector<Group> groups;
+  std::unordered_map<const core::WaveformModel*, std::size_t> group_of;
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    if (!slots[s].open) continue;
+    auto& units = slots[s].prepared.units;
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      const auto [it, fresh] =
+          group_of.try_emplace(units[u].model, groups.size());
+      if (fresh) {
+        groups.emplace_back();
+        groups.back().model = units[u].model;
+      }
+      Group& g = groups[it->second];
+      g.waveforms.push_back(std::move(units[u].waveform));
+      g.origin.emplace_back(s, u);
+    }
+  }
+  for (Group& g : groups) {
+    const linalg::Vector scores =
+        g.model->decisions(g.waveforms, options.batch_threads);
+    for (std::size_t i = 0; i < g.origin.size(); ++i) {
+      slots[g.origin[i].first].decisions[g.origin[i].second] = scores[i];
+    }
+  }
+
+  // --- Per-request integration + response. ----------------------------
+  for (Slot& slot : slots) {
+    if (!slot.open) continue;
+    AuthResponse response;
+    response.request_id = slot.pending->request.request_id;
+    response.queue_us =
+        static_cast<double>(slot.start_us - slot.pending->enqueue_us);
+    response.batch_size = batch.size();
+    core::AuthResult result = core::finish_authentication(
+        std::move(slot.prepared), slot.decisions);
+    if (timed) {
+      // Same staging as core::authenticate; in batched mode model_us
+      // covers the shared scoring section's wall time.
+      result.latencies.total_us =
+          static_cast<double>(obs::now_us() - slot.start_us);
+      const double staged =
+          result.latencies.pin_us + result.latencies.preprocess_us;
+      result.latencies.model_us =
+          std::max(0.0, result.latencies.total_us - staged);
+    }
+    core::commit_decision(slot.user->user_id, result);
+    completed.fetch_add(1, std::memory_order_relaxed);
+    if (result.accepted) accepted.fetch_add(1, std::memory_order_relaxed);
+    obs::add_counter("service.completed");
+    response.service_us =
+        static_cast<double>(obs::now_us() - slot.start_us);
+    obs::observe_latency_us("service.total_us",
+                            response.queue_us + response.service_us);
+    response.result = std::move(result);
+    slot.pending->promise.set_value(std::move(response));
+  }
+}
+
+AuthService::AuthService(std::shared_ptr<ModelSource> source,
+                         ServiceOptions options)
+    : options_(options) {
+  if (source == nullptr) {
+    throw std::invalid_argument("AuthService: null model source");
+  }
+  if (options.shards == 0) {
+    throw std::invalid_argument("AuthService: shards must be positive");
+  }
+  if (options.queue_capacity == 0) {
+    throw std::invalid_argument(
+        "AuthService: queue capacity must be positive");
+  }
+  if (options.max_batch == 0) options_.max_batch = 1;
+  impl_ = std::make_unique<Impl>(std::move(source), options_);
+  const std::size_t workers = util::resolve_threads(options_.workers);
+  impl_->workers.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+AuthService::~AuthService() { stop(); }
+
+std::future<AuthResponse> AuthService::submit(AuthRequest request) {
+  impl_->submitted.fetch_add(1, std::memory_order_relaxed);
+  obs::add_counter("service.submitted");
+  Pending pending;
+  pending.request = std::move(request);
+  pending.enqueue_us = obs::now_us();
+  std::future<AuthResponse> future = pending.promise.get_future();
+  if (!impl_->accepting.load(std::memory_order_acquire)) {
+    impl_->shutdown_rejects.fetch_add(1, std::memory_order_relaxed);
+    AuthResponse response;
+    response.request_id = pending.request.request_id;
+    response.status = RequestStatus::kShuttingDown;
+    pending.promise.set_value(std::move(response));
+    return future;
+  }
+  if (!impl_->queue.try_push(std::move(pending))) {
+    // Typed load shedding: the queue is full (or closed by a racing
+    // stop()); answer immediately instead of blocking or dropping.
+    impl_->overloaded.fetch_add(1, std::memory_order_relaxed);
+    obs::add_counter("service.overloaded");
+    AuthResponse response;
+    response.request_id = pending.request.request_id;
+    response.status = impl_->queue.closed() ? RequestStatus::kShuttingDown
+                                            : RequestStatus::kOverloaded;
+    pending.promise.set_value(std::move(response));
+    return future;
+  }
+  impl_->admitted.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+void AuthService::stop() {
+  std::call_once(impl_->stop_once, [this] {
+    impl_->accepting.store(false, std::memory_order_release);
+    impl_->queue.close();
+    for (std::thread& worker : impl_->workers) {
+      if (worker.joinable()) worker.join();
+    }
+    impl_->stopped.store(true, std::memory_order_release);
+  });
+}
+
+bool AuthService::stopped() const noexcept {
+  return impl_->stopped.load(std::memory_order_acquire);
+}
+
+ServiceStats AuthService::stats() const {
+  ServiceStats out;
+  out.submitted = impl_->submitted.load(std::memory_order_relaxed);
+  out.admitted = impl_->admitted.load(std::memory_order_relaxed);
+  out.overloaded = impl_->overloaded.load(std::memory_order_relaxed);
+  out.shutdown_rejects =
+      impl_->shutdown_rejects.load(std::memory_order_relaxed);
+  out.completed = impl_->completed.load(std::memory_order_relaxed);
+  out.unknown_user = impl_->unknown_user.load(std::memory_order_relaxed);
+  out.accepted = impl_->accepted.load(std::memory_order_relaxed);
+  out.lru_hits = impl_->lru_hits.load(std::memory_order_relaxed);
+  out.lru_misses = impl_->lru_misses.load(std::memory_order_relaxed);
+  out.evictions = impl_->cache_evictions();
+  out.batches = impl_->batches.load(std::memory_order_relaxed);
+  out.batched_requests =
+      impl_->batched_requests.load(std::memory_order_relaxed);
+  out.max_batch = impl_->max_batch.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::size_t AuthService::shard_of(std::string_view user) const noexcept {
+  return impl_->shard_index(user);
+}
+
+std::uint64_t AuthService::route_hash(std::string_view user) noexcept {
+  // FNV-1a64: the same family the mmap registry's name index uses, so
+  // routing stays deterministic across processes and platforms.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : user) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace p2auth::service
